@@ -1,0 +1,135 @@
+// Command convsched schedules a dependence graph (.ddg) onto a spatial
+// machine with a chosen scheduler and reports the schedule.
+//
+// Usage:
+//
+//	convsched -machine raw16 -scheduler convergent [-seed 2002] [-show schedule] graph.ddg
+//
+// Schedulers: convergent (the paper's), rawcc, uas, pcc, list (critical-path
+// list scheduling on cluster 0 homes only — a sanity baseline).
+// Machines: rawN (N tiles) or vliwN (N clusters).
+// Show: stats (default), schedule, assignment, dot, trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/baseline/pcc"
+	"repro/internal/baseline/rawcc"
+	"repro/internal/baseline/uas"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/irtext"
+	"repro/internal/listsched"
+	"repro/internal/machine"
+	"repro/internal/passes"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+)
+
+func main() {
+	machineName := flag.String("machine", "raw16", "target machine (rawN or vliwN)")
+	scheduler := flag.String("scheduler", "convergent", "convergent|rawcc|uas|pcc|list")
+	seed := flag.Int64("seed", 2002, "noise seed for the convergent scheduler")
+	show := flag.String("show", "stats", "stats|schedule|assignment|dot|trace")
+	verify := flag.Bool("verify", true, "simulate the schedule and compare against reference execution")
+	flag.Parse()
+
+	if err := run(*machineName, *scheduler, *seed, *show, *verify, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "convsched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(machineName, scheduler string, seed int64, show string, verify bool, args []string) error {
+	m, err := machine.Named(machineName)
+	if err != nil {
+		return err
+	}
+	var g *ir.Graph
+	switch len(args) {
+	case 0:
+		g, err = irtext.Parse(os.Stdin)
+	case 1:
+		var f *os.File
+		f, err = os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		g, err = irtext.Parse(f)
+	default:
+		return fmt.Errorf("want at most one input file, got %d", len(args))
+	}
+	if err != nil {
+		return err
+	}
+
+	var s *schedule.Schedule
+	var res *core.Result
+	switch scheduler {
+	case "convergent":
+		s, res, err = core.Schedule(g, m, passes.ForMachine(m.Name), seed)
+	case "rawcc":
+		s, err = rawcc.Schedule(g, m)
+	case "uas":
+		s, err = uas.Schedule(g, m)
+	case "pcc":
+		s, err = pcc.Schedule(g, m, pcc.Options{})
+	case "list":
+		assign := make([]int, g.Len())
+		for i, in := range g.Instrs {
+			if in.Preplaced() {
+				assign[i] = in.Home
+			} else if in.Op.IsMemory() {
+				assign[i] = m.BankOwner(in.Bank)
+			}
+		}
+		s, err = listsched.Run(g, m, listsched.Options{Assignment: assign})
+	default:
+		return fmt.Errorf("unknown scheduler %q", scheduler)
+	}
+	if err != nil {
+		return err
+	}
+	if verify {
+		if _, err := sim.Verify(s, sim.NewMemory()); err != nil {
+			return fmt.Errorf("verification failed: %w", err)
+		}
+	}
+
+	switch show {
+	case "stats":
+		st := g.ComputeStats()
+		fmt.Printf("graph %s: %s\n", g.Name, st)
+		live := s.MaxLivePerCluster()
+		maxLive := 0
+		for _, l := range live {
+			if l > maxLive {
+				maxLive = l
+			}
+		}
+		fmt.Printf("machine %s, scheduler %s: %d cycles, %d communications, max live values %d\n",
+			m.Name, scheduler, s.Length(), s.CommCount(), maxLive)
+	case "schedule":
+		fmt.Print(s.String())
+	case "assignment":
+		for i, p := range s.Placements {
+			fmt.Printf("%4d %-8v -> cluster %d, cycle %d\n", i, g.Instrs[i].Op, p.Cluster, p.Start)
+		}
+	case "dot":
+		fmt.Print(g.DOT())
+	case "trace":
+		if res == nil {
+			return fmt.Errorf("-show trace requires -scheduler convergent")
+		}
+		for _, pc := range res.Trace {
+			fmt.Printf("%-10s changed %5.1f%% of preferred clusters\n", pc.Pass, 100*pc.Fraction)
+		}
+	default:
+		return fmt.Errorf("unknown -show %q", show)
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/irtext"
+)
+
+// capture runs f with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out := make([]byte, 1<<20)
+	n, _ := r.Read(out)
+	r.Close()
+	return string(out[:n]), ferr
+}
+
+func writeKernel(t *testing.T, name string, clusters int) string {
+	t.Helper()
+	k, ok := bench.ByName(name)
+	if !ok {
+		t.Fatalf("kernel %s", name)
+	}
+	path := filepath.Join(t.TempDir(), name+".ddg")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := irtext.Print(f, k.Build(clusters)); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllSchedulers(t *testing.T) {
+	path := writeKernel(t, "vvmul", 4)
+	for _, sched := range []string{"convergent", "rawcc", "uas", "pcc", "list"} {
+		out, err := capture(t, func() error {
+			return run("vliw4", sched, 2002, "stats", true, []string{path})
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", sched, err)
+		}
+		if !strings.Contains(out, "cycles") {
+			t.Errorf("%s: no stats printed:\n%s", sched, out)
+		}
+	}
+}
+
+func TestRunShowModes(t *testing.T) {
+	path := writeKernel(t, "vvmul", 4)
+	for show, want := range map[string]string{
+		"schedule":   "schedule vvmul",
+		"assignment": "cluster",
+		"dot":        "digraph",
+		"trace":      "NOISE",
+	} {
+		out, err := capture(t, func() error {
+			return run("vliw4", "convergent", 2002, show, false, []string{path})
+		})
+		if err != nil {
+			t.Fatalf("show=%s: %v", show, err)
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("show=%s missing %q:\n%s", show, want, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeKernel(t, "vvmul", 4)
+	cases := []struct {
+		label   string
+		machine string
+		sched   string
+		show    string
+		args    []string
+	}{
+		{"bad machine", "gpu1", "convergent", "stats", []string{path}},
+		{"bad scheduler", "vliw4", "magic", "stats", []string{path}},
+		{"bad show", "vliw4", "convergent", "hologram", []string{path}},
+		{"missing file", "vliw4", "convergent", "stats", []string{"/nonexistent.ddg"}},
+		{"too many args", "vliw4", "convergent", "stats", []string{path, path}},
+		{"trace needs convergent", "vliw4", "uas", "trace", []string{path}},
+	}
+	for _, c := range cases {
+		if _, err := capture(t, func() error {
+			return run(c.machine, c.sched, 1, c.show, false, c.args)
+		}); err == nil {
+			t.Errorf("%s: no error", c.label)
+		}
+	}
+}
+
+func TestRunRejectsRawGraphOnWrongMachine(t *testing.T) {
+	// A graph built for 4 banks cannot schedule on raw2 (homes out of
+	// range); run must surface the error rather than panic.
+	path := writeKernel(t, "vvmul", 4)
+	if _, err := capture(t, func() error {
+		return run("raw2", "convergent", 1, "stats", true, []string{path})
+	}); err == nil {
+		t.Error("expected error for 4-bank kernel on raw2")
+	}
+}

@@ -1,0 +1,108 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on this repository's substrate.
+//
+// Usage:
+//
+//	experiments                 # everything
+//	experiments -exp table2     # one experiment
+//	experiments -exp fig10 -sizes 100,250,500,1000,2000
+//
+// Experiments: table1, table2, fig4, fig6, fig7, fig8, fig9, fig10.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/exp"
+	"repro/internal/machine"
+	"repro/internal/passes"
+)
+
+func main() {
+	which := flag.String("exp", "all", "experiment to run: all|table1|table2|fig4|fig6|fig7|fig8|fig9|fig10|theta")
+	sizes := flag.String("sizes", "100,250,500,1000,2000", "instruction counts for fig10")
+	flag.Parse()
+
+	if err := run(*which, *sizes); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(which, sizesArg string) error {
+	want := func(name string) bool { return which == "all" || which == name }
+	any := false
+
+	if want("table1") {
+		any = true
+		fmt.Println(exp.RenderTable1())
+	}
+	if want("table2") || want("fig6") {
+		any = true
+		rows, err := exp.Table2()
+		if err != nil {
+			return err
+		}
+		if want("table2") {
+			fmt.Println(exp.RenderTable2(rows))
+		}
+		if want("fig6") {
+			fmt.Println(exp.RenderFig6(rows))
+		}
+	}
+	if want("fig4") {
+		any = true
+		fmt.Println(exp.RenderFig4())
+	}
+	if want("fig7") {
+		any = true
+		rows := exp.Convergence(machine.Raw(16), bench.RawSuite(), passes.RawSequence())
+		fmt.Println(exp.RenderConvergence("Figure 7: convergence of spatial assignments on Raw (16 tiles)", rows))
+	}
+	if want("fig8") {
+		any = true
+		rows, err := exp.Fig8()
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.RenderFig8(rows))
+	}
+	if want("fig9") {
+		any = true
+		rows := exp.Convergence(machine.Chorus(4), bench.VliwSuite(), passes.VliwSequence())
+		fmt.Println(exp.RenderConvergence("Figure 9: convergence of spatial assignments on Chorus (4 clusters)", rows))
+	}
+	if want("theta") {
+		any = true
+		rows, err := exp.PCCThetaSweep([]int{4, 8, 16, 32, 64, 128})
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.RenderThetaSweep(rows))
+	}
+	if want("fig10") {
+		any = true
+		var ns []int
+		for _, f := range strings.Split(sizesArg, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 2 {
+				return fmt.Errorf("bad -sizes entry %q", f)
+			}
+			ns = append(ns, n)
+		}
+		rows, err := exp.Fig10(ns)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.RenderFig10(rows))
+	}
+	if !any {
+		return fmt.Errorf("unknown experiment %q", which)
+	}
+	return nil
+}

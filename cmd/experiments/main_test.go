@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := new(strings.Builder)
+		b := make([]byte, 1<<16)
+		for {
+			n, err := r.Read(b)
+			buf.Write(b[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- buf.String()
+	}()
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	return out, ferr
+}
+
+func TestTable1(t *testing.T) {
+	out, err := capture(t, func() error { return run("table1", "100") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"INITTIME", "EMPHCP", "FULOAD"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 missing %s", want)
+		}
+	}
+}
+
+func TestFig9(t *testing.T) {
+	out, err := capture(t, func() error { return run("fig9", "100") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "NOISE") || !strings.Contains(out, "vvmul") {
+		t.Errorf("fig9 output:\n%.400s", out)
+	}
+}
+
+func TestFig4(t *testing.T) {
+	out, err := capture(t, func() error { return run("fig4", "100") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "after NOISE") {
+		t.Errorf("fig4 output:\n%.400s", out)
+	}
+}
+
+func TestFig10SmallSizes(t *testing.T) {
+	out, err := capture(t, func() error { return run("fig10", "60,80") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "PCC") || !strings.Contains(out, "60") {
+		t.Errorf("fig10 output:\n%.400s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := capture(t, func() error { return run("figZZ", "100") }); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if _, err := capture(t, func() error { return run("fig10", "abc") }); err == nil {
+		t.Error("bad sizes accepted")
+	}
+	if _, err := capture(t, func() error { return run("fig10", "1") }); err == nil {
+		t.Error("size 1 accepted")
+	}
+}

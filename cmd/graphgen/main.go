@@ -1,0 +1,69 @@
+// Command graphgen emits benchmark or random dependence graphs in .ddg or
+// Graphviz form, for use with convsched or external tooling.
+//
+// Usage:
+//
+//	graphgen -kernel mxm -clusters 16            # a paper benchmark
+//	graphgen -random 500 -width 20 -seed 7       # a layered random DAG
+//	graphgen -list                               # list kernels
+//	graphgen -kernel jacobi -format dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/ir"
+	"repro/internal/irtext"
+)
+
+func main() {
+	kernelName := flag.String("kernel", "", "benchmark kernel name (see -list)")
+	randomN := flag.Int("random", 0, "generate a layered random DAG with this many instructions")
+	width := flag.Int("width", 16, "layer width for -random")
+	clusters := flag.Int("clusters", 4, "cluster count the graph is built for (bank interleaving)")
+	seed := flag.Int64("seed", 1, "random seed for -random")
+	format := flag.String("format", "ddg", "ddg|dot")
+	list := flag.Bool("list", false, "list available kernels and exit")
+	flag.Parse()
+
+	if err := run(*kernelName, *randomN, *width, *clusters, *seed, *format, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kernelName string, randomN, width, clusters int, seed int64, format string, list bool) error {
+	if list {
+		for _, name := range bench.Names() {
+			k, _ := bench.ByName(name)
+			fmt.Printf("%-14s %s\n", name, k.Description)
+		}
+		return nil
+	}
+	var g *ir.Graph
+	switch {
+	case kernelName != "" && randomN > 0:
+		return fmt.Errorf("-kernel and -random are mutually exclusive")
+	case kernelName != "":
+		k, ok := bench.ByName(kernelName)
+		if !ok {
+			return fmt.Errorf("unknown kernel %q (try -list)", kernelName)
+		}
+		g = k.Build(clusters)
+	case randomN > 0:
+		g = bench.RandomLayered(randomN, width, clusters, seed)
+	default:
+		return fmt.Errorf("need -kernel, -random or -list")
+	}
+	switch format {
+	case "ddg":
+		return irtext.Print(os.Stdout, g)
+	case "dot":
+		fmt.Print(g.DOT())
+		return nil
+	}
+	return fmt.Errorf("unknown -format %q", format)
+}

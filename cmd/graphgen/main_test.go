@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out := make([]byte, 1<<22)
+	n, _ := r.Read(out)
+	r.Close()
+	return string(out[:n]), ferr
+}
+
+func TestKernelDDG(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("vvmul", 0, 16, 4, 1, "ddg", false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "graph vvmul") || !strings.Contains(out, "load") {
+		t.Errorf("unexpected output:\n%.200s", out)
+	}
+}
+
+func TestKernelDOT(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("jacobi", 0, 16, 4, 1, "dot", false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "digraph") {
+		t.Errorf("not DOT:\n%.200s", out)
+	}
+}
+
+func TestRandomGraph(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("", 50, 8, 4, 7, "ddg", false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "graph rand50") {
+		t.Errorf("unexpected output:\n%.200s", out)
+	}
+}
+
+func TestListKernels(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("", 0, 0, 4, 1, "ddg", true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mxm", "sha", "fpppp-kernel"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		label  string
+		kernel string
+		n      int
+		format string
+	}{
+		{"no input", "", 0, "ddg"},
+		{"both inputs", "mxm", 50, "ddg"},
+		{"unknown kernel", "frobnicate", 0, "ddg"},
+		{"bad format", "mxm", 0, "pdf"},
+	}
+	for _, c := range cases {
+		if _, err := capture(t, func() error {
+			return run(c.kernel, c.n, 8, 4, 1, c.format, false)
+		}); err == nil {
+			t.Errorf("%s: no error", c.label)
+		}
+	}
+}

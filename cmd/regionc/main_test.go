@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const collatz = `
+fn collatz
+out steps
+block 0
+  n = const 27
+  steps = const 0
+  one = const 1
+  two = const 2
+  three = const 3
+  jump 1
+block 1
+  odd = and n one
+  branch odd 2 3
+block 2
+  n = mul n three
+  n = add n one
+  jump 4
+block 3
+  n = div n two
+  jump 4
+block 4
+  steps = add steps one
+  cont = seq n one
+  branch cont 5 1
+block 5
+  ret
+`
+
+func writeProgram(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "p.cfg")
+	if err := os.WriteFile(path, []byte(collatz), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out := make([]byte, 1<<20)
+	n, _ := r.Read(out)
+	r.Close()
+	return string(out[:n]), ferr
+}
+
+func TestRunAllSchedulersAndPolicies(t *testing.T) {
+	path := writeProgram(t)
+	for _, sched := range []string{"convergent", "rawcc", "uas", "pcc", "list"} {
+		for _, pol := range []string{"firstcluster", "roundrobin"} {
+			out, err := capture(t, func() error {
+				return run("raw4", sched, pol, false, false, 100000, 2002, []string{path})
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", sched, pol, err)
+			}
+			if !strings.Contains(out, "output steps = 111") {
+				t.Errorf("%s/%s: wrong answer:\n%s", sched, pol, out)
+			}
+		}
+	}
+}
+
+func TestRunTransforms(t *testing.T) {
+	path := writeProgram(t)
+	out, err := capture(t, func() error {
+		return run("vliw4", "uas", "roundrobin", true, true, 100000, 1, []string{path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "output steps = 111") {
+		t.Errorf("transforms broke the program:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeProgram(t)
+	if _, err := capture(t, func() error {
+		return run("gpu1", "uas", "roundrobin", false, false, 100, 1, []string{path})
+	}); err == nil {
+		t.Error("bad machine accepted")
+	}
+	if _, err := capture(t, func() error {
+		return run("raw4", "magic", "roundrobin", false, false, 100, 1, []string{path})
+	}); err == nil {
+		t.Error("bad scheduler accepted")
+	}
+	if _, err := capture(t, func() error {
+		return run("raw4", "uas", "somewhere", false, false, 100, 1, []string{path})
+	}); err == nil {
+		t.Error("bad policy accepted")
+	}
+	if _, err := capture(t, func() error {
+		return run("raw4", "uas", "roundrobin", false, false, 100, 1, []string{"/nonexistent"})
+	}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := capture(t, func() error {
+		return run("raw4", "uas", "roundrobin", false, false, 3, 1, []string{path})
+	}); err == nil {
+		t.Error("tiny maxsteps accepted (program needs hundreds of blocks)")
+	}
+}

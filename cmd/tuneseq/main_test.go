@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out := make([]byte, 1<<20)
+	n, _ := r.Read(out)
+	r.Close()
+	return string(out[:n]), ferr
+}
+
+func TestRunSmallSearch(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("vliw4", "vvmul", 5, 3, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "seed sequence") || !strings.Contains(out, "best sequence") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRunCustomStart(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("vliw4", "vvmul", 2, 1, "INITTIME,NOISE,PLACE,EMPHCP")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "INITTIME NOISE PLACE EMPHCP") {
+		t.Errorf("seed not echoed:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := capture(t, func() error { return run("gpu1", "vvmul", 2, 1, "") }); err == nil {
+		t.Error("bad machine accepted")
+	}
+	if _, err := capture(t, func() error { return run("vliw4", "nope", 2, 1, "") }); err == nil {
+		t.Error("bad kernel accepted")
+	}
+	if _, err := capture(t, func() error { return run("vliw4", "vvmul", 2, 1, "FROB") }); err == nil {
+		t.Error("bad start pass accepted")
+	}
+}

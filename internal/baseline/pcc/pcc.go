@@ -1,0 +1,301 @@
+// Package pcc reimplements Partial Component Clustering (Desoli, HP Labs
+// TR HPL-98-13), the second clustered-VLIW baseline of the paper's
+// Figure 8. PCC builds partial components by visiting the dependence graph
+// bottom-up, critical-path first, capping component size at a threshold θ;
+// assigns components to clusters by load balancing and communication
+// affinity (preplacement-aware, as the paper modifies it); and then
+// improves the assignment by iterative descent, moving components between
+// clusters whenever a schedule-length estimate improves. The descent's
+// repeated estimation is what makes PCC's compile time scale poorly
+// (Figure 10), a behaviour this implementation reproduces by construction.
+package pcc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/listsched"
+	"repro/internal/machine"
+	"repro/internal/schedule"
+)
+
+// Options tunes PCC.
+type Options struct {
+	// Theta caps component size (the paper's θ). Zero picks a default
+	// that balances quality and compile time, as Desoli describes:
+	// roughly the graph size divided by four times the cluster count,
+	// clamped to [4, 40].
+	Theta int
+	// MaxIters bounds the descent sweeps (default 20).
+	MaxIters int
+}
+
+func (o Options) withDefaults(g *ir.Graph, m *machine.Model) Options {
+	if o.Theta == 0 {
+		o.Theta = g.Len() / (4 * m.NumClusters)
+		if o.Theta < 4 {
+			o.Theta = 4
+		}
+		if o.Theta > 40 {
+			o.Theta = 40
+		}
+	}
+	if o.MaxIters == 0 {
+		o.MaxIters = 20
+	}
+	return o
+}
+
+// Assign runs PCC assignment and returns the cluster of every instruction.
+func Assign(g *ir.Graph, m *machine.Model, opt Options) []int {
+	g.Seal()
+	if g.Len() == 0 {
+		return nil
+	}
+	opt = opt.withDefaults(g, m)
+	comps := buildComponents(g, m, opt.Theta)
+	assign := initialAssign(g, m, comps)
+	descend(g, m, comps, assign, opt.MaxIters)
+	for i := range assign {
+		if h := g.Instrs[i].Home; h >= 0 {
+			assign[i] = h
+		}
+	}
+	listsched.SpreadConsts(g, m, assign)
+	return assign
+}
+
+// Schedule assigns with PCC and then list-schedules.
+func Schedule(g *ir.Graph, m *machine.Model, opt Options) (*schedule.Schedule, error) {
+	if err := listsched.CheckGraph(g, m); err != nil {
+		return nil, fmt.Errorf("pcc: %w", err)
+	}
+	assign := Assign(g, m, opt)
+	s, err := listsched.Run(g, m, listsched.Options{Assignment: assign})
+	if err != nil {
+		return nil, fmt.Errorf("pcc: %w", err)
+	}
+	return s, nil
+}
+
+// component is one partial component: its members and the home cluster its
+// preplaced members demand (-1 when unconstrained).
+type component struct {
+	members []int
+	home    int
+}
+
+// buildComponents grows components bottom-up (leaves first), critical-path
+// first: each unvisited instruction of greatest height seeds a component
+// that greedily absorbs unvisited dependence neighbours — deepest first —
+// until θ members or no compatible neighbour remains.
+func buildComponents(g *ir.Graph, m *machine.Model, theta int) []*component {
+	h := g.Height(m.LatencyFunc())
+	order := make([]int, g.Len())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if h[order[a]] != h[order[b]] {
+			return h[order[a]] < h[order[b]] // bottom-up: leaves first
+		}
+		return order[a] < order[b]
+	})
+	visited := make([]bool, g.Len())
+	var comps []*component
+	for _, seed := range order {
+		if visited[seed] {
+			continue
+		}
+		c := &component{home: g.Instrs[seed].Home}
+		frontier := []int{seed}
+		visited[seed] = true
+		for len(frontier) > 0 && len(c.members) < theta {
+			// Take the deepest frontier node (critical-path
+			// first).
+			best := 0
+			for k := range frontier {
+				if h[frontier[k]] > h[frontier[best]] {
+					best = k
+				}
+			}
+			cur := frontier[best]
+			frontier = append(frontier[:best], frontier[best+1:]...)
+			c.members = append(c.members, cur)
+			for _, nb := range g.Neighbors(cur) {
+				if visited[nb] {
+					continue
+				}
+				nh := g.Instrs[nb].Home
+				if nh >= 0 && c.home >= 0 && nh != c.home {
+					continue // incompatible homes stay apart
+				}
+				visited[nb] = true
+				if nh >= 0 {
+					c.home = nh
+				}
+				frontier = append(frontier, nb)
+			}
+		}
+		// Whatever remains on the frontier seeds future components.
+		for _, f := range frontier {
+			visited[f] = false
+		}
+		comps = append(comps, c)
+	}
+	return comps
+}
+
+// initialAssign places constrained components on their homes and the rest
+// on the least-loaded cluster, largest components first, with a small
+// affinity bonus for clusters already holding dependence neighbours.
+func initialAssign(g *ir.Graph, m *machine.Model, comps []*component) []int {
+	assign := make([]int, g.Len())
+	for i := range assign {
+		assign[i] = -1
+	}
+	loads := make([]int, m.NumClusters)
+	order := make([]int, len(comps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := comps[order[a]], comps[order[b]]
+		if (ca.home >= 0) != (cb.home >= 0) {
+			return ca.home >= 0 // constrained first
+		}
+		if len(ca.members) != len(cb.members) {
+			return len(ca.members) > len(cb.members)
+		}
+		return order[a] < order[b]
+	})
+	for _, ci := range order {
+		c := comps[ci]
+		target := c.home
+		if target < 0 {
+			best, bestCost := 0, 1<<62
+			for cl := 0; cl < m.NumClusters; cl++ {
+				aff := 0
+				for _, i := range c.members {
+					for _, nb := range g.Neighbors(i) {
+						if assign[nb] == cl {
+							aff++
+						}
+					}
+				}
+				cost := (loads[cl]+len(c.members))*2 - aff
+				if cost < bestCost {
+					best, bestCost = cl, cost
+				}
+			}
+			target = best
+		}
+		for _, i := range c.members {
+			assign[i] = target
+		}
+		loads[target] += len(c.members)
+	}
+	for i := range assign {
+		if assign[i] < 0 {
+			assign[i] = 0
+		}
+	}
+	return assign
+}
+
+// descend iteratively improves the assignment: each sweep tries moving
+// every unconstrained component to every other cluster, keeping the move
+// that most reduces the estimated schedule length; it stops when a full
+// sweep finds no improvement or after maxIters sweeps.
+func descend(g *ir.Graph, m *machine.Model, comps []*component, assign []int, maxIters int) {
+	cur := Estimate(g, m, assign)
+	for iter := 0; iter < maxIters; iter++ {
+		improved := false
+		for _, c := range comps {
+			if c.home >= 0 || len(c.members) == 0 {
+				continue
+			}
+			orig := assign[c.members[0]]
+			bestCl, bestLen := orig, cur
+			for cl := 0; cl < m.NumClusters; cl++ {
+				if cl == orig {
+					continue
+				}
+				for _, i := range c.members {
+					assign[i] = cl
+				}
+				if l := Estimate(g, m, assign); l < bestLen {
+					bestCl, bestLen = cl, l
+				}
+			}
+			for _, i := range c.members {
+				assign[i] = bestCl
+			}
+			if bestCl != orig {
+				cur = bestLen
+				improved = true
+			}
+		}
+		if !improved {
+			return
+		}
+	}
+}
+
+// Estimate approximates the schedule length of an assignment with a fast
+// greedy pass: instructions issue in topological order at the earliest
+// cycle their operands (plus cross-cluster communication latency) allow and
+// a compatible functional unit is free. It ignores network port contention,
+// which the real list scheduler handles, so it is a lower-bound-style
+// estimator in the spirit of PCC's published cost function.
+func Estimate(g *ir.Graph, m *machine.Model, assign []int) int {
+	g.Seal()
+	ready := make([]int, g.Len())
+	type slot struct{ cluster, fu, cycle int }
+	busy := make(map[slot]bool)
+	length := 0
+	for i := 0; i < g.Len(); i++ {
+		in := g.Instrs[i]
+		cl := assign[i]
+		est := 0
+		for _, p := range g.Preds(i) {
+			t := ready[p]
+			// Constants broadcast as immediates and never pay
+			// communication latency.
+			if assign[p] != cl && !g.Instrs[p].Op.IsConst() {
+				t += m.CommLatency(assign[p], cl)
+			}
+			if t > est {
+				est = t
+			}
+		}
+		lat, ok := m.InstrLatency(in, cl)
+		if !ok {
+			// Illegal placement mid-descent (the caller pins
+			// preplaced instructions afterwards): charge the
+			// worst communication latency instead of failing.
+			lat = m.OpLatency(in.Op) + m.MaxCommLatency()
+		}
+		start := est
+		for {
+			fu := -1
+			for f := range m.FUs {
+				if m.CanRunOn(in.Op, f) && !busy[slot{cl, f, start}] {
+					fu = f
+					break
+				}
+			}
+			if fu >= 0 {
+				busy[slot{cl, fu, start}] = true
+				break
+			}
+			start++
+		}
+		ready[i] = start + lat
+		if ready[i] > length {
+			length = ready[i]
+		}
+	}
+	return length
+}

@@ -1,0 +1,200 @@
+package pcc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func wideKernel(k, l int) *ir.Graph {
+	g := ir.New("wide")
+	for c := 0; c < k; c++ {
+		prev := g.AddConst(int64(c)).ID
+		for i := 0; i < l; i++ {
+			prev = g.Add(ir.Add, prev, prev).ID
+		}
+	}
+	return g
+}
+
+func TestScheduleValidatesAndVerifies(t *testing.T) {
+	g := wideKernel(8, 6)
+	m := machine.Chorus(4)
+	s, err := Schedule(g, m, Options{})
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if _, err := sim.Verify(s, sim.NewMemory()); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestComponentsRespectTheta(t *testing.T) {
+	g := wideKernel(4, 20)
+	m := machine.Chorus(4)
+	comps := buildComponents(g, m, 7)
+	total := 0
+	for _, c := range comps {
+		if len(c.members) > 7 {
+			t.Errorf("component of size %d exceeds theta 7", len(c.members))
+		}
+		total += len(c.members)
+	}
+	if total != g.Len() {
+		t.Errorf("components cover %d of %d instructions", total, g.Len())
+	}
+	seen := map[int]bool{}
+	for _, c := range comps {
+		for _, i := range c.members {
+			if seen[i] {
+				t.Errorf("instruction %d in two components", i)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+func TestComponentsSeparateConflictingHomes(t *testing.T) {
+	g := ir.New("homes")
+	a := g.AddConst(0)
+	ld1 := g.AddLoad(1, a.ID)
+	ld1.Home = 1
+	n := g.Add(ir.Neg, ld1.ID)
+	st := g.AddStore(2, a.ID, n.ID)
+	st.Home = 2
+	m := machine.Chorus(4)
+	comps := buildComponents(g, m, 10)
+	for _, c := range comps {
+		homes := map[int]bool{}
+		for _, i := range c.members {
+			if h := g.Instrs[i].Home; h >= 0 {
+				homes[h] = true
+			}
+		}
+		if len(homes) > 1 {
+			t.Errorf("component mixes homes %v", homes)
+		}
+	}
+}
+
+func TestAssignRespectsPreplacement(t *testing.T) {
+	g := ir.New("pp")
+	a := g.AddConst(0)
+	ld := g.AddLoad(3, a.ID)
+	ld.Home = 3
+	g.Add(ir.Neg, ld.ID)
+	m := machine.Chorus(4)
+	assign := Assign(g, m, Options{})
+	if assign[ld.ID] != 3 {
+		t.Errorf("preplaced load assigned to %d", assign[ld.ID])
+	}
+}
+
+func TestDescentImprovesOrMaintainsEstimate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := ir.New("rnd")
+	for i := 0; i < 60; i++ {
+		if i < 3 {
+			g.AddConst(int64(i))
+			continue
+		}
+		g.Add(ir.Add, rng.Intn(i), rng.Intn(i))
+	}
+	m := machine.Chorus(4)
+	comps := buildComponents(g, m, 8)
+	assign := initialAssign(g, m, comps)
+	before := Estimate(g, m, assign)
+	descend(g, m, comps, assign, 20)
+	after := Estimate(g, m, assign)
+	if after > before {
+		t.Errorf("descent worsened estimate: %d -> %d", before, after)
+	}
+}
+
+func TestEstimateSensibleBounds(t *testing.T) {
+	g := wideKernel(1, 5)
+	m := machine.Chorus(1)
+	assign := make([]int, g.Len())
+	est := Estimate(g, m, assign)
+	cpl := g.CriticalPathLength(m.LatencyFunc())
+	if est < cpl {
+		t.Errorf("estimate %d below critical path %d", est, cpl)
+	}
+	serial := 0
+	for _, in := range g.Instrs {
+		serial += m.OpLatency(in.Op)
+	}
+	if est > serial+g.Len() {
+		t.Errorf("estimate %d above serial bound %d", est, serial)
+	}
+}
+
+func TestEstimateChargesCommunication(t *testing.T) {
+	g := ir.New("comm")
+	a := g.AddConst(1)
+	b := g.Add(ir.Neg, a.ID)
+	g.Add(ir.Not, b.ID)
+	m := machine.Chorus(2)
+	same := Estimate(g, m, []int{0, 0, 0})
+	cross := Estimate(g, m, []int{0, 0, 1})
+	if cross <= same {
+		t.Errorf("cross-cluster estimate %d not above same-cluster %d", cross, same)
+	}
+	// Constants broadcast for free: splitting only the constant off
+	// must not change the estimate.
+	constCross := Estimate(g, m, []int{1, 0, 0})
+	if constCross != same {
+		t.Errorf("const split estimate %d, want %d", constCross, same)
+	}
+}
+
+func TestThetaDefaultClamped(t *testing.T) {
+	g := wideKernel(2, 2)
+	m := machine.Chorus(4)
+	opt := Options{}.withDefaults(g, m)
+	if opt.Theta < 4 || opt.Theta > 40 {
+		t.Errorf("default theta = %d", opt.Theta)
+	}
+	big := wideKernel(100, 10)
+	opt = Options{}.withDefaults(big, m)
+	if opt.Theta < 4 || opt.Theta > 40 {
+		t.Errorf("default theta = %d for big graph", opt.Theta)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := ir.New("empty")
+	m := machine.Chorus(4)
+	if got := Assign(g, m, Options{}); len(got) != 0 {
+		t.Errorf("Assign(empty) = %v", got)
+	}
+	if _, err := Schedule(g, m, Options{}); err != nil {
+		t.Errorf("Schedule(empty): %v", err)
+	}
+}
+
+func TestRandomGraphsVerify(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := ir.New("rand")
+		for i := 0; i < 50; i++ {
+			if i < 3 {
+				g.AddConst(int64(i))
+				continue
+			}
+			ops := []ir.Op{ir.Add, ir.Sub, ir.Mul, ir.Xor}
+			g.Add(ops[rng.Intn(len(ops))], rng.Intn(i), rng.Intn(i))
+		}
+		m := machine.Chorus(4)
+		s, err := Schedule(g, m, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, err := sim.Verify(s, sim.NewMemory()); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

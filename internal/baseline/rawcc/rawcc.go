@@ -1,0 +1,447 @@
+// Package rawcc reimplements the baseline Raw space-time scheduler the
+// paper compares against (Lee et al., ASPLOS 1998): instruction assignment
+// happens in three phases borrowed from multiprocessor task-graph
+// scheduling — clustering groups instructions with little parallelism,
+// merging reduces the cluster count to the machine's tile count, and
+// placement maps merged clusters onto tiles — followed by a critical-path
+// list scheduler. Preplaced instructions constrain merging and placement,
+// as in the original.
+package rawcc
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/listsched"
+	"repro/internal/machine"
+	"repro/internal/schedule"
+)
+
+// Assign runs the three assignment phases and returns the tile of every
+// instruction.
+func Assign(g *ir.Graph, m *machine.Model) []int {
+	g.Seal()
+	n := g.Len()
+	if n == 0 {
+		return nil
+	}
+	clusters := cluster(g, m)
+	clusters = merge(g, m, clusters)
+	assign := place(g, m, clusters)
+	listsched.SpreadConsts(g, m, assign)
+	return assign
+}
+
+// Schedule assigns and list-schedules the graph.
+func Schedule(g *ir.Graph, m *machine.Model) (*schedule.Schedule, error) {
+	if err := listsched.CheckGraph(g, m); err != nil {
+		return nil, fmt.Errorf("rawcc: %w", err)
+	}
+	assign := Assign(g, m)
+	s, err := listsched.Run(g, m, listsched.Options{Assignment: assign})
+	if err != nil {
+		return nil, fmt.Errorf("rawcc: %w", err)
+	}
+	return s, nil
+}
+
+// group is one cluster under construction: member instructions plus the
+// home tile its preplaced members require (-1 if unconstrained).
+type group struct {
+	members []int
+	home    int
+}
+
+// cluster performs dominant-sequence-style clustering in the manner of
+// DSC: walking in dependence order, each instruction either joins the group
+// of its dominant predecessor — the one whose finish-plus-communication
+// time determines its earliest start — or begins a new group. Joining zeros
+// the communication cost of that edge but serialises the instruction behind
+// the group's single issue slot, so the merge is accepted only when it does
+// not delay the instruction relative to starting fresh and paying for
+// communication. This is what keeps tangled, irregular graphs (fpppp-like)
+// split into many slim clusters that preserve parallelism.
+//
+// Faithful to the published Rawcc, clustering is blind to preplacement:
+// the original handles preplaced instructions only during the placement
+// phase. That late handling is precisely the phase-ordering weakness the
+// convergent-scheduling paper identifies, so this baseline must not be
+// given preplacement awareness the original lacked.
+func cluster(g *ir.Graph, m *machine.Model) []*group {
+	lat := m.LatencyFunc()
+	// A uniform estimate of one hop's cost during clustering; the mesh
+	// distance is unknown until placement.
+	comm := m.CommBase
+	n := g.Len()
+	groupOf := make([]int, n)
+	finish := make([]int, n)
+	var groups []*group
+	// issueFree[gid] is the next cycle the group's serial issue slot is
+	// open.
+	var issueFree []int
+	for i := 0; i < n; i++ {
+		in := g.Instrs[i]
+		// Dominant predecessor under communication costs.
+		best, bestT := -1, -1
+		for _, p := range g.Preds(i) {
+			t := finish[p] + comm
+			if t > bestT {
+				best, bestT = p, t
+			}
+		}
+		if best < 0 {
+			groups = append(groups, &group{members: []int{i}})
+			issueFree = append(issueFree, 1)
+			groupOf[i] = len(groups) - 1
+			finish[i] = lat(in.Op)
+			continue
+		}
+		// Start time if i begins its own group: every operand pays
+		// communication.
+		startNew := 0
+		for _, p := range g.Preds(i) {
+			if t := finish[p] + comm; t > startNew {
+				startNew = t
+			}
+		}
+		// Start time if i joins the dominant predecessor's group:
+		// that operand arrives free, the rest still pay, and the
+		// group's issue slot must be open.
+		gid := groupOf[best]
+		startJoin := issueFree[gid]
+		for _, p := range g.Preds(i) {
+			t := finish[p]
+			if groupOf[p] != gid {
+				t += comm
+			}
+			if t > startJoin {
+				startJoin = t
+			}
+		}
+		if startJoin <= startNew {
+			groups[gid].members = append(groups[gid].members, i)
+			groupOf[i] = gid
+			finish[i] = startJoin + lat(in.Op)
+			issueFree[gid] = startJoin + 1
+		} else {
+			groups = append(groups, &group{members: []int{i}})
+			issueFree = append(issueFree, startNew+1)
+			groupOf[i] = len(groups) - 1
+			finish[i] = startNew + lat(in.Op)
+		}
+	}
+	return groups
+}
+
+// merge combines groups until at most NumClusters remain, repeatedly
+// merging the pair with the highest communication affinity (dependence
+// edges between the two groups); ties prefer the smaller combined size.
+// Like clustering, merging is blind to preplacement, matching the published
+// Rawcc. Groups are kept under a size cap so that merging also balances
+// load (the published merging phase's stated goal); over-cap pairs are
+// considered only when no under-cap pair remains.
+//
+// The pair selection runs off a max-heap with lazy invalidation, and merged
+// affinities combine additively (edges(a∪b, c) = edges(a,c) + edges(b,c)),
+// so the whole phase is O(k² log k) instead of the naive O(k³·members).
+func merge(g *ir.Graph, m *machine.Model, groups []*group) []*group {
+	k := len(groups)
+	if k <= m.NumClusters {
+		return groups
+	}
+	groupOf := make([]int, g.Len())
+	for gi, gr := range groups {
+		for _, i := range gr.members {
+			groupOf[i] = gi
+		}
+	}
+	// Symmetric affinity matrix over initial groups.
+	aff := make([][]int, k)
+	for i := range aff {
+		aff[i] = make([]int, k)
+	}
+	for u := 0; u < g.Len(); u++ {
+		for _, v := range g.Succs(u) {
+			a, b := groupOf[u], groupOf[v]
+			if a != b {
+				aff[a][b]++
+				aff[b][a]++
+			}
+		}
+	}
+	sizeCap := 2 * g.Len() / m.NumClusters
+	if sizeCap < 4 {
+		sizeCap = 4
+	}
+	version := make([]int, k)
+	dead := make([]bool, k) // local liveness; groups slice is shared
+	h := &pairHeap{}
+	push := func(a, b int) {
+		if a == b || dead[a] || dead[b] {
+			return
+		}
+		size := len(groups[a].members) + len(groups[b].members)
+		heap.Push(h, mergePair{
+			a: a, b: b, va: version[a], vb: version[b],
+			aff: aff[a][b], size: size, underCap: size <= sizeCap,
+		})
+	}
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			push(a, b)
+		}
+	}
+	live := k
+	for live > m.NumClusters && h.Len() > 0 {
+		top := heap.Pop(h).(mergePair)
+		if dead[top.a] || dead[top.b] || version[top.a] != top.va || version[top.b] != top.vb {
+			continue
+		}
+		a, b := top.a, top.b
+		groups[a].members = append(groups[a].members, groups[b].members...)
+		dead[b] = true
+		version[a]++
+		live--
+		for c := 0; c < k; c++ {
+			if c == a || c == b || dead[c] {
+				continue
+			}
+			aff[a][c] += aff[b][c]
+			aff[c][a] = aff[a][c]
+			push(a, c)
+		}
+	}
+	var out []*group
+	for gi, gr := range groups {
+		if !dead[gi] {
+			out = append(out, gr)
+		}
+	}
+	return out
+}
+
+// mergePair is a candidate merge in the heap. Stale entries (either group
+// merged since the push) are detected by version numbers and skipped.
+type mergePair struct {
+	a, b     int
+	va, vb   int
+	aff      int
+	size     int
+	underCap bool
+}
+
+type pairHeap []mergePair
+
+func (h pairHeap) Len() int { return len(h) }
+
+func (h pairHeap) Less(i, j int) bool {
+	if h[i].underCap != h[j].underCap {
+		return h[i].underCap
+	}
+	if h[i].aff != h[j].aff {
+		return h[i].aff > h[j].aff
+	}
+	if h[i].size != h[j].size {
+		return h[i].size < h[j].size
+	}
+	if h[i].a != h[j].a {
+		return h[i].a < h[j].a
+	}
+	return h[i].b < h[j].b
+}
+
+func (h pairHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *pairHeap) Push(x any) { *h = append(*h, x.(mergePair)) }
+
+func (h *pairHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// place maps merged groups onto tiles. This is the only phase where the
+// published Rawcc considers preplacement: a group whose preplaced members
+// mostly demand one tile is anchored there; the rest, largest first, take
+// the tile minimising load imbalance plus distance-weighted communication
+// to already-placed groups. Preplaced instructions are finally pinned to
+// their homes individually, wherever their group landed. Returns the
+// per-instruction tile assignment.
+func place(g *ir.Graph, m *machine.Model, groups []*group) []int {
+	assign := make([]int, g.Len())
+	for i := range assign {
+		assign[i] = -1
+	}
+	// Majority home among a group's preplaced members, or -1.
+	for _, gr := range groups {
+		votes := map[int]int{}
+		for _, i := range gr.members {
+			if h := g.Instrs[i].Home; h >= 0 {
+				votes[h]++
+			}
+		}
+		gr.home = -1
+		bestVotes := 0
+		for h, v := range votes {
+			if v > bestVotes || (v == bestVotes && gr.home >= 0 && h < gr.home) {
+				gr.home, bestVotes = h, v
+			}
+		}
+	}
+	loads := make([]int, m.NumClusters)
+	var free []*group
+	for _, gr := range groups {
+		if gr.home >= 0 {
+			for _, i := range gr.members {
+				assign[i] = gr.home
+			}
+			loads[gr.home] += len(gr.members)
+		} else {
+			free = append(free, gr)
+		}
+	}
+	sort.Slice(free, func(i, j int) bool {
+		if len(free[i].members) != len(free[j].members) {
+			return len(free[i].members) > len(free[j].members)
+		}
+		return free[i].members[0] < free[j].members[0]
+	})
+	for _, gr := range free {
+		best, bestCost := 0, 1<<62
+		for c := 0; c < m.NumClusters; c++ {
+			// Communication cost: edges from this group to placed
+			// instructions, weighted by mesh distance.
+			comm := 0
+			for _, i := range gr.members {
+				for _, nb := range g.Neighbors(i) {
+					if assign[nb] >= 0 {
+						comm += m.Dist(c, assign[nb])
+					}
+				}
+			}
+			cost := comm*4 + (loads[c]+len(gr.members))*3
+			if cost < bestCost {
+				best, bestCost = c, cost
+			}
+		}
+		for _, i := range gr.members {
+			assign[i] = best
+		}
+		loads[best] += len(gr.members)
+	}
+	// Safety net: anything unassigned (empty-group corner cases) goes to
+	// tile 0, and preplaced instructions are pinned.
+	for i := range assign {
+		if assign[i] < 0 {
+			assign[i] = 0
+		}
+		if h := g.Instrs[i].Home; h >= 0 {
+			assign[i] = h
+		}
+	}
+	refinePlacement(g, m, groups, assign)
+	return assign
+}
+
+// refinePlacement is the optimisation half of Rawcc's placement phase: a
+// greedy local search that moves whole groups between tiles when doing so
+// reduces distance-weighted communication plus a quadratic load-imbalance
+// penalty. Preplaced instructions stay pinned; the search works around
+// them — which is exactly how the published Rawcc copes with preplacement,
+// and why decisions frozen by the earlier, placement-blind phases can still
+// hurt it.
+func refinePlacement(g *ir.Graph, m *machine.Model, groups []*group, assign []int) {
+	type edge struct{ u, v int }
+	var edges []edge
+	for u := 0; u < g.Len(); u++ {
+		if g.Instrs[u].Op.IsConst() {
+			continue // constants broadcast as immediates
+		}
+		for _, v := range g.Succs(u) {
+			edges = append(edges, edge{u, v})
+		}
+	}
+	// Edges incident to each instruction, for delta computation.
+	incident := make([][]int, g.Len())
+	for ei, e := range edges {
+		incident[e.u] = append(incident[e.u], ei)
+		incident[e.v] = append(incident[e.v], ei)
+	}
+	loads := make([]int, m.NumClusters)
+	for _, c := range assign {
+		loads[c]++
+	}
+	const loadWeight = 2
+	for sweep := 0; sweep < 15; sweep++ {
+		improved := false
+		for _, gr := range groups {
+			// Movable members: the group's unpinned instructions.
+			var movable []int
+			for _, i := range gr.members {
+				if !g.Instrs[i].Preplaced() {
+					movable = append(movable, i)
+				}
+			}
+			if len(movable) == 0 {
+				continue
+			}
+			from := assign[movable[0]]
+			inSet := make(map[int]bool, len(movable))
+			for _, i := range movable {
+				inSet[i] = true
+			}
+			// Deduplicate incident edges with exactly one endpoint
+			// in the moved set.
+			seen := map[int]bool{}
+			var boundary []edge
+			for _, i := range movable {
+				for _, ei := range incident[i] {
+					if seen[ei] {
+						continue
+					}
+					seen[ei] = true
+					e := edges[ei]
+					if inSet[e.u] != inSet[e.v] {
+						boundary = append(boundary, e)
+					}
+				}
+			}
+			bestTo, bestDelta := from, 0
+			for to := 0; to < m.NumClusters; to++ {
+				if to == from {
+					continue
+				}
+				delta := 0
+				for _, e := range boundary {
+					other := e.u
+					if inSet[e.u] {
+						other = e.v
+					}
+					oc := assign[other]
+					delta += m.Dist(to, oc) - m.Dist(from, oc)
+				}
+				n := len(movable)
+				delta += loadWeight * (((loads[to]+n)*(loads[to]+n) + (loads[from]-n)*(loads[from]-n)) -
+					(loads[to]*loads[to] + loads[from]*loads[from])) / (2 * n)
+				if delta < bestDelta {
+					bestTo, bestDelta = to, delta
+				}
+			}
+			if bestTo != from {
+				for _, i := range movable {
+					assign[i] = bestTo
+				}
+				loads[from] -= len(movable)
+				loads[bestTo] += len(movable)
+				improved = true
+			}
+		}
+		if !improved {
+			return
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package uas
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func TestScheduleValidatesAndVerifies(t *testing.T) {
+	g := ir.New("mixed")
+	a := g.AddConst(3)
+	b := g.AddConst(4)
+	p := g.Add(ir.Mul, a.ID, b.ID)
+	f := g.AddFConst(1.5)
+	q := g.Add(ir.IntToFloat, p.ID)
+	r := g.Add(ir.FMul, q.ID, f.ID)
+	addr := g.AddConst(0)
+	fi := g.Add(ir.FloatToInt, r.ID)
+	g.AddStore(2, addr.ID, fi.ID)
+	m := machine.Chorus(4)
+	s, err := Schedule(g, m)
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	res, err := sim.Verify(s, sim.NewMemory())
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if got := res.Memory.Load(2, 0); got.I != 18 {
+		t.Errorf("stored %v, want 18", got)
+	}
+}
+
+func TestPreplacedGoesHome(t *testing.T) {
+	g := ir.New("pp")
+	addr := g.AddConst(0)
+	ld := g.AddLoad(3, addr.ID)
+	ld.Home = 3
+	g.Add(ir.Neg, ld.ID)
+	m := machine.Chorus(4)
+	s, err := Schedule(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Placements[ld.ID].Cluster != 3 {
+		t.Errorf("preplaced load on cluster %d", s.Placements[ld.ID].Cluster)
+	}
+}
+
+func TestPrefersOperandClusterOverCopies(t *testing.T) {
+	// Producer chain on whatever cluster UAS picks: the consumer should
+	// follow it rather than pay a copy, when resources allow.
+	g := ir.New("follow")
+	a := g.AddConst(1)
+	b := g.Add(ir.Neg, a.ID)
+	c := g.Add(ir.Not, b.ID)
+	m := machine.Chorus(4)
+	s, err := Schedule(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CommCount() != 0 {
+		t.Errorf("dependent chain paid %d copies", s.CommCount())
+	}
+	if s.Placements[b.ID].Cluster != s.Placements[c.ID].Cluster {
+		t.Error("chain split across clusters for no reason")
+	}
+}
+
+func TestWideGraphUsesMultipleClusters(t *testing.T) {
+	g := ir.New("wide")
+	for i := 0; i < 16; i++ {
+		a := g.AddConst(int64(i))
+		prev := a.ID
+		for k := 0; k < 4; k++ {
+			prev = g.Add(ir.Add, prev, prev).ID
+		}
+	}
+	m := machine.Chorus(4)
+	s, err := Schedule(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[int]bool{}
+	for _, p := range s.Placements {
+		used[p.Cluster] = true
+	}
+	if len(used) < 2 {
+		t.Errorf("UAS used only clusters %v", used)
+	}
+}
+
+func TestRandomGraphsVerify(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := ir.New("rand")
+		var results []int
+		pick := func() int { return results[rng.Intn(len(results))] }
+		lastMem := map[int]int{}
+		chain := func(in *ir.Instr) {
+			if prev, ok := lastMem[in.Bank]; ok {
+				g.AddMemEdge(prev, in.ID)
+			}
+			lastMem[in.Bank] = in.ID
+		}
+		for i := 0; i < 35; i++ {
+			switch {
+			case i < 2:
+				results = append(results, g.AddConst(int64(rng.Intn(50))).ID)
+			case rng.Intn(7) == 0:
+				ld := g.AddLoad(rng.Intn(4), pick())
+				if rng.Intn(2) == 0 {
+					ld.Home = ld.Bank % 4
+				}
+				chain(ld)
+				results = append(results, ld.ID)
+			case rng.Intn(9) == 0:
+				chain(g.AddStore(rng.Intn(4), pick(), pick()))
+			default:
+				ops := []ir.Op{ir.Add, ir.Sub, ir.Xor, ir.Max}
+				results = append(results, g.Add(ops[rng.Intn(len(ops))], pick(), pick()).ID)
+			}
+		}
+		m := machine.Chorus(4)
+		s, err := Schedule(g, m)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, err := sim.Verify(s, sim.NewMemory()); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestOnRawMachineToo(t *testing.T) {
+	// UAS is a VLIW algorithm but nothing stops it running on Raw's
+	// model; memory ops must land on their home tiles.
+	g := ir.New("raw")
+	addr := g.AddConst(1)
+	ld := g.AddLoad(2, addr.ID)
+	ld.Home = 2
+	g.Add(ir.Neg, ld.ID)
+	m := machine.Raw(4)
+	s, err := Schedule(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Verify(s, sim.NewMemory()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := ir.New("empty")
+	s, err := Schedule(g, machine.Chorus(4))
+	if err != nil || s.Length() != 0 {
+		t.Errorf("empty: %v, %v", s, err)
+	}
+}

@@ -1,0 +1,136 @@
+// Package bench provides the benchmark kernels of the paper's evaluation.
+//
+// The paper's benchmarks come from the Raw benchmark suite (jacobi, life),
+// Nasa7 of Spec92 (cholesky, vpenta, mxm), Spec95 (tomcatv, fpppp-kernel),
+// plus sha, fir, rbsorf, vvmul and yuv. The original programs are compiled
+// by Rawcc/Chorus into unrolled scheduling units; here each kernel is
+// rebuilt directly as that unrolled scheduling unit, parameterised by the
+// cluster count so the congruence-style bank interleaving matches the
+// target machine (the 1-cluster build of the same kernel is the speedup
+// baseline, exactly as in the paper).
+//
+// Every kernel carries executable semantics: InitMemory produces the
+// kernel's input arrays and Check recomputes the kernel on the host and
+// compares against the simulated final memory, so a scheduling bug anywhere
+// in the repository shows up as a wrong answer, not just a bad cycle count.
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// Kernel is one benchmark.
+type Kernel struct {
+	// Name is the paper's benchmark name.
+	Name string
+	// Description says what the kernel computes and what graph shape it
+	// produces.
+	Description string
+	// Build returns the scheduling unit for a machine with the given
+	// cluster count.
+	Build func(clusters int) *ir.Graph
+	// InitMemory returns the initial banked memory matching Build's
+	// layout.
+	InitMemory func(clusters int) sim.Memory
+	// Check verifies the final memory against a host-side reference
+	// computation.
+	Check func(mem sim.Memory, clusters int) error
+}
+
+var registry = map[string]Kernel{}
+
+func register(k Kernel) {
+	if _, dup := registry[k.Name]; dup {
+		panic("bench: duplicate kernel " + k.Name)
+	}
+	registry[k.Name] = k
+}
+
+// ByName returns a kernel by its paper name.
+func ByName(name string) (Kernel, bool) {
+	k, ok := registry[name]
+	return k, ok
+}
+
+// Names returns all kernel names, sorted.
+func Names() []string {
+	var out []string
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RawSuite returns the nine benchmarks of Table 2 / Figure 6, in the
+// paper's row order.
+func RawSuite() []Kernel {
+	return suite("cholesky", "tomcatv", "vpenta", "mxm", "fpppp-kernel", "sha", "swim", "jacobi", "life")
+}
+
+// VliwSuite returns the seven benchmarks of Figure 8, in the paper's order.
+func VliwSuite() []Kernel {
+	return suite("vvmul", "rbsorf", "yuv", "tomcatv", "mxm", "fir", "cholesky")
+}
+
+func suite(names ...string) []Kernel {
+	out := make([]Kernel, len(names))
+	for i, n := range names {
+		k, ok := registry[n]
+		if !ok {
+			panic("bench: unregistered kernel " + n)
+		}
+		out[i] = k
+	}
+	return out
+}
+
+// approxEqual compares with a tiny relative tolerance; scheduled execution
+// performs the identical operations in the identical per-value order as the
+// host reference, so differences should be exactly zero — the tolerance
+// only forgives float printing round-trips in hand-written checks.
+func approxEqual(a, b float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := 1.0
+	if a > scale {
+		scale = a
+	}
+	if -a > scale {
+		scale = -a
+	}
+	return diff <= 1e-9*scale
+}
+
+func checkFloat(mem sim.Memory, arr kernel.Array, e, clusters int, want float64, what string) error {
+	got := kernel.ReadFloat(mem, arr, e, clusters)
+	if !approxEqual(got, want) {
+		return fmt.Errorf("bench: %s[%d] = %v, want %v (%s)", arr.Name, e, got, want, what)
+	}
+	return nil
+}
+
+func checkInt(mem sim.Memory, arr kernel.Array, e, clusters int, want int64, what string) error {
+	got := kernel.ReadInt(mem, arr, e, clusters)
+	if got != want {
+		return fmt.Errorf("bench: %s[%d] = %v, want %v (%s)", arr.Name, e, got, want, what)
+	}
+	return nil
+}
+
+// inputF is the deterministic input generator used by the float kernels.
+func inputF(e int) float64 {
+	return 0.25 + float64((e*37)%19)*0.125
+}
+
+// inputI is the deterministic input generator used by the integer kernels.
+func inputI(e int) int64 {
+	return int64((e*2654435761 + 12345) & 0xffff)
+}

@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/baseline/rawcc"
+	"repro/internal/baseline/uas"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"cholesky", "fir", "fpppp-kernel", "jacobi", "life", "mxm", "rbsorf", "sha", "swim", "tomcatv", "vpenta", "vvmul", "yuv"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if len(RawSuite()) != 9 {
+		t.Errorf("RawSuite has %d kernels", len(RawSuite()))
+	}
+	if len(VliwSuite()) != 7 {
+		t.Errorf("VliwSuite has %d kernels", len(VliwSuite()))
+	}
+	if _, ok := ByName("mxm"); !ok {
+		t.Error("ByName(mxm) missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) found something")
+	}
+}
+
+func TestKernelGraphsValidate(t *testing.T) {
+	for _, name := range Names() {
+		k, _ := ByName(name)
+		for _, clusters := range []int{1, 4, 16} {
+			g := k.Build(clusters)
+			if err := g.Validate(); err != nil {
+				t.Errorf("%s/%d: %v", name, clusters, err)
+			}
+			if g.Len() < 50 {
+				t.Errorf("%s/%d: only %d instructions — too small to schedule meaningfully", name, clusters, g.Len())
+			}
+		}
+	}
+}
+
+// TestKernelsReferenceCheck is the semantic anchor: sequential execution of
+// every kernel graph must reproduce the host-side reference computation.
+func TestKernelsReferenceCheck(t *testing.T) {
+	for _, name := range Names() {
+		k, _ := ByName(name)
+		for _, clusters := range []int{1, 3, 4} {
+			g := k.Build(clusters)
+			res, err := sim.Reference(g, k.InitMemory(clusters))
+			if err != nil {
+				t.Fatalf("%s/%d: %v", name, clusters, err)
+			}
+			if err := k.Check(res.Memory, clusters); err != nil {
+				t.Errorf("%s/%d: %v", name, clusters, err)
+			}
+		}
+	}
+}
+
+// TestKernelsScheduleOnRaw runs the full pipeline for every Raw-suite
+// kernel: rawcc assignment, list scheduling, simulation, host check.
+func TestKernelsScheduleOnRaw(t *testing.T) {
+	m := machine.Raw(4)
+	for _, k := range RawSuite() {
+		g := k.Build(4)
+		s, err := rawcc.Schedule(g, m)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		res, err := sim.Verify(s, k.InitMemory(4))
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if err := k.Check(res.Memory, 4); err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+		}
+	}
+}
+
+// TestKernelsScheduleOnVliw does the same for the VLIW suite under UAS.
+func TestKernelsScheduleOnVliw(t *testing.T) {
+	m := machine.Chorus(4)
+	for _, k := range VliwSuite() {
+		g := k.Build(4)
+		s, err := uas.Schedule(g, m)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		res, err := sim.Verify(s, k.InitMemory(4))
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if err := k.Check(res.Memory, 4); err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+		}
+	}
+}
+
+func TestKernelShapesMatchPaper(t *testing.T) {
+	// The dense/stencil kernels must be wide; sha must be narrow. These
+	// shapes drive every result in the paper.
+	wide, _ := ByName("vvmul")
+	narrow, _ := ByName("sha")
+	ws := wide.Build(4).ComputeStats()
+	ns := narrow.Build(4).ComputeStats()
+	if ws.AvgWidth < 8 {
+		t.Errorf("vvmul average width %.1f, expected wide", ws.AvgWidth)
+	}
+	if ns.AvgWidth > 4 {
+		t.Errorf("sha average width %.1f, expected narrow", ns.AvgWidth)
+	}
+	if ns.UnitCPL < 50 {
+		t.Errorf("sha unit CPL %d, expected a long chain", ns.UnitCPL)
+	}
+	// Preplacement density: dense kernels rich, fpppp poor.
+	fs := func(name string) float64 {
+		k, _ := ByName(name)
+		st := k.Build(4).ComputeStats()
+		return float64(st.Preplaced) / float64(st.Instrs)
+	}
+	if fs("jacobi") < 0.2 {
+		t.Errorf("jacobi preplacement fraction %.2f, expected rich", fs("jacobi"))
+	}
+	if fs("fpppp-kernel") > 0.15 {
+		t.Errorf("fpppp preplacement fraction %.2f, expected poor", fs("fpppp-kernel"))
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	k, _ := ByName("fpppp-kernel")
+	a := k.Build(4)
+	b := k.Build(4)
+	if a.Len() != b.Len() {
+		t.Fatalf("nondeterministic build: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Instrs {
+		if a.Instrs[i].Op != b.Instrs[i].Op {
+			t.Fatalf("instruction %d differs across builds", i)
+		}
+	}
+}
+
+func TestRandomLayeredProperties(t *testing.T) {
+	g := RandomLayered(500, 16, 4, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 500 {
+		t.Errorf("RandomLayered(500) has %d instructions", g.Len())
+	}
+	st := g.ComputeStats()
+	if st.Preplaced == 0 {
+		t.Error("RandomLayered has no preplaced instructions")
+	}
+	// Same seed reproduces, different seed differs.
+	h := RandomLayered(500, 16, 4, 1)
+	if h.ComputeStats() != st {
+		t.Error("RandomLayered not deterministic per seed")
+	}
+	d := RandomLayered(500, 16, 4, 2)
+	if d.ComputeStats() == st {
+		t.Error("RandomLayered ignores seed")
+	}
+}
+
+func TestRandomLayeredSchedules(t *testing.T) {
+	g := RandomLayered(300, 12, 4, 3)
+	m := machine.Raw(4)
+	s, err := rawcc.Schedule(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Verify(s, sim.NewMemory()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleClusterKernelsHaveSingleBank(t *testing.T) {
+	for _, name := range Names() {
+		k, _ := ByName(name)
+		g := k.Build(1)
+		for _, in := range g.Instrs {
+			if in.Op.IsMemory() && in.Bank != 0 {
+				t.Errorf("%s: single-cluster build uses bank %d", name, in.Bank)
+			}
+			if in.Op == ir.Load && in.Home != 0 && in.Home != ir.NoHome {
+				t.Errorf("%s: single-cluster build homed on %d", name, in.Home)
+			}
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"repro/internal/ir"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(mxmKernel())
+	register(vvmulKernel())
+	register(firKernel())
+	register(yuvKernel())
+}
+
+// mxmKernel: dense matrix multiply C = A×B (Nasa7/Spec92 mxm). The unrolled
+// graph is fat and parallel — N² independent dot-product chains — with
+// preplaced loads and stores from the interleaved arrays.
+func mxmKernel() Kernel {
+	const N = 6
+	type layout struct {
+		p       *kernel.Program
+		a, b, c kernel.Array
+	}
+	mk := func(clusters int) layout {
+		p := kernel.New("mxm", clusters, true)
+		return layout{p, p.Array("A", N*N), p.Array("B", N*N), p.Array("C", N*N)}
+	}
+	return Kernel{
+		Name:        "mxm",
+		Description: "dense 6x6 matrix multiply; fat parallel graph, heavy preplacement",
+		Build: func(clusters int) *ir.Graph {
+			l := mk(clusters)
+			p := l.p
+			av := make([]int, N*N)
+			bv := make([]int, N*N)
+			for e := 0; e < N*N; e++ {
+				av[e] = p.Load(l.a, e)
+				bv[e] = p.Load(l.b, e)
+			}
+			for i := 0; i < N; i++ {
+				for j := 0; j < N; j++ {
+					acc := p.Op(ir.FMul, av[i*N], bv[j])
+					for k := 1; k < N; k++ {
+						t := p.Op(ir.FMul, av[i*N+k], bv[k*N+j])
+						acc = p.Op(ir.FAdd, acc, t)
+					}
+					p.Store(l.c, i*N+j, acc)
+				}
+			}
+			return p.Graph()
+		},
+		InitMemory: func(clusters int) sim.Memory {
+			l := mk(clusters)
+			mem := sim.NewMemory()
+			for e := 0; e < N*N; e++ {
+				kernel.InitFloat(mem, l.a, e, clusters, inputF(e))
+				kernel.InitFloat(mem, l.b, e, clusters, inputF(e+101))
+			}
+			return mem
+		},
+		Check: func(mem sim.Memory, clusters int) error {
+			l := mk(clusters)
+			for i := 0; i < N; i++ {
+				for j := 0; j < N; j++ {
+					acc := inputF(i*N) * inputF(101+j)
+					for k := 1; k < N; k++ {
+						acc += inputF(i*N+k) * inputF(101+k*N+j)
+					}
+					if err := checkFloat(mem, l.c, i*N+j, clusters, acc, "C=A*B"); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// vvmulKernel: elementwise vector multiply c[i] = a[i]·b[i]. The paper
+// describes vvmul as a simple matrix multiplication; we build its inner
+// vectorised form — one independent multiply per element — which gives the
+// same embarrassingly parallel, preplacement-dominated graph shape.
+func vvmulKernel() Kernel {
+	const N = 64
+	type layout struct {
+		p       *kernel.Program
+		a, b, c kernel.Array
+	}
+	mk := func(clusters int) layout {
+		p := kernel.New("vvmul", clusters, true)
+		return layout{p, p.Array("a", N), p.Array("b", N), p.Array("c", N)}
+	}
+	return Kernel{
+		Name:        "vvmul",
+		Description: "64-element vector multiply; maximal parallelism, pure preplacement",
+		Build: func(clusters int) *ir.Graph {
+			l := mk(clusters)
+			p := l.p
+			for e := 0; e < N; e++ {
+				prod := p.Op(ir.FMul, p.Load(l.a, e), p.Load(l.b, e))
+				p.Store(l.c, e, prod)
+			}
+			return p.Graph()
+		},
+		InitMemory: func(clusters int) sim.Memory {
+			l := mk(clusters)
+			mem := sim.NewMemory()
+			for e := 0; e < N; e++ {
+				kernel.InitFloat(mem, l.a, e, clusters, inputF(e))
+				kernel.InitFloat(mem, l.b, e, clusters, inputF(e+7))
+			}
+			return mem
+		},
+		Check: func(mem sim.Memory, clusters int) error {
+			l := mk(clusters)
+			for e := 0; e < N; e++ {
+				if err := checkFloat(mem, l.c, e, clusters, inputF(e)*inputF(e+7), "c=a*b"); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// firKernel: 16-tap FIR filter over a 16-sample window:
+// y[n] = Σ_k c[k]·x[n+k]. Independent MAC chains sharing the x loads.
+func firKernel() Kernel {
+	const (
+		taps = 16
+		outs = 16
+		xlen = outs + taps - 1
+	)
+	type layout struct {
+		p       *kernel.Program
+		x, c, y kernel.Array
+	}
+	mk := func(clusters int) layout {
+		p := kernel.New("fir", clusters, true)
+		return layout{p, p.Array("x", xlen), p.Array("c", taps), p.Array("y", outs)}
+	}
+	return Kernel{
+		Name:        "fir",
+		Description: "16-tap FIR filter, 16 outputs; parallel MAC chains with shared loads",
+		Build: func(clusters int) *ir.Graph {
+			l := mk(clusters)
+			p := l.p
+			xv := make([]int, xlen)
+			for e := range xv {
+				xv[e] = p.Load(l.x, e)
+			}
+			cv := make([]int, taps)
+			for e := range cv {
+				cv[e] = p.Load(l.c, e)
+			}
+			for n := 0; n < outs; n++ {
+				acc := p.Op(ir.FMul, cv[0], xv[n])
+				for k := 1; k < taps; k++ {
+					t := p.Op(ir.FMul, cv[k], xv[n+k])
+					acc = p.Op(ir.FAdd, acc, t)
+				}
+				p.Store(l.y, n, acc)
+			}
+			return p.Graph()
+		},
+		InitMemory: func(clusters int) sim.Memory {
+			l := mk(clusters)
+			mem := sim.NewMemory()
+			for e := 0; e < xlen; e++ {
+				kernel.InitFloat(mem, l.x, e, clusters, inputF(e))
+			}
+			for e := 0; e < taps; e++ {
+				kernel.InitFloat(mem, l.c, e, clusters, inputF(e+3)/4)
+			}
+			return mem
+		},
+		Check: func(mem sim.Memory, clusters int) error {
+			l := mk(clusters)
+			for n := 0; n < outs; n++ {
+				acc := (inputF(3) / 4) * inputF(n)
+				for k := 1; k < taps; k++ {
+					acc += (inputF(k+3) / 4) * inputF(n+k)
+				}
+				if err := checkFloat(mem, l.y, n, clusters, acc, "fir"); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// yuvKernel: integer RGB→YUV conversion with the usual fixed-point
+// coefficients; per-pixel independent work.
+func yuvKernel() Kernel {
+	const px = 24
+	type layout struct {
+		p                *kernel.Program
+		r, g, b, y, u, v kernel.Array
+	}
+	mk := func(clusters int) layout {
+		p := kernel.New("yuv", clusters, true)
+		return layout{p,
+			p.Array("r", px), p.Array("g", px), p.Array("b", px),
+			p.Array("y", px), p.Array("u", px), p.Array("v", px)}
+	}
+	yuvRef := func(r, g, b int64) (y, u, v int64) {
+		y = ((66*r+129*g+25*b+128)>>8 + 16)
+		u = ((-38*r-74*g+112*b+128)>>8 + 128)
+		v = ((112*r-94*g-18*b+128)>>8 + 128)
+		return
+	}
+	return Kernel{
+		Name:        "yuv",
+		Description: "RGB to YUV fixed-point conversion, 24 pixels; wide integer parallelism",
+		Build: func(clusters int) *ir.Graph {
+			l := mk(clusters)
+			p := l.p
+			mac := func(c1 int64, a int, c2 int64, bb int, c3 int64, cc int) int {
+				// c1*a + c2*b + c3*c + 128, signed coefficients
+				// expressed with Mul on signed constants.
+				t1 := p.Op(ir.Mul, p.Const(c1), a)
+				t2 := p.Op(ir.Mul, p.Const(c2), bb)
+				t3 := p.Op(ir.Mul, p.Const(c3), cc)
+				s := p.Op(ir.Add, t1, t2)
+				s = p.Op(ir.Add, s, t3)
+				return p.Op(ir.Add, s, p.Const(128))
+			}
+			for i := 0; i < px; i++ {
+				r := p.Load(l.r, i)
+				g := p.Load(l.g, i)
+				b := p.Load(l.b, i)
+				eight := p.Const(8)
+				y := p.Op(ir.Add, p.Op(ir.Sra, mac(66, r, 129, g, 25, b), eight), p.Const(16))
+				u := p.Op(ir.Add, p.Op(ir.Sra, mac(-38, r, -74, g, 112, b), eight), p.Const(128))
+				v := p.Op(ir.Add, p.Op(ir.Sra, mac(112, r, -94, g, -18, b), eight), p.Const(128))
+				p.Store(l.y, i, y)
+				p.Store(l.u, i, u)
+				p.Store(l.v, i, v)
+			}
+			return p.Graph()
+		},
+		InitMemory: func(clusters int) sim.Memory {
+			l := mk(clusters)
+			mem := sim.NewMemory()
+			for i := 0; i < px; i++ {
+				kernel.InitInt(mem, l.r, i, clusters, inputI(i)%256)
+				kernel.InitInt(mem, l.g, i, clusters, inputI(i+50)%256)
+				kernel.InitInt(mem, l.b, i, clusters, inputI(i+100)%256)
+			}
+			return mem
+		},
+		Check: func(mem sim.Memory, clusters int) error {
+			l := mk(clusters)
+			for i := 0; i < px; i++ {
+				r, g, b := inputI(i)%256, inputI(i+50)%256, inputI(i+100)%256
+				y, u, v := yuvRef(r, g, b)
+				if err := checkInt(mem, l.y, i, clusters, y, "Y"); err != nil {
+					return err
+				}
+				if err := checkInt(mem, l.u, i, clusters, u, "U"); err != nil {
+					return err
+				}
+				if err := checkInt(mem, l.v, i, clusters, v, "V"); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}

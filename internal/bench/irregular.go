@@ -1,0 +1,239 @@
+package bench
+
+import (
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/ir"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(fppppKernel())
+	register(shaKernel())
+}
+
+// fppppOp describes one generated floating-point operation of the
+// fpppp-kernel surrogate. The list is a pure function of a fixed seed, so
+// Build (which turns it into instructions) and Check (which evaluates it on
+// the host) always agree.
+type fppppOp struct {
+	op   ir.Op
+	x, y int // operand indices into the value sequence
+}
+
+const (
+	fppppInputs = 24
+	fppppOps    = 360
+	fppppOuts   = 16
+)
+
+// fppppProgram generates the deterministic pseudo-random expression DAG.
+// Operand choice is mildly biased toward recent values, which yields the
+// tangled, irregular structure of fpppp's giant basic block while keeping
+// its ample ILP; only the two dozen input loads are preplaced, so
+// preplacement tells the scheduler very little — exactly the property the
+// paper reports for this benchmark.
+func fppppProgram() []fppppOp {
+	rng := rand.New(rand.NewSource(20021112)) // MICRO-35's opening day
+	ops := make([]fppppOp, fppppOps)
+	ircodes := []ir.Op{ir.FAdd, ir.FSub, ir.FMul, ir.FAdd, ir.FSub}
+	for i := range ops {
+		n := fppppInputs + i
+		pick := func() int {
+			// Mildly recent-biased: a third of the time one of the
+			// last 40 values, otherwise anywhere. The window keeps
+			// the block irregular and tangled while leaving the
+			// substantial instruction-level parallelism fpppp's
+			// giant basic block is known for.
+			if rng.Intn(3) == 0 && n > 40 {
+				return n - 1 - rng.Intn(40)
+			}
+			return rng.Intn(n)
+		}
+		ops[i] = fppppOp{op: ircodes[rng.Intn(len(ircodes))], x: pick(), y: pick()}
+	}
+	return ops
+}
+
+// fppppKernel: the inner loop of Spec95 fpppp (50% of its runtime): one
+// huge irregular floating-point basic block with almost no exploitable
+// preplacement.
+func fppppKernel() Kernel {
+	type layout struct {
+		p       *kernel.Program
+		in, out kernel.Array
+	}
+	mk := func(clusters int) layout {
+		p := kernel.New("fpppp-kernel", clusters, true)
+		return layout{p, p.Array("in", fppppInputs), p.Array("out", fppppOuts)}
+	}
+	return Kernel{
+		Name:        "fpppp-kernel",
+		Description: "fpppp inner-loop surrogate: 360-op irregular FP block, minimal preplacement",
+		Build: func(clusters int) *ir.Graph {
+			l := mk(clusters)
+			p := l.p
+			vals := make([]int, 0, fppppInputs+fppppOps)
+			for e := 0; e < fppppInputs; e++ {
+				vals = append(vals, p.Load(l.in, e))
+			}
+			for _, o := range fppppProgram() {
+				vals = append(vals, p.Op(o.op, vals[o.x], vals[o.y]))
+			}
+			for e := 0; e < fppppOuts; e++ {
+				p.Store(l.out, e, vals[len(vals)-1-e])
+			}
+			return p.Graph()
+		},
+		InitMemory: func(clusters int) sim.Memory {
+			l := mk(clusters)
+			mem := sim.NewMemory()
+			for e := 0; e < fppppInputs; e++ {
+				kernel.InitFloat(mem, l.in, e, clusters, inputF(e)/2)
+			}
+			return mem
+		},
+		Check: func(mem sim.Memory, clusters int) error {
+			l := mk(clusters)
+			vals := make([]float64, 0, fppppInputs+fppppOps)
+			for e := 0; e < fppppInputs; e++ {
+				vals = append(vals, inputF(e)/2)
+			}
+			for _, o := range fppppProgram() {
+				x, y := vals[o.x], vals[o.y]
+				var v float64
+				switch o.op {
+				case ir.FAdd:
+					v = x + y
+				case ir.FSub:
+					v = x - y
+				case ir.FMul:
+					v = x * y
+				}
+				vals = append(vals, v)
+			}
+			for e := 0; e < fppppOuts; e++ {
+				if err := checkFloat(mem, l.out, e, clusters, vals[len(vals)-1-e], "fpppp output"); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+const (
+	shaRounds = 32
+	shaWords  = 16
+)
+
+func shaF(round int, b, c, d int64) int64 {
+	if round < 16 {
+		return (b & c) | (^b & d)
+	}
+	return b ^ c ^ d
+}
+
+func shaK(round int) int64 {
+	if round < 16 {
+		return 0x5A827999
+	}
+	return 0x6ED9EBA1
+}
+
+// shaKernel: a SHA-1 style compression: 16 message words, expansion to 32
+// words, 32 rounds over a five-word state. The round recurrence is one long
+// serial chain — the paper's canonical "thin graph dominated by a critical
+// path" where spatial scheduling struggles.
+func shaKernel() Kernel {
+	type layout struct {
+		p        *kernel.Program
+		msg, dig kernel.Array
+	}
+	mk := func(clusters int) layout {
+		p := kernel.New("sha", clusters, true)
+		return layout{p, p.Array("msg", shaWords), p.Array("dig", 5)}
+	}
+	return Kernel{
+		Name:        "sha",
+		Description: "SHA-1 style 32-round compression; long serial dependence chain",
+		Build: func(clusters int) *ir.Graph {
+			l := mk(clusters)
+			p := l.p
+			w := make([]int, shaRounds)
+			for e := 0; e < shaWords; e++ {
+				w[e] = p.Load(l.msg, e)
+			}
+			one := p.Const(1)
+			for i := shaWords; i < shaRounds; i++ {
+				t := p.Op(ir.Xor, w[i-3], w[i-8])
+				t = p.Op(ir.Xor, t, w[i-14])
+				t = p.Op(ir.Xor, t, w[i-16])
+				w[i] = p.Op(ir.Rotl, t, one)
+			}
+			five := p.Const(5)
+			thirty := p.Const(30)
+			a := p.Const(0x67452301)
+			b := p.Const(0xEFCDAB89)
+			c := p.Const(0x98BADCFE)
+			d := p.Const(0x10325476)
+			e := p.Const(0xC3D2E1F0)
+			for r := 0; r < shaRounds; r++ {
+				var f int
+				if r < 16 {
+					f = p.Op(ir.Or,
+						p.Op(ir.And, b, c),
+						p.Op(ir.And, p.Op(ir.Not, b), d))
+				} else {
+					f = p.Op(ir.Xor, p.Op(ir.Xor, b, c), d)
+				}
+				t := p.Op(ir.Add, p.Op(ir.Rotl, a, five), f)
+				t = p.Op(ir.Add, t, e)
+				t = p.Op(ir.Add, t, p.Const(shaK(r)))
+				t = p.Op(ir.Add, t, w[r])
+				e = d
+				d = c
+				c = p.Op(ir.Rotl, b, thirty)
+				b = a
+				a = t
+			}
+			for i, v := range []int{a, b, c, d, e} {
+				p.Store(l.dig, i, v)
+			}
+			return p.Graph()
+		},
+		InitMemory: func(clusters int) sim.Memory {
+			l := mk(clusters)
+			mem := sim.NewMemory()
+			for e := 0; e < shaWords; e++ {
+				kernel.InitInt(mem, l.msg, e, clusters, inputI(e))
+			}
+			return mem
+		},
+		Check: func(mem sim.Memory, clusters int) error {
+			l := mk(clusters)
+			var w [shaRounds]int64
+			for e := 0; e < shaWords; e++ {
+				w[e] = inputI(e)
+			}
+			for i := shaWords; i < shaRounds; i++ {
+				t := w[i-3] ^ w[i-8] ^ w[i-14] ^ w[i-16]
+				w[i] = int64(bits.RotateLeft64(uint64(t), 1))
+			}
+			a, b, c, d, e := int64(0x67452301), int64(0xEFCDAB89), int64(0x98BADCFE), int64(0x10325476), int64(0xC3D2E1F0)
+			rotl := func(x int64, k int) int64 { return int64(bits.RotateLeft64(uint64(x), k)) }
+			for r := 0; r < shaRounds; r++ {
+				t := rotl(a, 5) + shaF(r, b, c, d) + e + shaK(r) + w[r]
+				e, d, c, b, a = d, c, rotl(b, 30), a, t
+			}
+			for i, v := range []int64{a, b, c, d, e} {
+				if err := checkInt(mem, l.dig, i, clusters, v, "sha digest"); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}

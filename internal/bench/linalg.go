@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"math"
+
+	"repro/internal/ir"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(choleskyKernel())
+	register(vpentaKernel())
+}
+
+// choleskyKernel: Cholesky factorisation of a 12×12 SPD matrix
+// (Nasa7/Spec92). The triangular dependence structure plus sqrt/div chains
+// make this graph markedly narrower than the dense kernels, though each
+// column's updates are mutually parallel.
+func choleskyKernel() Kernel {
+	const N = 12
+	type layout struct {
+		p       *kernel.Program
+		a, lOut kernel.Array
+	}
+	mk := func(clusters int) layout {
+		p := kernel.New("cholesky", clusters, true)
+		return layout{p, p.Array("A", N*N), p.Array("L", N*N)}
+	}
+	// spd returns the deterministic SPD input matrix.
+	spd := func() [N][N]float64 {
+		var b [N][N]float64
+		for i := 0; i < N; i++ {
+			for j := 0; j < N; j++ {
+				b[i][j] = inputF(i*N + j)
+			}
+		}
+		var a [N][N]float64
+		for i := 0; i < N; i++ {
+			for j := 0; j < N; j++ {
+				for k := 0; k < N; k++ {
+					a[i][j] += b[i][k] * b[j][k]
+				}
+			}
+			a[i][i] += float64(N)
+		}
+		return a
+	}
+	return Kernel{
+		Name:        "cholesky",
+		Description: "8x8 Cholesky factorisation; narrow graph with sqrt/div chains",
+		Build: func(clusters int) *ir.Graph {
+			l := mk(clusters)
+			p := l.p
+			// Load the lower triangle once; factor in registers
+			// (the unrolled SSA form a compiler would produce).
+			av := make([][]int, N)
+			for i := 0; i < N; i++ {
+				av[i] = make([]int, N)
+				for j := 0; j <= i; j++ {
+					av[i][j] = p.Load(l.a, i*N+j)
+				}
+			}
+			lv := make([][]int, N)
+			for i := range lv {
+				lv[i] = make([]int, N)
+			}
+			for j := 0; j < N; j++ {
+				sum := av[j][j]
+				for k := 0; k < j; k++ {
+					sq := p.Op(ir.FMul, lv[j][k], lv[j][k])
+					sum = p.Op(ir.FSub, sum, sq)
+				}
+				lv[j][j] = p.Op(ir.FSqrt, sum)
+				p.Store(l.lOut, j*N+j, lv[j][j])
+				for i := j + 1; i < N; i++ {
+					s := av[i][j]
+					for k := 0; k < j; k++ {
+						s = p.Op(ir.FSub, s, p.Op(ir.FMul, lv[i][k], lv[j][k]))
+					}
+					lv[i][j] = p.Op(ir.FDiv, s, lv[j][j])
+					p.Store(l.lOut, i*N+j, lv[i][j])
+				}
+			}
+			return p.Graph()
+		},
+		InitMemory: func(clusters int) sim.Memory {
+			l := mk(clusters)
+			mem := sim.NewMemory()
+			a := spd()
+			for i := 0; i < N; i++ {
+				for j := 0; j < N; j++ {
+					kernel.InitFloat(mem, l.a, i*N+j, clusters, a[i][j])
+				}
+			}
+			return mem
+		},
+		Check: func(mem sim.Memory, clusters int) error {
+			l := mk(clusters)
+			a := spd()
+			var lo [N][N]float64
+			for j := 0; j < N; j++ {
+				sum := a[j][j]
+				for k := 0; k < j; k++ {
+					sum -= lo[j][k] * lo[j][k]
+				}
+				lo[j][j] = math.Sqrt(sum)
+				if err := checkFloat(mem, l.lOut, j*N+j, clusters, lo[j][j], "cholesky diag"); err != nil {
+					return err
+				}
+				for i := j + 1; i < N; i++ {
+					s := a[i][j]
+					for k := 0; k < j; k++ {
+						s -= lo[i][k] * lo[j][k]
+					}
+					lo[i][j] = s / lo[j][j]
+					if err := checkFloat(mem, l.lOut, i*N+j, clusters, lo[i][j], "cholesky col"); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// vpentaKernel: Nasa7's vpenta inverts three pentadiagonals simultaneously;
+// the essential shape is a batch of independent short recurrences — serial
+// within a system, fully parallel across systems. We run 8 systems of
+// second-order forward elimination, length 12:
+// x[i] = f[i] - a[i]·x[i-1] - b[i]·x[i-2].
+func vpentaKernel() Kernel {
+	const (
+		systems = 8
+		length  = 12
+	)
+	type layout struct {
+		p          *kernel.Program
+		a, b, f, x kernel.Array
+	}
+	mk := func(clusters int) layout {
+		p := kernel.New("vpenta", clusters, true)
+		n := systems * length
+		return layout{p, p.Array("a", n), p.Array("b", n), p.Array("f", n), p.Array("x", n)}
+	}
+	return Kernel{
+		Name:        "vpenta",
+		Description: "8 simultaneous second-order recurrences of length 12 (pentadiagonal elimination shape)",
+		Build: func(clusters int) *ir.Graph {
+			l := mk(clusters)
+			p := l.p
+			for s := 0; s < systems; s++ {
+				base := s * length
+				x0 := p.Load(l.f, base)
+				p.Store(l.x, base, x0)
+				x1 := p.Load(l.f, base+1)
+				p.Store(l.x, base+1, x1)
+				prev2, prev1 := x0, x1
+				for i := 2; i < length; i++ {
+					fi := p.Load(l.f, base+i)
+					ai := p.Load(l.a, base+i)
+					bi := p.Load(l.b, base+i)
+					t := p.Op(ir.FSub, fi, p.Op(ir.FMul, ai, prev1))
+					t = p.Op(ir.FSub, t, p.Op(ir.FMul, bi, prev2))
+					p.Store(l.x, base+i, t)
+					prev2, prev1 = prev1, t
+				}
+			}
+			return p.Graph()
+		},
+		InitMemory: func(clusters int) sim.Memory {
+			l := mk(clusters)
+			mem := sim.NewMemory()
+			for e := 0; e < systems*length; e++ {
+				kernel.InitFloat(mem, l.a, e, clusters, inputF(e)/4)
+				kernel.InitFloat(mem, l.b, e, clusters, inputF(e+9)/4)
+				kernel.InitFloat(mem, l.f, e, clusters, inputF(e+23))
+			}
+			return mem
+		},
+		Check: func(mem sim.Memory, clusters int) error {
+			l := mk(clusters)
+			for s := 0; s < systems; s++ {
+				base := s * length
+				var x [length]float64
+				x[0] = inputF(base + 23)
+				x[1] = inputF(base + 1 + 23)
+				for i := 2; i < length; i++ {
+					e := base + i
+					x[i] = inputF(e+23) - (inputF(e)/4)*x[i-1] - (inputF(e+9)/4)*x[i-2]
+				}
+				for i := 0; i < length; i++ {
+					if err := checkFloat(mem, l.x, base+i, clusters, x[i], "vpenta recurrence"); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ir"
+)
+
+// RandomLayered generates a layered random DAG with approximately n
+// instructions for the Figure 10 compile-time scalability study and for
+// property tests. Instructions are integer ALU ops arranged in layers of
+// the given width; each draws operands from the preceding layers with a
+// bias toward the immediately previous one (locality similar to real
+// unrolled code). About one in sixteen instructions is preplaced, homed
+// round-robin, matching the light preplacement density of a mixed workload.
+func RandomLayered(n, width, clusters int, seed int64) *ir.Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("bench: RandomLayered(%d)", n))
+	}
+	if width < 1 {
+		width = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := ir.New(fmt.Sprintf("rand%d", n))
+	ops := []ir.Op{ir.Add, ir.Sub, ir.Mul, ir.Xor, ir.And, ir.Or, ir.Min, ir.Max}
+	var layers [][]int
+	cur := []int{}
+	// Seed layer of constants.
+	seedN := width
+	if seedN > n/2 {
+		seedN = (n + 1) / 2
+	}
+	for i := 0; i < seedN; i++ {
+		cur = append(cur, g.AddConst(int64(rng.Intn(1000))).ID)
+	}
+	layers = append(layers, cur)
+	made := seedN
+	pp := 0
+	for made < n {
+		prev := layers[len(layers)-1]
+		var next []int
+		for i := 0; i < width && made < n; i++ {
+			pick := func() int {
+				if rng.Intn(4) != 0 {
+					return prev[rng.Intn(len(prev))]
+				}
+				l := layers[rng.Intn(len(layers))]
+				return l[rng.Intn(len(l))]
+			}
+			in := g.Add(ops[rng.Intn(len(ops))], pick(), pick())
+			if rng.Intn(16) == 0 {
+				in.Home = pp % clusters
+				pp++
+			}
+			next = append(next, in.ID)
+			made++
+		}
+		layers = append(layers, next)
+	}
+	return g
+}

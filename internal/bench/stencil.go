@@ -1,0 +1,423 @@
+package bench
+
+import (
+	"repro/internal/ir"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(jacobiKernel())
+	register(lifeKernel())
+	register(swimKernel())
+	register(rbsorfKernel())
+	register(tomcatvKernel())
+}
+
+// jacobiKernel: one sweep of Jacobi relaxation on a 10×10 grid (Raw
+// benchmark suite): B[i][j] = 0.25·(A[i-1][j]+A[i+1][j]+A[i][j-1]+A[i][j+1])
+// over the 8×8 interior. Fat, parallel, preplacement-rich.
+func jacobiKernel() Kernel {
+	const G = 10 // grid edge, interior is (G-2)²
+	type layout struct {
+		p    *kernel.Program
+		a, b kernel.Array
+	}
+	mk := func(clusters int) layout {
+		p := kernel.New("jacobi", clusters, true)
+		return layout{p, p.Array("A", G*G), p.Array("B", G*G)}
+	}
+	return Kernel{
+		Name:        "jacobi",
+		Description: "Jacobi 4-point relaxation, 8x8 interior of a 10x10 grid",
+		Build: func(clusters int) *ir.Graph {
+			l := mk(clusters)
+			p := l.p
+			av := make(map[int]int)
+			load := func(e int) int {
+				if id, ok := av[e]; ok {
+					return id
+				}
+				id := p.Load(l.a, e)
+				av[e] = id
+				return id
+			}
+			q := p.FConst(0.25)
+			for i := 1; i < G-1; i++ {
+				for j := 1; j < G-1; j++ {
+					s := p.Op(ir.FAdd, load((i-1)*G+j), load((i+1)*G+j))
+					s = p.Op(ir.FAdd, s, load(i*G+j-1))
+					s = p.Op(ir.FAdd, s, load(i*G+j+1))
+					p.Store(l.b, i*G+j, p.Op(ir.FMul, s, q))
+				}
+			}
+			return p.Graph()
+		},
+		InitMemory: func(clusters int) sim.Memory {
+			l := mk(clusters)
+			mem := sim.NewMemory()
+			for e := 0; e < G*G; e++ {
+				kernel.InitFloat(mem, l.a, e, clusters, inputF(e))
+			}
+			return mem
+		},
+		Check: func(mem sim.Memory, clusters int) error {
+			l := mk(clusters)
+			at := func(e int) float64 { return inputF(e) }
+			for i := 1; i < G-1; i++ {
+				for j := 1; j < G-1; j++ {
+					want := ((at((i-1)*G+j) + at((i+1)*G+j)) + at(i*G+j-1) + at(i*G+j+1)) * 0.25
+					if err := checkFloat(mem, l.b, i*G+j, clusters, want, "jacobi sweep"); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// lifeKernel: one generation of Conway's Game of Life on the 8×8 interior
+// of a 10×10 grid (Raw benchmark suite). Integer stencil:
+// next = (n == 3) | (alive & (n == 2)).
+func lifeKernel() Kernel {
+	const G = 10
+	type layout struct {
+		p    *kernel.Program
+		a, b kernel.Array
+	}
+	mk := func(clusters int) layout {
+		p := kernel.New("life", clusters, true)
+		return layout{p, p.Array("cur", G*G), p.Array("next", G*G)}
+	}
+	ref := func(cells func(int) int64, i, j int) int64 {
+		var n int64
+		for di := -1; di <= 1; di++ {
+			for dj := -1; dj <= 1; dj++ {
+				if di == 0 && dj == 0 {
+					continue
+				}
+				n += cells((i+di)*G + j + dj)
+			}
+		}
+		alive := cells(i*G + j)
+		var born, stay int64
+		if n == 3 {
+			born = 1
+		}
+		if n == 2 {
+			stay = 1
+		}
+		return born | (alive & stay)
+	}
+	return Kernel{
+		Name:        "life",
+		Description: "Conway's Life, one generation over an 8x8 interior; wide integer stencil",
+		Build: func(clusters int) *ir.Graph {
+			l := mk(clusters)
+			p := l.p
+			cv := make(map[int]int)
+			load := func(e int) int {
+				if id, ok := cv[e]; ok {
+					return id
+				}
+				id := p.Load(l.a, e)
+				cv[e] = id
+				return id
+			}
+			two := p.Const(2)
+			three := p.Const(3)
+			for i := 1; i < G-1; i++ {
+				for j := 1; j < G-1; j++ {
+					n := p.Op(ir.Add, load((i-1)*G+j-1), load((i-1)*G+j))
+					n = p.Op(ir.Add, n, load((i-1)*G+j+1))
+					n = p.Op(ir.Add, n, load(i*G+j-1))
+					n = p.Op(ir.Add, n, load(i*G+j+1))
+					n = p.Op(ir.Add, n, load((i+1)*G+j-1))
+					n = p.Op(ir.Add, n, load((i+1)*G+j))
+					n = p.Op(ir.Add, n, load((i+1)*G+j+1))
+					born := p.Op(ir.Seq, n, three)
+					stay := p.Op(ir.Seq, n, two)
+					keep := p.Op(ir.And, load(i*G+j), stay)
+					p.Store(l.b, i*G+j, p.Op(ir.Or, born, keep))
+				}
+			}
+			return p.Graph()
+		},
+		InitMemory: func(clusters int) sim.Memory {
+			l := mk(clusters)
+			mem := sim.NewMemory()
+			for e := 0; e < G*G; e++ {
+				kernel.InitInt(mem, l.a, e, clusters, inputI(e)%2)
+			}
+			return mem
+		},
+		Check: func(mem sim.Memory, clusters int) error {
+			l := mk(clusters)
+			cells := func(e int) int64 { return inputI(e) % 2 }
+			for i := 1; i < G-1; i++ {
+				for j := 1; j < G-1; j++ {
+					if err := checkInt(mem, l.b, i*G+j, clusters, ref(cells, i, j), "life step"); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// swimKernel: the inner update of the SPEC shallow-water benchmark,
+// simplified to its dependence shape: three coupled 5-point stencil updates
+// (u, v, p) over a 7×7 interior. Three independent stencil families give a
+// wide graph with shared loads.
+func swimKernel() Kernel {
+	const G = 9
+	type layout struct {
+		p                *kernel.Program
+		u, v, pa, un, vn kernel.Array
+	}
+	mk := func(clusters int) layout {
+		p := kernel.New("swim", clusters, true)
+		return layout{p, p.Array("u", G*G), p.Array("v", G*G),
+			p.Array("p", G*G), p.Array("unew", G*G), p.Array("vnew", G*G)}
+	}
+	return Kernel{
+		Name:        "swim",
+		Description: "shallow-water u/v updates, coupled 5-point stencils on a 7x7 interior",
+		Build: func(clusters int) *ir.Graph {
+			l := mk(clusters)
+			p := l.p
+			uc, vc, pc := make(map[int]int), make(map[int]int), make(map[int]int)
+			loadOf := func(arr kernel.Array, cache map[int]int, e int) int {
+				if id, ok := cache[e]; ok {
+					return id
+				}
+				id := p.Load(arr, e)
+				cache[e] = id
+				return id
+			}
+			half := p.FConst(0.5)
+			dt := p.FConst(0.1)
+			for i := 1; i < G-1; i++ {
+				for j := 1; j < G-1; j++ {
+					e := i*G + j
+					// unew = u - dt*0.5*(p[i][j+1]-p[i][j-1]) + dt*v
+					gradx := p.Op(ir.FSub, loadOf(l.pa, pc, e+1), loadOf(l.pa, pc, e-1))
+					t1 := p.Op(ir.FMul, p.Op(ir.FMul, dt, half), gradx)
+					un := p.Op(ir.FSub, loadOf(l.u, uc, e), t1)
+					un = p.Op(ir.FAdd, un, p.Op(ir.FMul, dt, loadOf(l.v, vc, e)))
+					p.Store(l.un, e, un)
+					// vnew = v - dt*0.5*(p[i+1][j]-p[i-1][j]) - dt*u
+					grady := p.Op(ir.FSub, loadOf(l.pa, pc, e+G), loadOf(l.pa, pc, e-G))
+					t2 := p.Op(ir.FMul, p.Op(ir.FMul, dt, half), grady)
+					vn := p.Op(ir.FSub, loadOf(l.v, vc, e), t2)
+					vn = p.Op(ir.FSub, vn, p.Op(ir.FMul, dt, loadOf(l.u, uc, e)))
+					p.Store(l.vn, e, vn)
+				}
+			}
+			return p.Graph()
+		},
+		InitMemory: func(clusters int) sim.Memory {
+			l := mk(clusters)
+			mem := sim.NewMemory()
+			for e := 0; e < G*G; e++ {
+				kernel.InitFloat(mem, l.u, e, clusters, inputF(e))
+				kernel.InitFloat(mem, l.v, e, clusters, inputF(e+31))
+				kernel.InitFloat(mem, l.pa, e, clusters, inputF(e+77))
+			}
+			return mem
+		},
+		Check: func(mem sim.Memory, clusters int) error {
+			l := mk(clusters)
+			u := func(e int) float64 { return inputF(e) }
+			v := func(e int) float64 { return inputF(e + 31) }
+			pp := func(e int) float64 { return inputF(e + 77) }
+			for i := 1; i < G-1; i++ {
+				for j := 1; j < G-1; j++ {
+					e := i*G + j
+					un := u(e) - (0.1*0.5)*(pp(e+1)-pp(e-1)) + 0.1*v(e)
+					vn := v(e) - (0.1*0.5)*(pp(e+G)-pp(e-G)) - 0.1*u(e)
+					if err := checkFloat(mem, l.un, e, clusters, un, "swim u"); err != nil {
+						return err
+					}
+					if err := checkFloat(mem, l.vn, e, clusters, vn, "swim v"); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// rbsorfKernel: the red half-sweep of red-black successive over-relaxation
+// (float): every red cell updates from its four black neighbours, so all
+// updates are independent.
+func rbsorfKernel() Kernel {
+	const G = 10
+	const omega = 1.5
+	type layout struct {
+		p    *kernel.Program
+		a, b kernel.Array
+	}
+	mk := func(clusters int) layout {
+		p := kernel.New("rbsorf", clusters, true)
+		return layout{p, p.Array("grid", G*G), p.Array("out", G*G)}
+	}
+	return Kernel{
+		Name:        "rbsorf",
+		Description: "red-black SOR, red half-sweep over a 10x10 grid",
+		Build: func(clusters int) *ir.Graph {
+			l := mk(clusters)
+			p := l.p
+			gc := make(map[int]int)
+			load := func(e int) int {
+				if id, ok := gc[e]; ok {
+					return id
+				}
+				id := p.Load(l.a, e)
+				gc[e] = id
+				return id
+			}
+			quarterOmega := p.FConst(omega / 4)
+			oneMinus := p.FConst(1 - omega)
+			for i := 1; i < G-1; i++ {
+				for j := 1; j < G-1; j++ {
+					if (i+j)%2 != 0 {
+						continue // black cells keep their value
+					}
+					e := i*G + j
+					s := p.Op(ir.FAdd, load(e-1), load(e+1))
+					s = p.Op(ir.FAdd, s, load(e-G))
+					s = p.Op(ir.FAdd, s, load(e+G))
+					upd := p.Op(ir.FAdd,
+						p.Op(ir.FMul, oneMinus, load(e)),
+						p.Op(ir.FMul, quarterOmega, s))
+					p.Store(l.b, e, upd)
+				}
+			}
+			return p.Graph()
+		},
+		InitMemory: func(clusters int) sim.Memory {
+			l := mk(clusters)
+			mem := sim.NewMemory()
+			for e := 0; e < G*G; e++ {
+				kernel.InitFloat(mem, l.a, e, clusters, inputF(e+5))
+			}
+			return mem
+		},
+		Check: func(mem sim.Memory, clusters int) error {
+			l := mk(clusters)
+			at := func(e int) float64 { return inputF(e + 5) }
+			for i := 1; i < G-1; i++ {
+				for j := 1; j < G-1; j++ {
+					if (i+j)%2 != 0 {
+						continue
+					}
+					e := i*G + j
+					s := at(e-1) + at(e+1) + at(e-G) + at(e+G)
+					want := (1-omega)*at(e) + (omega/4)*s
+					if err := checkFloat(mem, l.b, e, clusters, want, "rbsorf red sweep"); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// tomcatvKernel: the residual computation at the heart of SPEC tomcatv's
+// mesh-generation loop: per interior point, second differences of the x and
+// y meshes combine through shared metric terms — a heavier per-point
+// expression than plain Jacobi, with two outputs per point.
+func tomcatvKernel() Kernel {
+	const G = 8
+	type layout struct {
+		p            *kernel.Program
+		x, y, rx, ry kernel.Array
+	}
+	mk := func(clusters int) layout {
+		p := kernel.New("tomcatv", clusters, true)
+		return layout{p, p.Array("x", G*G), p.Array("y", G*G),
+			p.Array("rx", G*G), p.Array("ry", G*G)}
+	}
+	return Kernel{
+		Name:        "tomcatv",
+		Description: "tomcatv mesh residuals: coupled second differences on a 6x6 interior",
+		Build: func(clusters int) *ir.Graph {
+			l := mk(clusters)
+			p := l.p
+			xc, yc := make(map[int]int), make(map[int]int)
+			loadOf := func(arr kernel.Array, cache map[int]int, e int) int {
+				if id, ok := cache[e]; ok {
+					return id
+				}
+				id := p.Load(arr, e)
+				cache[e] = id
+				return id
+			}
+			two := p.FConst(2)
+			half := p.FConst(0.5)
+			for i := 1; i < G-1; i++ {
+				for j := 1; j < G-1; j++ {
+					e := i*G + j
+					// Metric terms from first differences.
+					xxj := p.Op(ir.FMul, half, p.Op(ir.FSub, loadOf(l.x, xc, e+1), loadOf(l.x, xc, e-1)))
+					yxj := p.Op(ir.FMul, half, p.Op(ir.FSub, loadOf(l.y, yc, e+1), loadOf(l.y, yc, e-1)))
+					a := p.Op(ir.FAdd, p.Op(ir.FMul, xxj, xxj), p.Op(ir.FMul, yxj, yxj))
+					// Second differences.
+					d2xj := p.Op(ir.FSub,
+						p.Op(ir.FAdd, loadOf(l.x, xc, e+1), loadOf(l.x, xc, e-1)),
+						p.Op(ir.FMul, two, loadOf(l.x, xc, e)))
+					d2yj := p.Op(ir.FSub,
+						p.Op(ir.FAdd, loadOf(l.y, yc, e+1), loadOf(l.y, yc, e-1)),
+						p.Op(ir.FMul, two, loadOf(l.y, yc, e)))
+					d2xi := p.Op(ir.FSub,
+						p.Op(ir.FAdd, loadOf(l.x, xc, e+G), loadOf(l.x, xc, e-G)),
+						p.Op(ir.FMul, two, loadOf(l.x, xc, e)))
+					d2yi := p.Op(ir.FSub,
+						p.Op(ir.FAdd, loadOf(l.y, yc, e+G), loadOf(l.y, yc, e-G)),
+						p.Op(ir.FMul, two, loadOf(l.y, yc, e)))
+					p.Store(l.rx, e, p.Op(ir.FAdd, p.Op(ir.FMul, a, d2xj), d2xi))
+					p.Store(l.ry, e, p.Op(ir.FAdd, p.Op(ir.FMul, a, d2yj), d2yi))
+				}
+			}
+			return p.Graph()
+		},
+		InitMemory: func(clusters int) sim.Memory {
+			l := mk(clusters)
+			mem := sim.NewMemory()
+			for e := 0; e < G*G; e++ {
+				kernel.InitFloat(mem, l.x, e, clusters, inputF(e))
+				kernel.InitFloat(mem, l.y, e, clusters, inputF(e+13))
+			}
+			return mem
+		},
+		Check: func(mem sim.Memory, clusters int) error {
+			l := mk(clusters)
+			x := func(e int) float64 { return inputF(e) }
+			y := func(e int) float64 { return inputF(e + 13) }
+			for i := 1; i < G-1; i++ {
+				for j := 1; j < G-1; j++ {
+					e := i*G + j
+					xxj := 0.5 * (x(e+1) - x(e-1))
+					yxj := 0.5 * (y(e+1) - y(e-1))
+					a := xxj*xxj + yxj*yxj
+					d2xj := (x(e+1) + x(e-1)) - 2*x(e)
+					d2yj := (y(e+1) + y(e-1)) - 2*y(e)
+					d2xi := (x(e+G) + x(e-G)) - 2*x(e)
+					d2yi := (y(e+G) + y(e-G)) - 2*y(e)
+					if err := checkFloat(mem, l.rx, e, clusters, a*d2xj+d2xi, "tomcatv rx"); err != nil {
+						return err
+					}
+					if err := checkFloat(mem, l.ry, e, clusters, a*d2yj+d2yi, "tomcatv ry"); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+	}
+}

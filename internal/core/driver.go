@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/listsched"
+	"repro/internal/machine"
+	"repro/internal/schedule"
+)
+
+// PassChange records what one pass did to the spatial assignment, the
+// instrumentation behind the paper's Figures 7 and 9.
+type PassChange struct {
+	// Pass is the pass name.
+	Pass string
+	// Changed is the number of instructions whose preferred cluster
+	// differs after the pass.
+	Changed int
+	// Fraction is Changed divided by the instruction count (zero for an
+	// empty graph).
+	Fraction float64
+}
+
+// Result is the outcome of running a convergent-pass sequence.
+type Result struct {
+	// Assignment is the preferred cluster per instruction.
+	Assignment []int
+	// PreferredTime is the preferred time slot per instruction; it feeds
+	// the list scheduler as priority.
+	PreferredTime []int
+	// Confidence is the final spatial confidence per instruction.
+	Confidence []float64
+	// Trace records the per-pass spatial churn, in pass order.
+	Trace []PassChange
+}
+
+// Priority converts the preferred times into a listsched priority (smaller
+// issues first).
+func (r *Result) Priority() []float64 {
+	p := make([]float64, len(r.PreferredTime))
+	for i, t := range r.PreferredTime {
+		p[i] = float64(t)
+	}
+	return p
+}
+
+// Converge runs the pass sequence over a fresh state and returns the
+// converged preferences. The seed fixes the noise pass; every other pass is
+// deterministic. The weight-map invariants are restored after every pass.
+func Converge(g *ir.Graph, m *machine.Model, passes []Pass, seed int64) *Result {
+	s := NewState(g, m, seed)
+	return ConvergeState(s, passes)
+}
+
+// ConvergeState is Converge on a caller-built state, allowing callers to
+// pre-bias the map or reuse analyses.
+func ConvergeState(s *State, passes []Pass) *Result {
+	n := s.Graph.Len()
+	res := &Result{}
+	prev := s.W.PreferredClusters()
+	for _, p := range passes {
+		p.Run(s)
+		s.W.NormalizeAll()
+		cur := s.W.PreferredClusters()
+		changed := 0
+		for i := range cur {
+			if cur[i] != prev[i] {
+				changed++
+			}
+		}
+		frac := 0.0
+		if n > 0 {
+			frac = float64(changed) / float64(n)
+		}
+		res.Trace = append(res.Trace, PassChange{Pass: p.Name(), Changed: changed, Fraction: frac})
+		prev = cur
+	}
+	res.Assignment = prev
+	res.PreferredTime = s.W.PreferredTimes()
+	res.Confidence = make([]float64, n)
+	for i := 0; i < n; i++ {
+		res.Confidence[i] = s.W.Confidence(i)
+	}
+	// Preplacement is a correctness constraint; PLACE biases hard toward
+	// it, but the final assignment must honour it even if a later pass
+	// diluted the bias.
+	for _, i := range s.Graph.Preplaced() {
+		res.Assignment[i] = s.Graph.Instrs[i].Home
+	}
+	return res
+}
+
+// Schedule runs the full convergent scheduler: converge preferences, then
+// list-schedule with the preferred clusters as the assignment and the
+// preferred times as priorities. Constants are rebalanced across their
+// consumers' clusters first (see listsched.SpreadConsts), and preferred-time
+// ties break toward the instruction heading the longest remaining chain.
+func Schedule(g *ir.Graph, m *machine.Model, passes []Pass, seed int64) (*schedule.Schedule, *Result, error) {
+	if err := listsched.CheckGraph(g, m); err != nil {
+		return nil, nil, err
+	}
+	res := Converge(g, m, passes, seed)
+	listsched.SpreadConsts(g, m, res.Assignment)
+	prio := res.Priority()
+	h := g.Height(m.LatencyFunc())
+	maxH := 1
+	for _, v := range h {
+		if v > maxH {
+			maxH = v
+		}
+	}
+	for i := range prio {
+		// Strictly smaller than 1, so it only ever breaks ties
+		// between equal preferred times.
+		prio[i] -= float64(h[i]) / float64(maxH+1)
+	}
+	sched, err := listsched.Run(g, m, listsched.Options{
+		Assignment: res.Assignment,
+		Priority:   prio,
+	})
+	if err != nil {
+		return nil, res, fmt.Errorf("core: converged preferences do not schedule: %w", err)
+	}
+	return sched, res, nil
+}
+
+// RenderSpace draws the cluster-preference map as ASCII art in the style of
+// the paper's Figure 4: one row per instruction, one column per cluster,
+// darker glyphs meaning stronger preference.
+func RenderSpace(w *PrefMap) string {
+	glyphs := []byte(" .:-=+*#%@")
+	var b strings.Builder
+	for i := 0; i < w.N(); i++ {
+		total := w.Total(i)
+		fmt.Fprintf(&b, "%4d |", i)
+		for c := 0; c < w.Clusters(); c++ {
+			frac := 0.0
+			if total > 0 {
+				frac = w.ClusterWeight(i, c) / total
+			}
+			g := int(frac * float64(len(glyphs)))
+			if g >= len(glyphs) {
+				g = len(glyphs) - 1
+			}
+			b.WriteByte(glyphs[g])
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}

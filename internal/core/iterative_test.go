@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// iterSeq is a minimal sequence for iterative tests: feasibility squash
+// plus a pass that randomises clusters, so rounds genuinely differ.
+func iterSeq() []Pass {
+	squash := PassFunc{Label: "INITTIME", Fn: func(s *State) {
+		for i := 0; i < s.W.N(); i++ {
+			lo, hi := s.EarliestStart[i], s.LatestStart[i]
+			s.W.Apply(i, func(t, c int, w float64) float64 {
+				if t < lo || t > hi {
+					return 0
+				}
+				return w
+			})
+		}
+	}}
+	noise := PassFunc{Label: "NOISE", Fn: func(s *State) {
+		for i := 0; i < s.W.N(); i++ {
+			if s.Graph.Instrs[i].Preplaced() {
+				continue
+			}
+			s.W.MulCluster(i, s.Rand.Intn(s.W.Clusters()), 2)
+		}
+	}}
+	return []Pass{squash, noise}
+}
+
+func iterGraph() *ir.Graph {
+	g := ir.New("iter")
+	for c := 0; c < 6; c++ {
+		prev := g.AddConst(int64(c)).ID
+		for k := 0; k < 5; k++ {
+			prev = g.Add(ir.Add, prev, prev).ID
+		}
+	}
+	return g
+}
+
+func TestIterativeKeepsBestRound(t *testing.T) {
+	g := iterGraph()
+	m := machine.Raw(4)
+	res, err := IterativeSchedule(g, m, iterSeq(), 7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Lengths) != 5 {
+		t.Fatalf("Lengths = %v", res.Lengths)
+	}
+	best := res.Lengths[0]
+	for _, l := range res.Lengths {
+		if l < best {
+			best = l
+		}
+	}
+	if res.Best.Length() != best {
+		t.Errorf("Best.Length() = %d, min round = %d", res.Best.Length(), best)
+	}
+	if res.Lengths[res.BestRound] != best {
+		t.Errorf("BestRound %d has length %d, want %d", res.BestRound, res.Lengths[res.BestRound], best)
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIterativeSingleRoundMatchesOneShot(t *testing.T) {
+	g := iterGraph()
+	m := machine.Raw(4)
+	one, err := IterativeSchedule(g, m, iterSeq(), 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Lengths) != 1 || one.BestRound != 0 {
+		t.Errorf("single round result: %+v", one.Lengths)
+	}
+}
+
+func TestIterativeRejectsBadGraph(t *testing.T) {
+	g := ir.New("bad")
+	a := g.AddConst(1)
+	a.Home = 99
+	if _, err := IterativeSchedule(g, machine.Raw(4), iterSeq(), 1, 2); err == nil {
+		t.Error("accepted out-of-range home")
+	}
+}
+
+func TestIterativeFeedbackRespectsPreplacement(t *testing.T) {
+	g := ir.New("pp")
+	addr := g.AddConst(0)
+	ld := g.AddLoad(2, addr.ID)
+	ld.Home = 2
+	g.Add(ir.Neg, ld.ID)
+	m := machine.Raw(4)
+	res, err := IterativeSchedule(g, m, iterSeq(), 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Placements[ld.ID].Cluster != 2 {
+		t.Errorf("preplaced load on cluster %d", res.Best.Placements[ld.ID].Cluster)
+	}
+}

@@ -1,0 +1,328 @@
+// Package core implements the paper's contribution: the convergent
+// scheduling framework. A preference map assigns every instruction a weight
+// for each (time slot, cluster) pair; independent heuristic passes
+// communicate exclusively by reshaping these weights. After all passes run,
+// each instruction's preferred cluster becomes its spatial assignment and
+// its preferred time its list-scheduling priority.
+//
+// The map maintains the paper's invariants:
+//
+//	∀ i,t,c:  0 ≤ W[i][t][c] ≤ 1
+//	∀ i:      Σ_{t,c} W[i][t][c] = 1
+//
+// Passes may violate the invariants mid-flight; Normalize restores them and
+// the driver normalizes after every pass.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// BigConfidence is returned by Confidence when there is no runner-up
+// cluster (single-cluster machines or zero runner-up weight).
+const BigConfidence = 1e9
+
+// PrefMap is the three-dimensional weight matrix W[instruction][time][cluster].
+//
+// Weights are stored flat; per-instruction cluster and time marginals are
+// cached and recomputed lazily after mutation, so PreferredCluster and
+// Confidence are O(1) between mutations of the same instruction.
+type PrefMap struct {
+	n, T, C int
+	w       []float64
+
+	dirty      []bool
+	clusterSum [][]float64 // [i][c] = Σ_t W[i][t][c]
+	timeSum    [][]float64 // [i][t] = Σ_c W[i][t][c]
+}
+
+// NewPrefMap returns a map for n instructions, T time slots and C clusters,
+// initialised uniformly (every slot weight 1/(T·C)). T and C must be
+// positive; n may be zero.
+func NewPrefMap(n, T, C int) *PrefMap {
+	if n < 0 || T <= 0 || C <= 0 {
+		panic(fmt.Sprintf("core: NewPrefMap(%d,%d,%d)", n, T, C))
+	}
+	p := &PrefMap{
+		n: n, T: T, C: C,
+		w:          make([]float64, n*T*C),
+		dirty:      make([]bool, n),
+		clusterSum: make([][]float64, n),
+		timeSum:    make([][]float64, n),
+	}
+	u := 1.0 / float64(T*C)
+	for i := range p.w {
+		p.w[i] = u
+	}
+	for i := 0; i < n; i++ {
+		p.clusterSum[i] = make([]float64, C)
+		p.timeSum[i] = make([]float64, T)
+		p.dirty[i] = true
+	}
+	return p
+}
+
+// N returns the instruction count.
+func (p *PrefMap) N() int { return p.n }
+
+// Times returns the number of time slots.
+func (p *PrefMap) Times() int { return p.T }
+
+// Clusters returns the number of clusters.
+func (p *PrefMap) Clusters() int { return p.C }
+
+func (p *PrefMap) idx(i, t, c int) int { return (i*p.T+t)*p.C + c }
+
+// At returns W[i][t][c].
+func (p *PrefMap) At(i, t, c int) float64 { return p.w[p.idx(i, t, c)] }
+
+// Set assigns W[i][t][c]. The value must be finite and non-negative.
+func (p *PrefMap) Set(i, t, c int, v float64) {
+	if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		panic(fmt.Sprintf("core: Set(%d,%d,%d) to %v", i, t, c, v))
+	}
+	p.w[p.idx(i, t, c)] = v
+	p.dirty[i] = true
+}
+
+// Mul multiplies W[i][t][c] by the non-negative factor f.
+func (p *PrefMap) Mul(i, t, c int, f float64) { p.Set(i, t, c, p.At(i, t, c)*f) }
+
+// Add adds the non-negative delta d to W[i][t][c].
+func (p *PrefMap) Add(i, t, c int, d float64) { p.Set(i, t, c, p.At(i, t, c)+d) }
+
+// MulCluster multiplies every time slot of cluster c for instruction i by f.
+func (p *PrefMap) MulCluster(i, c int, f float64) {
+	for t := 0; t < p.T; t++ {
+		p.w[p.idx(i, t, c)] *= f
+	}
+	p.dirty[i] = true
+}
+
+// MulTime multiplies every cluster entry of time slot t for instruction i by f.
+func (p *PrefMap) MulTime(i, t int, f float64) {
+	base := p.idx(i, t, 0)
+	for c := 0; c < p.C; c++ {
+		p.w[base+c] *= f
+	}
+	p.dirty[i] = true
+}
+
+// Apply rewrites every slot of instruction i through f. The returned values
+// must be finite and non-negative.
+func (p *PrefMap) Apply(i int, f func(t, c int, w float64) float64) {
+	for t := 0; t < p.T; t++ {
+		base := p.idx(i, t, 0)
+		for c := 0; c < p.C; c++ {
+			v := f(t, c, p.w[base+c])
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				panic(fmt.Sprintf("core: Apply produced %v at (%d,%d,%d)", v, i, t, c))
+			}
+			p.w[base+c] = v
+		}
+	}
+	p.dirty[i] = true
+}
+
+// Blend mixes instruction j's distribution into instruction i's:
+// W[i] ← own·W[i] + (1-own)·W[j], the paper's linear-combination operation
+// with n = 2. own must lie in [0,1].
+func (p *PrefMap) Blend(i, j int, own float64) {
+	if own < 0 || own > 1 {
+		panic(fmt.Sprintf("core: Blend weight %v", own))
+	}
+	bi, bj := p.idx(i, 0, 0), p.idx(j, 0, 0)
+	for k := 0; k < p.T*p.C; k++ {
+		p.w[bi+k] = own*p.w[bi+k] + (1-own)*p.w[bj+k]
+	}
+	p.dirty[i] = true
+}
+
+func (p *PrefMap) refresh(i int) {
+	if !p.dirty[i] {
+		return
+	}
+	cs, ts := p.clusterSum[i], p.timeSum[i]
+	for c := range cs {
+		cs[c] = 0
+	}
+	for t := range ts {
+		ts[t] = 0
+	}
+	for t := 0; t < p.T; t++ {
+		base := p.idx(i, t, 0)
+		for c := 0; c < p.C; c++ {
+			w := p.w[base+c]
+			cs[c] += w
+			ts[t] += w
+		}
+	}
+	p.dirty[i] = false
+}
+
+// ClusterWeight returns Σ_t W[i][t][c].
+func (p *PrefMap) ClusterWeight(i, c int) float64 {
+	p.refresh(i)
+	return p.clusterSum[i][c]
+}
+
+// TimeWeight returns Σ_c W[i][t][c].
+func (p *PrefMap) TimeWeight(i, t int) float64 {
+	p.refresh(i)
+	return p.timeSum[i][t]
+}
+
+// Total returns Σ_{t,c} W[i][t][c].
+func (p *PrefMap) Total(i int) float64 {
+	p.refresh(i)
+	sum := 0.0
+	for _, v := range p.clusterSum[i] {
+		sum += v
+	}
+	return sum
+}
+
+// PreferredCluster returns the cluster maximising the cluster marginal of
+// instruction i (lowest index wins ties).
+func (p *PrefMap) PreferredCluster(i int) int {
+	p.refresh(i)
+	best, bestW := 0, math.Inf(-1)
+	for c, w := range p.clusterSum[i] {
+		if w > bestW {
+			best, bestW = c, w
+		}
+	}
+	return best
+}
+
+// RunnerUpCluster returns the cluster with the second-largest marginal, or
+// -1 on single-cluster maps.
+func (p *PrefMap) RunnerUpCluster(i int) int {
+	if p.C < 2 {
+		return -1
+	}
+	p.refresh(i)
+	pref := p.PreferredCluster(i)
+	best, bestW := -1, math.Inf(-1)
+	for c, w := range p.clusterSum[i] {
+		if c == pref {
+			continue
+		}
+		if w > bestW {
+			best, bestW = c, w
+		}
+	}
+	return best
+}
+
+// PreferredTime returns the time slot maximising the time marginal of
+// instruction i (earliest wins ties).
+func (p *PrefMap) PreferredTime(i int) int {
+	p.refresh(i)
+	best, bestW := 0, math.Inf(-1)
+	for t, w := range p.timeSum[i] {
+		if w > bestW {
+			best, bestW = t, w
+		}
+	}
+	return best
+}
+
+// Confidence returns the paper's confidence measure for instruction i's
+// spatial assignment: the ratio of the preferred cluster's marginal to the
+// runner-up's. It returns BigConfidence when no runner-up weight exists.
+func (p *PrefMap) Confidence(i int) float64 {
+	ru := p.RunnerUpCluster(i)
+	if ru < 0 {
+		return BigConfidence
+	}
+	top := p.ClusterWeight(i, p.PreferredCluster(i))
+	run := p.ClusterWeight(i, ru)
+	if run <= 0 {
+		if top <= 0 {
+			return 1
+		}
+		return BigConfidence
+	}
+	return top / run
+}
+
+// Normalize rescales instruction i so its weights sum to one. If every
+// weight is zero (a pass squashed the whole row) the row resets to uniform,
+// which keeps the map well-defined without privileging any slot.
+func (p *PrefMap) Normalize(i int) {
+	total := p.Total(i)
+	if total <= 0 {
+		u := 1.0 / float64(p.T*p.C)
+		base := p.idx(i, 0, 0)
+		for k := 0; k < p.T*p.C; k++ {
+			p.w[base+k] = u
+		}
+		p.dirty[i] = true
+		return
+	}
+	base := p.idx(i, 0, 0)
+	inv := 1 / total
+	for k := 0; k < p.T*p.C; k++ {
+		p.w[base+k] *= inv
+	}
+	p.dirty[i] = true
+}
+
+// NormalizeAll normalizes every instruction.
+func (p *PrefMap) NormalizeAll() {
+	for i := 0; i < p.n; i++ {
+		p.Normalize(i)
+	}
+}
+
+// CheckInvariants verifies the paper's invariants within tolerance eps,
+// returning the first violation. Use after NormalizeAll.
+func (p *PrefMap) CheckInvariants(eps float64) error {
+	for i := 0; i < p.n; i++ {
+		total := 0.0
+		for t := 0; t < p.T; t++ {
+			base := p.idx(i, t, 0)
+			for c := 0; c < p.C; c++ {
+				w := p.w[base+c]
+				if w < 0 || w > 1+eps || math.IsNaN(w) {
+					return fmt.Errorf("core: W[%d][%d][%d] = %v out of [0,1]", i, t, c, w)
+				}
+				total += w
+			}
+		}
+		if math.Abs(total-1) > eps {
+			return fmt.Errorf("core: instruction %d weights sum to %v", i, total)
+		}
+	}
+	return nil
+}
+
+// Clone returns an independent deep copy of the map.
+func (p *PrefMap) Clone() *PrefMap {
+	q := NewPrefMap(p.n, p.T, p.C)
+	copy(q.w, p.w)
+	for i := range q.dirty {
+		q.dirty[i] = true
+	}
+	return q
+}
+
+// PreferredClusters returns every instruction's preferred cluster.
+func (p *PrefMap) PreferredClusters() []int {
+	out := make([]int, p.n)
+	for i := range out {
+		out[i] = p.PreferredCluster(i)
+	}
+	return out
+}
+
+// PreferredTimes returns every instruction's preferred time slot.
+func (p *PrefMap) PreferredTimes() []int {
+	out := make([]int, p.n)
+	for i := range out {
+		out[i] = p.PreferredTime(i)
+	}
+	return out
+}

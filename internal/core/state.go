@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// State is the shared blackboard a convergent pass operates on. Passes read
+// the dependence graph, the machine model and cached structural analyses,
+// and communicate only by mutating W.
+type State struct {
+	// Graph is the scheduling unit being scheduled.
+	Graph *ir.Graph
+	// Machine is the target.
+	Machine *machine.Model
+	// W is the preference map; the driver normalizes it after every pass.
+	W *PrefMap
+	// Rand is the deterministic noise source (seeded by the driver).
+	Rand *rand.Rand
+
+	// CPL is the critical-path length in cycles under machine latencies;
+	// W has exactly CPL time slots (minimum one).
+	CPL int
+	// EarliestStart and LatestStart bound each instruction's feasible
+	// issue window in cycles ("lp" and "CPL - ls" in the paper).
+	EarliestStart, LatestStart []int
+	// UnitLevel is the paper's level(i): edge distance from the furthest
+	// root.
+	UnitLevel []int
+
+	distCache map[int][]int
+}
+
+// NewState builds a state with a uniform preference map for scheduling g on
+// m. The random source is seeded with seed so runs are reproducible.
+func NewState(g *ir.Graph, m *machine.Model, seed int64) *State {
+	g.Seal()
+	lat := m.LatencyFunc()
+	cpl := g.CriticalPathLength(lat)
+	if cpl < 1 {
+		cpl = 1
+	}
+	return &State{
+		Graph:         g,
+		Machine:       m,
+		W:             NewPrefMap(g.Len(), cpl, m.NumClusters),
+		Rand:          rand.New(rand.NewSource(seed)),
+		CPL:           cpl,
+		EarliestStart: g.EarliestStart(lat),
+		LatestStart:   g.LatestStart(lat),
+		UnitLevel:     g.UnitLevel(),
+		distCache:     make(map[int][]int),
+	}
+}
+
+// Distances returns (and caches) the undirected dependence-graph distances
+// from instruction src to every instruction; -1 marks unreachable nodes.
+func (s *State) Distances(src int) []int {
+	if d, ok := s.distCache[src]; ok {
+		return d
+	}
+	d := s.Graph.Distances(src)
+	s.distCache[src] = d
+	return d
+}
+
+// Loads returns the current spatial load estimate per cluster: the sum over
+// instructions of their cluster marginal. With normalized weights the loads
+// sum to the instruction count.
+func (s *State) Loads() []float64 {
+	loads := make([]float64, s.W.Clusters())
+	for i := 0; i < s.W.N(); i++ {
+		for c := 0; c < s.W.Clusters(); c++ {
+			loads[c] += s.W.ClusterWeight(i, c)
+		}
+	}
+	return loads
+}
+
+// Pass is one convergent-scheduling heuristic. Run mutates s.W; the driver
+// renormalizes afterwards, so passes need not maintain the invariants
+// themselves (matching the paper, which runs normalization after every
+// pass).
+type Pass interface {
+	// Name is the pass's table label (for example "PATH" or "COMM").
+	Name() string
+	// Run applies the heuristic to the state.
+	Run(s *State)
+}
+
+// PassFunc adapts a function to the Pass interface.
+type PassFunc struct {
+	// Label is returned by Name.
+	Label string
+	// Fn is invoked by Run.
+	Fn func(s *State)
+}
+
+// Name returns the label.
+func (p PassFunc) Name() string { return p.Label }
+
+// Run invokes the function.
+func (p PassFunc) Run(s *State) { p.Fn(s) }

@@ -1,0 +1,332 @@
+// Package exp reproduces every table and figure of the paper's evaluation
+// (Section 5). Each experiment returns structured rows that cmd/experiments
+// renders as text tables/plots and bench_test.go wraps as benchmarks.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/baseline/pcc"
+	"repro/internal/baseline/rawcc"
+	"repro/internal/baseline/uas"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/listsched"
+	"repro/internal/machine"
+	"repro/internal/passes"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+)
+
+// Seed fixes the convergent scheduler's noise pass across all experiments.
+const Seed = 2002
+
+// singleClusterCycles schedules the kernel's 1-cluster build on the
+// matching 1-cluster machine with plain critical-path list scheduling; it
+// is the denominator of every speedup in the paper.
+func singleClusterCycles(k bench.Kernel, m *machine.Model) (int, error) {
+	g := k.Build(1)
+	s, err := listsched.Run(g, m, listsched.Options{Assignment: make([]int, g.Len())})
+	if err != nil {
+		return 0, fmt.Errorf("exp: single-cluster %s: %w", k.Name, err)
+	}
+	if err := verifyKernel(s, k, 1); err != nil {
+		return 0, err
+	}
+	return s.Length(), nil
+}
+
+// verifyKernel simulates the schedule against the kernel's inputs and runs
+// the kernel's host-side check, so every number in every table comes from a
+// schedule proven to compute the right answer.
+func verifyKernel(s *schedule.Schedule, k bench.Kernel, clusters int) error {
+	res, err := sim.Verify(s, k.InitMemory(clusters))
+	if err != nil {
+		return fmt.Errorf("exp: %s on %s: %w", k.Name, s.Machine.Name, err)
+	}
+	if err := k.Check(res.Memory, clusters); err != nil {
+		return fmt.Errorf("exp: %s on %s: %w", k.Name, s.Machine.Name, err)
+	}
+	return nil
+}
+
+// Table2Row is one benchmark row of Table 2: Rawcc and convergent speedups
+// over one tile, for 2/4/8/16 tiles.
+type Table2Row struct {
+	Benchmark  string
+	Base       [4]float64 // speedups at 2, 4, 8, 16 tiles
+	Convergent [4]float64
+}
+
+// Tiles lists the tile counts of Table 2's columns.
+var Tiles = [4]int{2, 4, 8, 16}
+
+// Table2 reproduces Table 2 (and Figure 6, which plots its 16-tile column).
+func Table2() ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, k := range bench.RawSuite() {
+		row := Table2Row{Benchmark: k.Name}
+		one, err := singleClusterCycles(k, machine.Raw(1))
+		if err != nil {
+			return nil, err
+		}
+		for ti, tiles := range Tiles {
+			m := machine.Raw(tiles)
+			g := k.Build(tiles)
+			bs, err := rawcc.Schedule(g, m)
+			if err != nil {
+				return nil, fmt.Errorf("exp: rawcc %s/%d: %w", k.Name, tiles, err)
+			}
+			if err := verifyKernel(bs, k, tiles); err != nil {
+				return nil, err
+			}
+			row.Base[ti] = float64(one) / float64(bs.Length())
+
+			cg := k.Build(tiles)
+			cs, _, err := core.Schedule(cg, m, passes.RawSequence(), Seed)
+			if err != nil {
+				return nil, fmt.Errorf("exp: convergent %s/%d: %w", k.Name, tiles, err)
+			}
+			if err := verifyKernel(cs, k, tiles); err != nil {
+				return nil, err
+			}
+			row.Convergent[ti] = float64(one) / float64(cs.Length())
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// GeoMeanImprovement returns the geometric-mean ratio of convergent to base
+// speedup at the given column of Table 2 rows (0.21 ≈ the paper's "21%").
+func GeoMeanImprovement(rows []Table2Row, col int) float64 {
+	prod := 1.0
+	for _, r := range rows {
+		prod *= r.Convergent[col] / r.Base[col]
+	}
+	return pow(prod, 1/float64(len(rows))) - 1
+}
+
+func pow(x, e float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Pow(x, e)
+}
+
+// ConvergenceRow is one benchmark's per-pass spatial churn (Figures 7/9).
+type ConvergenceRow struct {
+	Benchmark string
+	Passes    []string
+	Fractions []float64
+}
+
+// Convergence reproduces Figure 7 (machine "rawN") or Figure 9 ("vliwN"):
+// the fraction of instructions whose preferred cluster changes at each
+// spatial pass of the published sequence.
+func Convergence(m *machine.Model, suite []bench.Kernel, seq []core.Pass) []ConvergenceRow {
+	var rows []ConvergenceRow
+	for _, k := range suite {
+		g := k.Build(m.NumClusters)
+		res := core.Converge(g, m, seq, Seed)
+		row := ConvergenceRow{Benchmark: k.Name}
+		for _, pc := range res.Trace {
+			row.Passes = append(row.Passes, pc.Pass)
+			row.Fractions = append(row.Fractions, pc.Fraction)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Fig8Row is one benchmark of Figure 8: PCC, UAS and convergent speedups on
+// the four-cluster VLIW relative to a single cluster.
+type Fig8Row struct {
+	Benchmark string
+	PCC       float64
+	UAS       float64
+	Conv      float64
+}
+
+// Fig8 reproduces Figure 8.
+func Fig8() ([]Fig8Row, error) {
+	m := machine.Chorus(4)
+	var rows []Fig8Row
+	for _, k := range bench.VliwSuite() {
+		one, err := singleClusterCycles(k, machine.SingleVLIW())
+		if err != nil {
+			return nil, err
+		}
+		row := Fig8Row{Benchmark: k.Name}
+
+		g := k.Build(4)
+		ps, err := pcc.Schedule(g, m, pcc.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("exp: pcc %s: %w", k.Name, err)
+		}
+		if err := verifyKernel(ps, k, 4); err != nil {
+			return nil, err
+		}
+		row.PCC = float64(one) / float64(ps.Length())
+
+		g = k.Build(4)
+		us, err := uas.Schedule(g, m)
+		if err != nil {
+			return nil, fmt.Errorf("exp: uas %s: %w", k.Name, err)
+		}
+		if err := verifyKernel(us, k, 4); err != nil {
+			return nil, err
+		}
+		row.UAS = float64(one) / float64(us.Length())
+
+		g = k.Build(4)
+		cs, _, err := core.Schedule(g, m, passes.VliwSequence(), Seed)
+		if err != nil {
+			return nil, fmt.Errorf("exp: convergent %s: %w", k.Name, err)
+		}
+		if err := verifyKernel(cs, k, 4); err != nil {
+			return nil, err
+		}
+		row.Conv = float64(one) / float64(cs.Length())
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig8GeoMeanImprovement returns convergent's geometric-mean improvement
+// over the chosen baseline column ("pcc" or "uas").
+func Fig8GeoMeanImprovement(rows []Fig8Row, baseline string) float64 {
+	prod := 1.0
+	for _, r := range rows {
+		switch baseline {
+		case "pcc":
+			prod *= r.Conv / r.PCC
+		case "uas":
+			prod *= r.Conv / r.UAS
+		}
+	}
+	return pow(prod, 1/float64(len(rows))) - 1
+}
+
+// Fig10Row is one point of the compile-time scalability study.
+type Fig10Row struct {
+	Instrs  int
+	PCCSec  float64
+	UASSec  float64
+	ConvSec float64
+}
+
+// Fig10 reproduces Figure 10: wall-clock scheduling time versus instruction
+// count for PCC, UAS and convergent scheduling on the four-cluster VLIW,
+// over layered random DAGs. Sizes lists the instruction counts to measure.
+func Fig10(sizes []int) ([]Fig10Row, error) {
+	m := machine.Chorus(4)
+	var rows []Fig10Row
+	for _, n := range sizes {
+		g := bench.RandomLayered(n, n/12+4, 4, Seed)
+		row := Fig10Row{Instrs: g.Len()}
+
+		t0 := time.Now()
+		if _, err := pcc.Schedule(g, m, pcc.Options{}); err != nil {
+			return nil, fmt.Errorf("exp: fig10 pcc n=%d: %w", n, err)
+		}
+		row.PCCSec = time.Since(t0).Seconds()
+
+		t0 = time.Now()
+		if _, err := uas.Schedule(g, m); err != nil {
+			return nil, fmt.Errorf("exp: fig10 uas n=%d: %w", n, err)
+		}
+		row.UASSec = time.Since(t0).Seconds()
+
+		t0 = time.Now()
+		if _, _, err := core.Schedule(g, m, passes.VliwSequence(), Seed); err != nil {
+			return nil, fmt.Errorf("exp: fig10 conv n=%d: %w", n, err)
+		}
+		row.ConvSec = time.Since(t0).Seconds()
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig4Frames returns the evolving cluster-preference map of the fpppp
+// kernel on a 4-cluster VLIW: one ASCII frame per pass of the published
+// sequence (the paper's Figure 4 shows exactly this evolution).
+func Fig4Frames() (names []string, frames []string) {
+	k, _ := bench.ByName("fpppp-kernel")
+	g := k.Build(4)
+	// Take a small slice of the kernel so the frames are readable, like
+	// the paper's 34-instruction excerpt.
+	sub := sliceGraph(g, 34)
+	m := machine.Chorus(4)
+	s := core.NewState(sub, m, Seed)
+	names = append(names, "initial")
+	frames = append(frames, core.RenderSpace(s.W))
+	for _, p := range passes.VliwSequence() {
+		p.Run(s)
+		s.W.NormalizeAll()
+		names = append(names, p.Name())
+		frames = append(frames, core.RenderSpace(s.W))
+	}
+	return names, frames
+}
+
+// sliceGraph extracts the subgraph induced by the first n instructions
+// (dropping operands that fall outside, which keeps the slice well-formed
+// because IDs are topologically ordered).
+func sliceGraph(g *ir.Graph, n int) *ir.Graph {
+	if n > g.Len() {
+		n = g.Len()
+	}
+	out := ir.New(g.Name + "-slice")
+	for i := 0; i < n; i++ {
+		in := g.Instrs[i]
+		cp := *in
+		cp.Args = append([]int(nil), in.Args...)
+		out.Instrs = append(out.Instrs, &cp)
+	}
+	for _, e := range g.MemEdges() {
+		if e[0] < n && e[1] < n {
+			out.AddMemEdge(e[0], e[1])
+		}
+	}
+	return out
+}
+
+// ThetaRow is one point of the PCC θ-sensitivity sweep.
+type ThetaRow struct {
+	Theta       int
+	TotalCycles int
+	Seconds     float64
+}
+
+// PCCThetaSweep reproduces the paper's remark that PCC trades compile time
+// against assignment quality through its component-size threshold: larger θ
+// means fewer components, faster descent, and worse schedules. Each row
+// schedules the whole VLIW suite with the given θ.
+func PCCThetaSweep(thetas []int) ([]ThetaRow, error) {
+	m := machine.Chorus(4)
+	var rows []ThetaRow
+	for _, th := range thetas {
+		row := ThetaRow{Theta: th}
+		t0 := time.Now()
+		for _, k := range bench.VliwSuite() {
+			g := k.Build(4)
+			s, err := pcc.Schedule(g, m, pcc.Options{Theta: th})
+			if err != nil {
+				return nil, fmt.Errorf("exp: theta %d: %s: %w", th, k.Name, err)
+			}
+			if err := verifyKernel(s, k, 4); err != nil {
+				return nil, err
+			}
+			row.TotalCycles += s.Length()
+		}
+		row.Seconds = time.Since(t0).Seconds()
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

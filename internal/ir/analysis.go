@@ -1,0 +1,203 @@
+package ir
+
+// LatencyFunc maps an opcode to its result latency in cycles. Machine models
+// provide one (see internal/machine); analyses are parameterised on it so the
+// same graph can be scheduled for machines with different timings.
+type LatencyFunc func(Op) int
+
+// UnitLatency assigns every opcode a latency of one cycle. It is the latency
+// model used by the unit-level analyses (the paper's "level" of an
+// instruction is its distance from the furthest root, counted in edges).
+func UnitLatency(Op) int { return 1 }
+
+// EarliestStart returns, per instruction, the earliest cycle it could issue
+// on a machine with infinite resources and zero communication cost: the
+// length of the longest predecessor chain ("lp" in the paper), measured with
+// the given latencies. Roots start at cycle 0.
+func (g *Graph) EarliestStart(lat LatencyFunc) []int {
+	g.Seal()
+	es := make([]int, len(g.Instrs))
+	for i := range g.Instrs {
+		for _, p := range g.preds[i] {
+			if t := es[p] + lat(g.Instrs[p].Op); t > es[i] {
+				es[i] = t
+			}
+		}
+	}
+	return es
+}
+
+// Height returns, per instruction, the length in cycles of the longest chain
+// from the instruction (inclusive of its own latency) to any leaf: the
+// paper's "ls", the latency of the successor chain. A leaf's height is its
+// own latency.
+func (g *Graph) Height(lat LatencyFunc) []int {
+	g.Seal()
+	h := make([]int, len(g.Instrs))
+	for i := len(g.Instrs) - 1; i >= 0; i-- {
+		best := 0
+		for _, s := range g.succs[i] {
+			if h[s] > best {
+				best = h[s]
+			}
+		}
+		h[i] = best + lat(g.Instrs[i].Op)
+	}
+	return h
+}
+
+// CriticalPathLength returns the length in cycles of the longest chain in
+// the graph under the given latencies (the schedule-length lower bound on an
+// unlimited machine). An empty graph has length zero.
+func (g *Graph) CriticalPathLength(lat LatencyFunc) int {
+	cpl := 0
+	for _, h := range g.Height(lat) {
+		if h > cpl {
+			cpl = h
+		}
+	}
+	return cpl
+}
+
+// LatestStart returns, per instruction, the latest cycle it could issue
+// without stretching the critical path: CPL - Height(i).
+func (g *Graph) LatestStart(lat LatencyFunc) []int {
+	h := g.Height(lat)
+	cpl := 0
+	for _, v := range h {
+		if v > cpl {
+			cpl = v
+		}
+	}
+	ls := make([]int, len(h))
+	for i, v := range h {
+		ls[i] = cpl - v
+	}
+	return ls
+}
+
+// Slack returns LatestStart(i) - EarliestStart(i) per instruction. Zero
+// slack marks the critical path.
+func (g *Graph) Slack(lat LatencyFunc) []int {
+	es := g.EarliestStart(lat)
+	lst := g.LatestStart(lat)
+	s := make([]int, len(es))
+	for i := range s {
+		s[i] = lst[i] - es[i]
+	}
+	return s
+}
+
+// CriticalPath returns one longest root-to-leaf chain under the given
+// latencies, as an ordered slice of instruction IDs. Of several equally long
+// chains it picks the one threading lowest IDs. Returns nil for an empty
+// graph.
+func (g *Graph) CriticalPath(lat LatencyFunc) []int {
+	if g.Len() == 0 {
+		return nil
+	}
+	h := g.Height(lat)
+	es := g.EarliestStart(lat)
+	cpl := 0
+	for _, v := range h {
+		if v > cpl {
+			cpl = v
+		}
+	}
+	// Start at the lowest-ID root of a longest chain.
+	cur := -1
+	for i := range g.Instrs {
+		if es[i] == 0 && h[i] == cpl {
+			cur = i
+			break
+		}
+	}
+	if cur < 0 {
+		return nil
+	}
+	path := []int{cur}
+	for {
+		next := -1
+		for _, s := range g.succs[cur] {
+			// The chain continues through a successor whose height
+			// accounts for the remainder of the critical path.
+			if h[s] == h[cur]-lat(g.Instrs[cur].Op) && (next < 0 || s < next) {
+				next = s
+			}
+		}
+		if next < 0 {
+			return path
+		}
+		path = append(path, next)
+		cur = next
+	}
+}
+
+// UnitLevel returns the paper's level(i): the distance of each instruction
+// from the furthest root, counted in edges. Roots are level 0.
+func (g *Graph) UnitLevel() []int {
+	g.Seal()
+	lv := make([]int, len(g.Instrs))
+	for i := range g.Instrs {
+		for _, p := range g.preds[i] {
+			if lv[p]+1 > lv[i] {
+				lv[i] = lv[p] + 1
+			}
+		}
+	}
+	return lv
+}
+
+// MaxUnitLevel returns the largest UnitLevel, or -1 for an empty graph.
+func (g *Graph) MaxUnitLevel() int {
+	max := -1
+	for _, l := range g.UnitLevel() {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Distances returns the undirected dependence-graph distance (in edges) from
+// the given source to every instruction; unreachable instructions get -1.
+// The LEVEL pass uses this to keep nearby instructions in the same bin.
+func (g *Graph) Distances(src int) []int {
+	g.Seal()
+	d := make([]int, len(g.Instrs))
+	for i := range d {
+		d[i] = -1
+	}
+	d[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, lists := range [2][][]int{g.preds, g.succs} {
+			for _, nb := range lists[cur] {
+				if d[nb] < 0 {
+					d[nb] = d[cur] + 1
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Neighbors returns the deduplicated union of predecessors and successors of
+// instruction i.
+func (g *Graph) Neighbors(i int) []int {
+	g.Seal()
+	out := make([]int, 0, len(g.preds[i])+len(g.succs[i]))
+	seen := make(map[int]bool, len(g.preds[i])+len(g.succs[i]))
+	for _, lists := range [2][]int{g.preds[i], g.succs[i]} {
+		for _, nb := range lists {
+			if !seen[nb] {
+				seen[nb] = true
+				out = append(out, nb)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Graph is a scheduling unit: a DAG of instructions connected by data
+// dependences (through Instr.Args) and explicit memory-order edges.
+//
+// Build a graph with New and the Add* methods, then call Seal (directly or
+// implicitly through any analysis) to freeze adjacency. Mutating a sealed
+// graph's structure is a programming error.
+type Graph struct {
+	// Name labels the graph in dumps, experiment tables and errors.
+	Name string
+	// Instrs holds every instruction; Instrs[i].ID == i.
+	Instrs []*Instr
+
+	memEdges [][2]int // (from, to) ordering edges between memory ops
+
+	sealed bool
+	preds  [][]int // deduplicated data+memory predecessors
+	succs  [][]int // deduplicated data+memory successors
+}
+
+// New returns an empty graph with the given name.
+func New(name string) *Graph {
+	return &Graph{Name: name}
+}
+
+// Len returns the number of instructions.
+func (g *Graph) Len() int { return len(g.Instrs) }
+
+// Add appends an instruction with the given opcode and operand producers and
+// returns it. Add panics if the graph is sealed, an argument ID is out of
+// range or not yet defined (which would create a cycle), or the operand
+// count does not match the opcode arity.
+func (g *Graph) Add(op Op, args ...int) *Instr {
+	if g.sealed {
+		panic("ir: Add on sealed graph")
+	}
+	if want := op.Arity(); want >= 0 && len(args) != want {
+		panic(fmt.Sprintf("ir: %v wants %d operands, got %d", op, want, len(args)))
+	}
+	id := len(g.Instrs)
+	for _, a := range args {
+		if a < 0 || a >= id {
+			panic(fmt.Sprintf("ir: instruction %d references undefined operand %%%d", id, a))
+		}
+		if !g.Instrs[a].Op.HasResult() {
+			panic(fmt.Sprintf("ir: instruction %d consumes %%%d (%v), which produces no value", id, a, g.Instrs[a].Op))
+		}
+	}
+	in := &Instr{ID: id, Op: op, Args: append([]int(nil), args...), Bank: NoBank, Home: NoHome}
+	g.Instrs = append(g.Instrs, in)
+	return in
+}
+
+// AddConst appends a ConstInt instruction with the given immediate.
+func (g *Graph) AddConst(v int64) *Instr {
+	in := g.Add(ConstInt)
+	in.Imm = v
+	return in
+}
+
+// AddFConst appends a ConstFloat instruction with the given immediate.
+func (g *Graph) AddFConst(v float64) *Instr {
+	in := g.Add(ConstFloat)
+	in.FImm = v
+	return in
+}
+
+// AddLoad appends a Load from the given bank at the address produced by
+// addr. The load is preplaced on the cluster equal to the bank only if the
+// caller sets Home; bank assignment and preplacement are distinct concerns.
+func (g *Graph) AddLoad(bank, addr int) *Instr {
+	in := g.Add(Load, addr)
+	in.Bank = bank
+	return in
+}
+
+// AddStore appends a Store to the given bank at the address produced by
+// addr, storing the value produced by val.
+func (g *Graph) AddStore(bank, addr, val int) *Instr {
+	in := g.Add(Store, addr, val)
+	in.Bank = bank
+	return in
+}
+
+// AddMemEdge records an ordering edge between two memory instructions
+// (store→load, store→store, or load→store on the same bank). The simulator
+// and schedulers treat it like a zero-value dependence: the successor may
+// not issue before the predecessor completes.
+func (g *Graph) AddMemEdge(from, to int) {
+	if g.sealed {
+		panic("ir: AddMemEdge on sealed graph")
+	}
+	if from < 0 || from >= len(g.Instrs) || to < 0 || to >= len(g.Instrs) {
+		panic(fmt.Sprintf("ir: memory edge (%d,%d) out of range", from, to))
+	}
+	if from >= to {
+		panic(fmt.Sprintf("ir: memory edge (%d,%d) must point forward", from, to))
+	}
+	g.memEdges = append(g.memEdges, [2]int{from, to})
+}
+
+// MemEdges returns the explicit memory-order edges as (from, to) pairs.
+// The returned slice is owned by the graph and must not be modified.
+func (g *Graph) MemEdges() [][2]int { return g.memEdges }
+
+// Seal freezes the graph and computes adjacency. It is idempotent, and every
+// analysis calls it implicitly, so explicit calls are only needed to catch
+// accidental later mutation early.
+func (g *Graph) Seal() {
+	if g.sealed {
+		return
+	}
+	g.sealed = true
+	n := len(g.Instrs)
+	g.preds = make([][]int, n)
+	g.succs = make([][]int, n)
+	seen := make(map[[2]int]bool)
+	addEdge := func(from, to int) {
+		key := [2]int{from, to}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		g.succs[from] = append(g.succs[from], to)
+		g.preds[to] = append(g.preds[to], from)
+	}
+	for _, in := range g.Instrs {
+		for _, a := range in.Args {
+			addEdge(a, in.ID)
+		}
+	}
+	for _, e := range g.memEdges {
+		addEdge(e[0], e[1])
+	}
+}
+
+// Preds returns the deduplicated predecessor IDs of instruction i,
+// including memory-order predecessors. The slice is owned by the graph.
+func (g *Graph) Preds(i int) []int {
+	g.Seal()
+	return g.preds[i]
+}
+
+// Succs returns the deduplicated successor IDs of instruction i, including
+// memory-order successors. The slice is owned by the graph.
+func (g *Graph) Succs(i int) []int {
+	g.Seal()
+	return g.succs[i]
+}
+
+// Roots returns the IDs of instructions with no predecessors.
+func (g *Graph) Roots() []int {
+	g.Seal()
+	var r []int
+	for i := range g.Instrs {
+		if len(g.preds[i]) == 0 {
+			r = append(r, i)
+		}
+	}
+	return r
+}
+
+// Leaves returns the IDs of instructions with no successors.
+func (g *Graph) Leaves() []int {
+	g.Seal()
+	var r []int
+	for i := range g.Instrs {
+		if len(g.succs[i]) == 0 {
+			r = append(r, i)
+		}
+	}
+	return r
+}
+
+// Validate checks structural well-formedness: IDs match positions, operand
+// references are in range and acyclic (guaranteed by construction but
+// re-checked for graphs built by the parser), arities match, memory edges
+// connect memory instructions on the same bank, and preplaced homes are
+// non-negative. It returns the first problem found.
+func (g *Graph) Validate() error {
+	for i, in := range g.Instrs {
+		if in.ID != i {
+			return fmt.Errorf("ir: %s: instruction at index %d has ID %d", g.Name, i, in.ID)
+		}
+		if !in.Op.Valid() {
+			return fmt.Errorf("ir: %s: instruction %d has invalid opcode", g.Name, i)
+		}
+		if want := in.Op.Arity(); want >= 0 && len(in.Args) != want {
+			return fmt.Errorf("ir: %s: instruction %d (%v) has %d operands, want %d", g.Name, i, in.Op, len(in.Args), want)
+		}
+		for _, a := range in.Args {
+			if a < 0 || a >= i {
+				return fmt.Errorf("ir: %s: instruction %d references %%%d (graph must be in topological order)", g.Name, i, a)
+			}
+			if !g.Instrs[a].Op.HasResult() {
+				return fmt.Errorf("ir: %s: instruction %d consumes resultless %%%d", g.Name, i, a)
+			}
+		}
+		if in.Op.IsMemory() && in.Bank < 0 {
+			return fmt.Errorf("ir: %s: memory instruction %d has no bank", g.Name, i)
+		}
+		if !in.Op.IsMemory() && in.Bank != NoBank {
+			return fmt.Errorf("ir: %s: non-memory instruction %d has bank %d", g.Name, i, in.Bank)
+		}
+		if in.Home < NoHome {
+			return fmt.Errorf("ir: %s: instruction %d has invalid home %d", g.Name, i, in.Home)
+		}
+	}
+	for _, e := range g.memEdges {
+		from, to := e[0], e[1]
+		if from < 0 || from >= len(g.Instrs) || to < 0 || to >= len(g.Instrs) || from >= to {
+			return fmt.Errorf("ir: %s: bad memory edge (%d,%d)", g.Name, from, to)
+		}
+		a, b := g.Instrs[from], g.Instrs[to]
+		if !a.Op.IsMemory() || !b.Op.IsMemory() {
+			return fmt.Errorf("ir: %s: memory edge (%d,%d) touches non-memory instruction", g.Name, from, to)
+		}
+	}
+	return nil
+}
+
+// ErrEmpty is returned by analyses that require at least one instruction.
+var ErrEmpty = errors.New("ir: empty graph")
+
+// Preplaced returns the IDs of all preplaced instructions.
+func (g *Graph) Preplaced() []int {
+	var r []int
+	for i, in := range g.Instrs {
+		if in.Preplaced() {
+			r = append(r, i)
+		}
+	}
+	return r
+}
+
+// Clone returns a deep copy of the graph. The copy is unsealed so callers
+// may extend it.
+func (g *Graph) Clone() *Graph {
+	out := New(g.Name)
+	out.Instrs = make([]*Instr, len(g.Instrs))
+	for i, in := range g.Instrs {
+		cp := *in
+		cp.Args = append([]int(nil), in.Args...)
+		out.Instrs[i] = &cp
+	}
+	out.memEdges = append([][2]int(nil), g.memEdges...)
+	return out
+}

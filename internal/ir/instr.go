@@ -1,0 +1,71 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NoBank marks an instruction that does not touch memory.
+const NoBank = -1
+
+// NoHome marks an instruction without a preplacement constraint.
+const NoHome = -1
+
+// Instr is one node of a dependence graph.
+//
+// Instructions are identified by their position in Graph.Instrs; ID always
+// equals that index. Args lists the IDs of the instructions producing each
+// operand, in operand order. An instruction may consume the same producer
+// more than once.
+type Instr struct {
+	// ID is the index of this instruction in its Graph.
+	ID int
+	// Op is the opcode.
+	Op Op
+	// Args are producer instruction IDs, one per operand.
+	Args []int
+	// Imm is the immediate payload for ConstInt.
+	Imm int64
+	// FImm is the immediate payload for ConstFloat.
+	FImm float64
+	// Bank is the memory bank for Load/Store, or NoBank.
+	Bank int
+	// Home is the cluster this instruction must be assigned to, or NoHome.
+	// Instructions with Home >= 0 are "preplaced" in the paper's sense:
+	// the constraint comes from congruence analysis (memory banking) or
+	// from values live across scheduling regions.
+	Home int
+	// Name is an optional human-readable label used in dumps and DOT
+	// output; it has no semantic meaning.
+	Name string
+}
+
+// Preplaced reports whether the instruction carries a home-cluster
+// constraint.
+func (in *Instr) Preplaced() bool { return in.Home != NoHome }
+
+// String renders the instruction in the .ddg text form, for example
+// "7: add %3 %5" or "2: load %0 bank=1 @home=3".
+func (in *Instr) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d: %s", in.ID, in.Op)
+	for _, a := range in.Args {
+		fmt.Fprintf(&b, " %%%d", a)
+	}
+	switch in.Op {
+	case ConstInt:
+		fmt.Fprintf(&b, " %d", in.Imm)
+	case ConstFloat:
+		fmt.Fprintf(&b, " %g", in.FImm)
+	}
+	if in.Bank != NoBank {
+		fmt.Fprintf(&b, " bank=%d", in.Bank)
+	}
+	if in.Preplaced() {
+		fmt.Fprintf(&b, " @home=%d", in.Home)
+	}
+	if in.Name != "" {
+		fmt.Fprintf(&b, " ; %s", in.Name)
+	}
+	return b.String()
+}

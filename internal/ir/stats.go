@@ -1,0 +1,100 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats summarises the shape of a dependence graph. The paper distinguishes
+// "long, narrow" graphs (critical-path dominated, like sha) from "fat,
+// parallel" graphs (like unrolled dense-matrix loops); these numbers make
+// that distinction measurable.
+type Stats struct {
+	// Instrs is the instruction count.
+	Instrs int
+	// Edges is the deduplicated dependence edge count (data + memory).
+	Edges int
+	// UnitCPL is the critical-path length in edges (unit latency).
+	UnitCPL int
+	// AvgWidth is Instrs divided by the number of unit levels: the mean
+	// instruction-level parallelism available with zero-latency ops.
+	AvgWidth float64
+	// MaxWidth is the population of the fullest unit level.
+	MaxWidth int
+	// Preplaced is the number of instructions with home-cluster
+	// constraints.
+	Preplaced int
+	// MemOps is the number of loads and stores.
+	MemOps int
+	// FloatOps is the number of floating-point operations.
+	FloatOps int
+}
+
+// ComputeStats analyses the graph shape.
+func (g *Graph) ComputeStats() Stats {
+	g.Seal()
+	s := Stats{Instrs: g.Len()}
+	for i := range g.Instrs {
+		s.Edges += len(g.succs[i])
+	}
+	levels := g.UnitLevel()
+	counts := map[int]int{}
+	maxLevel := -1
+	for i, l := range levels {
+		counts[l]++
+		if l > maxLevel {
+			maxLevel = l
+		}
+		in := g.Instrs[i]
+		if in.Preplaced() {
+			s.Preplaced++
+		}
+		if in.Op.IsMemory() {
+			s.MemOps++
+		}
+		if in.Op.IsFloat() {
+			s.FloatOps++
+		}
+	}
+	s.UnitCPL = maxLevel
+	for _, c := range counts {
+		if c > s.MaxWidth {
+			s.MaxWidth = c
+		}
+	}
+	if maxLevel >= 0 {
+		s.AvgWidth = float64(s.Instrs) / float64(maxLevel+1)
+	}
+	return s
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("instrs=%d edges=%d cpl=%d avgWidth=%.2f maxWidth=%d preplaced=%d mem=%d float=%d",
+		s.Instrs, s.Edges, s.UnitCPL, s.AvgWidth, s.MaxWidth, s.Preplaced, s.MemOps, s.FloatOps)
+}
+
+// DOT renders the graph in Graphviz format. Preplaced instructions are drawn
+// as shaded triangles, matching the paper's Figure 4 convention.
+func (g *Graph) DOT() string {
+	g.Seal()
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	b.WriteString("  node [shape=ellipse fontsize=10];\n")
+	for _, in := range g.Instrs {
+		label := fmt.Sprintf("%d %s", in.ID, in.Op)
+		attrs := fmt.Sprintf("label=%q", label)
+		if in.Preplaced() {
+			shade := 1.0 - 0.15*float64(in.Home%5)
+			attrs += fmt.Sprintf(" shape=triangle style=filled fillcolor=\"0.0 0.0 %.2f\"", shade)
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", in.ID, attrs)
+	}
+	for i := range g.Instrs {
+		for _, s := range g.succs[i] {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", i, s)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

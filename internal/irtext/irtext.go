@@ -1,0 +1,211 @@
+// Package irtext reads and writes dependence graphs in a small line-based
+// text format (".ddg"), so graphs can be passed between the command-line
+// tools and checked into test data.
+//
+// Format, one instruction per line in topological order:
+//
+//	# comment or blank lines are ignored
+//	graph <name>                 (optional header)
+//	<id>: <op> [%argID ...] [immediate] [bank=N] [@home=N] [; name]
+//	memedge <from> <to>          (explicit memory-order edge)
+//
+// IDs must count up from zero in file order. Immediates are required for
+// const/fconst and forbidden elsewhere. The format is exactly what
+// ir.Instr.String prints, so Print and Parse round-trip.
+package irtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Print writes the graph in .ddg form.
+func Print(w io.Writer, g *ir.Graph) error {
+	if g.Name != "" {
+		if _, err := fmt.Fprintf(w, "graph %s\n", g.Name); err != nil {
+			return err
+		}
+	}
+	for _, in := range g.Instrs {
+		if _, err := fmt.Fprintln(w, in.String()); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.MemEdges() {
+		if _, err := fmt.Fprintf(w, "memedge %d %d\n", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the graph in .ddg form.
+func String(g *ir.Graph) string {
+	var b strings.Builder
+	if err := Print(&b, g); err != nil {
+		// strings.Builder never errors; keep the compiler honest.
+		panic(err)
+	}
+	return b.String()
+}
+
+// Parse reads a .ddg graph. The returned graph is validated.
+func Parse(r io.Reader) (*ir.Graph, error) {
+	g := ir.New("")
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		// A trailing "; name" comment names the instruction.
+		name := ""
+		if i := strings.Index(line, ";"); i >= 0 {
+			name = strings.TrimSpace(line[i+1:])
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "graph":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("irtext: line %d: want 'graph <name>'", lineNo)
+			}
+			g.Name = fields[1]
+			continue
+		case "memedge":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("irtext: line %d: want 'memedge <from> <to>'", lineNo)
+			}
+			from, err1 := strconv.Atoi(fields[1])
+			to, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("irtext: line %d: bad memedge operands", lineNo)
+			}
+			if from < 0 || from >= g.Len() || to < 0 || to >= g.Len() || from >= to {
+				return nil, fmt.Errorf("irtext: line %d: memedge (%d,%d) out of range", lineNo, from, to)
+			}
+			g.AddMemEdge(from, to)
+			continue
+		}
+		if err := parseInstr(g, fields, name, lineNo); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("irtext: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ParseString parses a .ddg graph from a string.
+func ParseString(s string) (*ir.Graph, error) {
+	return Parse(strings.NewReader(s))
+}
+
+func parseInstr(g *ir.Graph, fields []string, name string, lineNo int) (err error) {
+	// Recover the builder's panics into parse errors so malformed input
+	// never crashes a tool.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("irtext: line %d: %v", lineNo, r)
+		}
+	}()
+	idField := strings.TrimSuffix(fields[0], ":")
+	if idField == fields[0] {
+		return fmt.Errorf("irtext: line %d: missing ':' after instruction id", lineNo)
+	}
+	id, aerr := strconv.Atoi(idField)
+	if aerr != nil {
+		return fmt.Errorf("irtext: line %d: bad instruction id %q", lineNo, idField)
+	}
+	if id != g.Len() {
+		return fmt.Errorf("irtext: line %d: instruction id %d out of order (want %d)", lineNo, id, g.Len())
+	}
+	if len(fields) < 2 {
+		return fmt.Errorf("irtext: line %d: missing opcode", lineNo)
+	}
+	op, ok := ir.OpFromString(fields[1])
+	if !ok {
+		return fmt.Errorf("irtext: line %d: unknown opcode %q", lineNo, fields[1])
+	}
+	var args []int
+	bank := ir.NoBank
+	home := ir.NoHome
+	var imm *string
+	for _, f := range fields[2:] {
+		switch {
+		case strings.HasPrefix(f, "%"):
+			a, aerr := strconv.Atoi(f[1:])
+			if aerr != nil {
+				return fmt.Errorf("irtext: line %d: bad operand %q", lineNo, f)
+			}
+			args = append(args, a)
+		case strings.HasPrefix(f, "bank="):
+			b, aerr := strconv.Atoi(f[len("bank="):])
+			if aerr != nil {
+				return fmt.Errorf("irtext: line %d: bad bank %q", lineNo, f)
+			}
+			bank = b
+		case strings.HasPrefix(f, "@home="):
+			h, aerr := strconv.Atoi(f[len("@home="):])
+			if aerr != nil {
+				return fmt.Errorf("irtext: line %d: bad home %q", lineNo, f)
+			}
+			home = h
+		default:
+			if imm != nil {
+				return fmt.Errorf("irtext: line %d: unexpected token %q", lineNo, f)
+			}
+			v := f
+			imm = &v
+		}
+	}
+	in := g.Add(op, args...)
+	in.Name = name
+	switch op {
+	case ir.ConstInt:
+		if imm == nil {
+			return fmt.Errorf("irtext: line %d: const needs an immediate", lineNo)
+		}
+		v, aerr := strconv.ParseInt(*imm, 10, 64)
+		if aerr != nil {
+			return fmt.Errorf("irtext: line %d: bad integer immediate %q", lineNo, *imm)
+		}
+		in.Imm = v
+	case ir.ConstFloat:
+		if imm == nil {
+			return fmt.Errorf("irtext: line %d: fconst needs an immediate", lineNo)
+		}
+		v, aerr := strconv.ParseFloat(*imm, 64)
+		if aerr != nil {
+			return fmt.Errorf("irtext: line %d: bad float immediate %q", lineNo, *imm)
+		}
+		in.FImm = v
+	default:
+		if imm != nil {
+			return fmt.Errorf("irtext: line %d: %v takes no immediate", lineNo, op)
+		}
+	}
+	if bank != ir.NoBank {
+		in.Bank = bank
+	}
+	if home != ir.NoHome {
+		in.Home = home
+	}
+	return nil
+}

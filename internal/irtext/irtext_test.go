@@ -1,0 +1,135 @@
+package irtext
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/ir"
+)
+
+func TestRoundTripSmall(t *testing.T) {
+	g := ir.New("small")
+	a := g.AddConst(7)
+	f := g.AddFConst(1.5)
+	n := g.Add(ir.Neg, a.ID)
+	n.Name = "negate"
+	ld := g.AddLoad(2, a.ID)
+	ld.Home = 2
+	st := g.AddStore(2, a.ID, n.ID)
+	g.Add(ir.FAdd, f.ID, f.ID)
+	g.AddMemEdge(ld.ID, st.ID)
+	text := String(g)
+	back, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, text)
+	}
+	if back.Name != "small" || back.Len() != g.Len() {
+		t.Fatalf("round trip lost structure:\n%s", String(back))
+	}
+	for i, in := range g.Instrs {
+		b := back.Instrs[i]
+		if b.Op != in.Op || b.Imm != in.Imm || b.FImm != in.FImm || b.Bank != in.Bank || b.Home != in.Home || b.Name != in.Name {
+			t.Errorf("instr %d: %v != %v", i, b, in)
+		}
+		if len(b.Args) != len(in.Args) {
+			t.Errorf("instr %d args differ", i)
+		}
+	}
+	if len(back.MemEdges()) != len(g.MemEdges()) {
+		t.Errorf("mem edges lost: %v vs %v", back.MemEdges(), g.MemEdges())
+	}
+}
+
+func TestRoundTripAllKernels(t *testing.T) {
+	for _, name := range bench.Names() {
+		k, _ := bench.ByName(name)
+		g := k.Build(4)
+		back, err := ParseString(String(g))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if back.Len() != g.Len() || len(back.MemEdges()) != len(g.MemEdges()) {
+			t.Errorf("%s: structure lost in round trip", name)
+		}
+		if err := back.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestParseCommentsAndBlankLines(t *testing.T) {
+	g, err := ParseString(`
+# a comment
+graph demo
+
+0: const 5   # trailing comment
+1: neg %0 ; named
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "demo" || g.Len() != 2 || g.Instrs[1].Name != "named" {
+		t.Errorf("parsed = %v", String(g))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"out of order id":    "1: const 5",
+		"missing colon":      "0 const 5",
+		"unknown opcode":     "0: frobnicate",
+		"const needs imm":    "0: const",
+		"bad integer imm":    "0: const xyz",
+		"bad float imm":      "0: fconst xyz",
+		"imm on non-const":   "0: const 1\n1: neg %0 7",
+		"forward operand":    "0: neg %1\n1: const 5",
+		"bad operand":        "0: const 1\n1: neg %x",
+		"double imm":         "0: const 1 2",
+		"memedge short":      "0: const 1\nmemedge 0",
+		"memedge backwards":  "0: const 1\n1: load %0 bank=0\n2: load %0 bank=0\nmemedge 2 1",
+		"memedge non-memory": "0: const 1\n1: neg %0\nmemedge 0 1",
+		"graph missing name": "graph",
+		"bad arity":          "0: const 1\n1: add %0",
+		"store consumed":     "0: const 1\n1: store %0 %0 bank=0\n2: neg %1",
+		"load missing bank":  "0: const 1\n1: load %0",
+		"negative home":      "0: const 1 @home=-3",
+	}
+	for label, text := range cases {
+		if _, err := ParseString(text); err == nil {
+			t.Errorf("%s: parser accepted %q", label, text)
+		}
+	}
+}
+
+func TestParseBankAndHome(t *testing.T) {
+	g, err := ParseString("0: const 3\n1: load %0 bank=5 @home=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := g.Instrs[1]
+	if in.Bank != 5 || in.Home != 1 {
+		t.Errorf("parsed instr = %+v", in)
+	}
+}
+
+func TestPrintIsTopological(t *testing.T) {
+	k, _ := bench.ByName("mxm")
+	g := k.Build(2)
+	text := String(g)
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	// First line is the header; instruction lines must begin 0:, 1:, ...
+	want := 0
+	for _, l := range lines[1:] {
+		if strings.HasPrefix(l, "memedge") {
+			continue
+		}
+		if !strings.HasPrefix(l, strings.TrimSpace(strings.Split(l, ":")[0])+":") {
+			t.Fatalf("odd line %q", l)
+		}
+		want++
+	}
+	if want != g.Len() {
+		t.Errorf("printed %d instruction lines for %d instructions", want, g.Len())
+	}
+}

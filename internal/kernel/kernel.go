@@ -1,0 +1,197 @@
+// Package kernel builds dependence graphs from array-based numeric kernels,
+// standing in for the paper's compiler frontend plus congruence analysis.
+//
+// A Program owns a graph under construction and a set of flat arrays whose
+// elements are interleaved across memory banks exactly the way the paper's
+// congruence transformation distributes them across clusters: element e of
+// an array lives in bank e mod C at local address base + e div C, where C is
+// the cluster count the kernel is being compiled for. Loads and stores
+// against these arrays become preplaced instructions homed on the bank's
+// owner cluster — the paper's "preplaced memory reference instructions".
+//
+// Because every kernel is fully unrolled (the congruence pass "usually
+// unrolls the loops by the number of clusters or tiles", and our scheduling
+// units are single DAGs), all addresses are static and the builder tracks
+// exact aliasing: it adds memory-order edges for store→load, load→store and
+// store→store pairs touching the same cell, and nothing else.
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/sim"
+)
+
+// Array is a flat array distributed across banks. Create with
+// Program.Array.
+type Array struct {
+	// Name labels the array in dumps.
+	Name string
+	// Base is the local base address of the array within every bank.
+	Base int64
+	// Len is the element count the array was declared with.
+	Len int
+}
+
+// Program accumulates a kernel's instructions.
+type Program struct {
+	g        *ir.Graph
+	clusters int
+	preplace bool
+	nextBase int64
+
+	consts  map[int64]int
+	fconsts map[float64]int
+
+	cells map[cellKey]*cellState
+}
+
+type cellKey struct {
+	bank int
+	addr int64
+}
+
+type cellState struct {
+	lastStore  int // instruction ID, -1 if none
+	loadsSince []int
+}
+
+// New returns a program builder targeting a machine with the given cluster
+// count. When preplace is true (both of the paper's targets), memory
+// operations are homed on their bank's owner cluster.
+func New(name string, clusters int, preplace bool) *Program {
+	if clusters < 1 {
+		panic(fmt.Sprintf("kernel: New with %d clusters", clusters))
+	}
+	return &Program{
+		g:        ir.New(name),
+		clusters: clusters,
+		preplace: preplace,
+		consts:   make(map[int64]int),
+		fconsts:  make(map[float64]int),
+		cells:    make(map[cellKey]*cellState),
+	}
+}
+
+// Clusters returns the cluster count the program is being built for.
+func (p *Program) Clusters() int { return p.clusters }
+
+// Graph returns the graph built so far. The caller owns scheduling; the
+// builder must not be used afterwards.
+func (p *Program) Graph() *ir.Graph { return p.g }
+
+// Array declares a distributed array of n elements.
+func (p *Program) Array(name string, n int) Array {
+	a := Array{Name: name, Base: p.nextBase, Len: n}
+	// Reserve enough local addresses in every bank for the worst case
+	// (all elements in one bank when clusters == 1).
+	p.nextBase += int64(n) + 1
+	return a
+}
+
+// Bank returns the bank holding element e under C-cluster interleaving.
+func (a Array) Bank(e, clusters int) int { return e % clusters }
+
+// Addr returns element e's local address within its bank.
+func (a Array) Addr(e, clusters int) int64 { return a.Base + int64(e/clusters) }
+
+// Const returns (deduplicating) an integer-constant instruction ID.
+func (p *Program) Const(v int64) int {
+	if id, ok := p.consts[v]; ok {
+		return id
+	}
+	id := p.g.AddConst(v).ID
+	p.consts[v] = id
+	return id
+}
+
+// FConst returns (deduplicating) a float-constant instruction ID.
+func (p *Program) FConst(v float64) int {
+	if id, ok := p.fconsts[v]; ok {
+		return id
+	}
+	id := p.g.AddFConst(v).ID
+	p.fconsts[v] = id
+	return id
+}
+
+// Op appends an ALU instruction and returns its ID.
+func (p *Program) Op(op ir.Op, args ...int) int {
+	return p.g.Add(op, args...).ID
+}
+
+func (p *Program) checkElem(a Array, e int) {
+	if e < 0 || e >= a.Len {
+		panic(fmt.Sprintf("kernel: %s[%d] out of bounds (len %d)", a.Name, e, a.Len))
+	}
+}
+
+func (p *Program) cell(a Array, e int) (*cellState, int, int64) {
+	bank := a.Bank(e, p.clusters)
+	addr := a.Addr(e, p.clusters)
+	key := cellKey{bank, addr}
+	st, ok := p.cells[key]
+	if !ok {
+		st = &cellState{lastStore: -1}
+		p.cells[key] = st
+	}
+	return st, bank, addr
+}
+
+// Load reads element e of the array and returns the value's instruction ID.
+func (p *Program) Load(a Array, e int) int {
+	p.checkElem(a, e)
+	st, bank, addr := p.cell(a, e)
+	ld := p.g.AddLoad(bank, p.Const(addr))
+	if p.preplace {
+		ld.Home = bank % p.clusters
+	}
+	ld.Name = fmt.Sprintf("%s[%d]", a.Name, e)
+	if st.lastStore >= 0 {
+		p.g.AddMemEdge(st.lastStore, ld.ID)
+	}
+	st.loadsSince = append(st.loadsSince, ld.ID)
+	return ld.ID
+}
+
+// Store writes value v (an instruction ID) to element e of the array.
+func (p *Program) Store(a Array, e, v int) {
+	p.checkElem(a, e)
+	st, bank, addr := p.cell(a, e)
+	sto := p.g.AddStore(bank, p.Const(addr), v)
+	if p.preplace {
+		sto.Home = bank % p.clusters
+	}
+	sto.Name = fmt.Sprintf("%s[%d]", a.Name, e)
+	if st.lastStore >= 0 {
+		p.g.AddMemEdge(st.lastStore, sto.ID)
+	}
+	for _, ld := range st.loadsSince {
+		p.g.AddMemEdge(ld, sto.ID)
+	}
+	st.lastStore = sto.ID
+	st.loadsSince = nil
+}
+
+// InitFloat writes a float into the memory cell of element e of the array,
+// using the same bank interleaving the program compiled against. Use it to
+// build the initial memory for simulation.
+func InitFloat(mem sim.Memory, a Array, e, clusters int, v float64) {
+	mem.Store(a.Bank(e, clusters), a.Addr(e, clusters), sim.FloatVal(v))
+}
+
+// InitInt writes an integer into the memory cell of element e of the array.
+func InitInt(mem sim.Memory, a Array, e, clusters int, v int64) {
+	mem.Store(a.Bank(e, clusters), a.Addr(e, clusters), sim.IntVal(v))
+}
+
+// ReadFloat reads element e of the array from memory as a float.
+func ReadFloat(mem sim.Memory, a Array, e, clusters int) float64 {
+	return mem.Load(a.Bank(e, clusters), a.Addr(e, clusters)).AsFloat()
+}
+
+// ReadInt reads element e of the array from memory as an integer.
+func ReadInt(mem sim.Memory, a Array, e, clusters int) int64 {
+	return mem.Load(a.Bank(e, clusters), a.Addr(e, clusters)).AsInt()
+}

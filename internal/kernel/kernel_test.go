@@ -1,0 +1,170 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/listsched"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func TestArrayInterleaving(t *testing.T) {
+	p := New("t", 4, true)
+	a := p.Array("a", 16)
+	if a.Bank(0, 4) != 0 || a.Bank(5, 4) != 1 || a.Bank(15, 4) != 3 {
+		t.Error("Bank interleaving wrong")
+	}
+	if a.Addr(0, 4) != a.Base || a.Addr(4, 4) != a.Base+1 || a.Addr(15, 4) != a.Base+3 {
+		t.Error("Addr layout wrong")
+	}
+}
+
+func TestArraysDoNotOverlap(t *testing.T) {
+	p := New("t", 2, true)
+	a := p.Array("a", 10)
+	b := p.Array("b", 10)
+	// Worst case single cluster: a uses Base..Base+9.
+	if b.Base <= a.Base+9 {
+		t.Errorf("arrays overlap: a.Base=%d b.Base=%d", a.Base, b.Base)
+	}
+}
+
+func TestLoadsArePreplacedOnBankOwner(t *testing.T) {
+	p := New("t", 4, true)
+	a := p.Array("a", 8)
+	id := p.Load(a, 5)
+	in := p.Graph().Instrs[id]
+	if in.Op != ir.Load || in.Bank != 1 || in.Home != 1 {
+		t.Errorf("load = %+v", in)
+	}
+	p2 := New("t", 4, false)
+	a2 := p2.Array("a", 8)
+	id2 := p2.Load(a2, 5)
+	if p2.Graph().Instrs[id2].Preplaced() {
+		t.Error("preplace=false still preplaced")
+	}
+}
+
+func TestConstDeduplication(t *testing.T) {
+	p := New("t", 2, true)
+	if p.Const(7) != p.Const(7) {
+		t.Error("int consts not deduplicated")
+	}
+	if p.FConst(1.5) != p.FConst(1.5) {
+		t.Error("float consts not deduplicated")
+	}
+	if p.Const(7) == p.Const(8) {
+		t.Error("distinct consts collided")
+	}
+}
+
+func TestAliasEdgesExact(t *testing.T) {
+	p := New("t", 2, true)
+	a := p.Array("a", 4)
+	v := p.Const(42)
+	p.Store(a, 0, v) // bank 0
+	p.Load(a, 0)     // must be ordered after the store
+	p.Load(a, 2)     // same bank 0, different address: no edge
+	p.Store(a, 1, v) // bank 1: no edge
+	g := p.Graph()
+	edges := g.MemEdges()
+	if len(edges) != 1 {
+		t.Fatalf("MemEdges = %v, want exactly one (store->aliasing load)", edges)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreAfterLoadGetsAntiEdge(t *testing.T) {
+	p := New("t", 1, true)
+	a := p.Array("a", 2)
+	ld := p.Load(a, 0)
+	p.Store(a, 0, p.Const(1))
+	g := p.Graph()
+	found := false
+	for _, e := range g.MemEdges() {
+		if e[0] == ld {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no anti-dependence edge from load to store")
+	}
+}
+
+func TestStoreStoreOrdering(t *testing.T) {
+	p := New("t", 1, true)
+	a := p.Array("a", 1)
+	p.Store(a, 0, p.Const(1))
+	p.Store(a, 0, p.Const(2))
+	ld := p.Load(a, 0)
+	g := p.Graph()
+	// Schedule on one tile and verify the final value is the second
+	// store's.
+	m := machine.Raw(1)
+	s, err := listsched.Run(g, m, listsched.Options{Assignment: make([]int, g.Len())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Verify(s, sim.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[ld].I != 2 {
+		t.Errorf("load sees %v, want 2", res.Values[ld])
+	}
+}
+
+func TestBoundsChecked(t *testing.T) {
+	p := New("t", 2, true)
+	a := p.Array("a", 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-bounds access did not panic")
+		}
+	}()
+	p.Load(a, 4)
+}
+
+func TestInitAndReadHelpers(t *testing.T) {
+	p := New("t", 4, true)
+	a := p.Array("a", 8)
+	mem := sim.NewMemory()
+	InitFloat(mem, a, 6, 4, 2.5)
+	if got := ReadFloat(mem, a, 6, 4); got != 2.5 {
+		t.Errorf("ReadFloat = %v", got)
+	}
+	InitInt(mem, a, 3, 4, 9)
+	if got := ReadInt(mem, a, 3, 4); got != 9 {
+		t.Errorf("ReadInt = %v", got)
+	}
+	// The load instruction must observe the same cell InitFloat wrote.
+	id := p.Load(a, 6)
+	res, err := sim.Reference(p.Graph(), mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Values[id].AsFloat(); got != 2.5 {
+		t.Errorf("loaded %v, want 2.5", got)
+	}
+}
+
+func TestSingleClusterLayout(t *testing.T) {
+	// clusters=1 puts everything in bank 0 with dense addresses.
+	p := New("t", 1, true)
+	a := p.Array("a", 5)
+	for e := 0; e < 5; e++ {
+		if a.Bank(e, 1) != 0 {
+			t.Errorf("element %d in bank %d", e, a.Bank(e, 1))
+		}
+		if a.Addr(e, 1) != a.Base+int64(e) {
+			t.Errorf("element %d at %d", e, a.Addr(e, 1))
+		}
+	}
+	id := p.Load(a, 4)
+	if p.Graph().Instrs[id].Home != 0 {
+		t.Error("single-cluster load not homed on 0")
+	}
+}

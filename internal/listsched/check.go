@@ -1,0 +1,38 @@
+package listsched
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// CheckGraph verifies that a graph can be scheduled on the machine at all:
+// the graph is structurally valid, every preplacement home names an
+// existing cluster, every preplaced memory operation's home can actually
+// reach its bank, and every opcode has a functional unit. All schedulers
+// call this before doing any work, so malformed inputs fail with a clear
+// error instead of corrupting a weight matrix or an assignment.
+func CheckGraph(g *ir.Graph, m *machine.Model) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	for i, in := range g.Instrs {
+		if in.Home >= m.NumClusters {
+			return fmt.Errorf("listsched: instr %d homed on cluster %d, machine %s has %d",
+				i, in.Home, m.Name, m.NumClusters)
+		}
+		if in.Preplaced() {
+			if _, ok := m.InstrLatency(in, in.Home); !ok {
+				return fmt.Errorf("listsched: instr %d (%v bank %d) cannot execute on its home cluster %d of %s",
+					i, in.Op, in.Bank, in.Home, m.Name)
+			}
+		} else if in.Op.IsMemory() && m.RemoteMemPenalty < 0 && m.BankOwner(in.Bank) >= m.NumClusters {
+			return fmt.Errorf("listsched: instr %d accesses bank %d with no owner on %s", i, in.Bank, m.Name)
+		}
+		if in.Op != ir.Nop && m.FirstFU(in.Op) < 0 {
+			return fmt.Errorf("listsched: no functional unit on %s runs %v", m.Name, in.Op)
+		}
+	}
+	return nil
+}

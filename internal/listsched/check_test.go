@@ -1,0 +1,62 @@
+package listsched
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+func TestCheckGraphAcceptsGoodGraph(t *testing.T) {
+	g := ir.New("ok")
+	a := g.AddConst(0)
+	ld := g.AddLoad(3, a.ID)
+	ld.Home = 3
+	g.Add(ir.Neg, ld.ID)
+	if err := CheckGraph(g, machine.Raw(4)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckGraphRejectsOutOfRangeHome(t *testing.T) {
+	g := ir.New("home")
+	a := g.AddConst(0)
+	a.Home = 7
+	if err := CheckGraph(g, machine.Raw(4)); err == nil {
+		t.Error("accepted home 7 on a 4-tile machine")
+	}
+}
+
+func TestCheckGraphRejectsHomeBankMismatchOnRaw(t *testing.T) {
+	g := ir.New("mismatch")
+	a := g.AddConst(0)
+	ld := g.AddLoad(2, a.ID)
+	ld.Home = 1 // bank 2 is owned by tile 2, not 1
+	if err := CheckGraph(g, machine.Raw(4)); err == nil {
+		t.Error("accepted Raw load homed off its bank owner")
+	}
+	// The same graph is fine on a VLIW (remote access allowed).
+	if err := CheckGraph(g, machine.Chorus(4)); err != nil {
+		t.Errorf("VLIW rejected remote-capable load: %v", err)
+	}
+}
+
+func TestCheckGraphRejectsInvalidGraph(t *testing.T) {
+	g := ir.New("bad")
+	a := g.AddConst(0)
+	ld := g.AddLoad(0, a.ID)
+	ld.Bank = ir.NoBank // corrupt it
+	if err := CheckGraph(g, machine.Raw(4)); err == nil {
+		t.Error("accepted structurally invalid graph")
+	}
+}
+
+func TestAllSchedulersRejectBadHomes(t *testing.T) {
+	g := ir.New("bad")
+	a := g.AddConst(0)
+	a.Home = 9
+	m := machine.Chorus(4)
+	if _, err := Run(g, m, Options{Assignment: []int{9}}); err == nil {
+		t.Error("listsched accepted out-of-range assignment")
+	}
+}

@@ -1,0 +1,287 @@
+package listsched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/schedule"
+)
+
+func mustRun(t *testing.T, g *ir.Graph, m *machine.Model, opt Options) *schedule.Schedule {
+	t.Helper()
+	s, err := Run(g, m, opt)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v\n%s", err, s)
+	}
+	return s
+}
+
+// chain builds a serial dependence chain of n Neg ops rooted at a constant.
+func chain(n int) *ir.Graph {
+	g := ir.New("chain")
+	prev := g.AddConst(1).ID
+	for i := 0; i < n; i++ {
+		prev = g.Add(ir.Neg, prev).ID
+	}
+	return g
+}
+
+func zeros(n int) []int { return make([]int, n) }
+
+func TestChainOnSingleTileIsSerial(t *testing.T) {
+	g := chain(4)
+	m := machine.Raw(1)
+	s := mustRun(t, g, m, Options{Assignment: zeros(g.Len())})
+	if got, want := s.Length(), 5; got != want {
+		t.Errorf("Length = %d, want %d", got, want)
+	}
+	if s.CommCount() != 0 {
+		t.Errorf("CommCount = %d, want 0", s.CommCount())
+	}
+}
+
+func TestCrossClusterEdgeInsertsComm(t *testing.T) {
+	g := ir.New("cross")
+	a := g.AddConst(1)
+	b := g.Add(ir.Neg, a.ID)
+	g.Add(ir.Not, b.ID)
+	m := machine.Raw(2)
+	s := mustRun(t, g, m, Options{Assignment: []int{0, 0, 1}})
+	if s.CommCount() != 1 {
+		t.Fatalf("CommCount = %d, want 1", s.CommCount())
+	}
+	c := s.Comms[0]
+	if c.From != 0 || c.To != 1 || c.Value != b.ID {
+		t.Errorf("Comm = %+v", c)
+	}
+	// neg ready at 2, comm latency 3 → not cannot start before 5.
+	if s.Placements[2].Start < 5 {
+		t.Errorf("consumer starts at %d, before comm arrival", s.Placements[2].Start)
+	}
+}
+
+func TestConstBroadcastsAsImmediate(t *testing.T) {
+	// A constant consumed on another cluster needs no communication and
+	// no waiting beyond its own materialisation.
+	g := ir.New("imm")
+	a := g.AddConst(1)
+	g.Add(ir.Neg, a.ID)
+	m := machine.Raw(2)
+	s := mustRun(t, g, m, Options{Assignment: []int{0, 1}})
+	if s.CommCount() != 0 {
+		t.Fatalf("CommCount = %d, want 0 (immediate broadcast)", s.CommCount())
+	}
+	if s.Placements[1].Start != 1 {
+		t.Errorf("consumer starts at %d, want 1", s.Placements[1].Start)
+	}
+}
+
+func TestCommReusedForMultipleConsumers(t *testing.T) {
+	g := ir.New("fanout")
+	a := g.AddConst(1)
+	b := g.Add(ir.Neg, a.ID)
+	g.Add(ir.Neg, b.ID)
+	g.Add(ir.Not, b.ID)
+	m := machine.Raw(2)
+	s := mustRun(t, g, m, Options{Assignment: []int{0, 0, 1, 1}})
+	if s.CommCount() != 1 {
+		t.Errorf("CommCount = %d, want 1 (value should be moved once)", s.CommCount())
+	}
+}
+
+func TestFUContentionSerialises(t *testing.T) {
+	g := ir.New("contend")
+	a := g.AddConst(1)
+	g.Add(ir.Neg, a.ID)
+	g.Add(ir.Not, a.ID)
+	m := machine.Raw(1) // one do-everything FU
+	s := mustRun(t, g, m, Options{Assignment: zeros(3)})
+	if s.Placements[1].Start == s.Placements[2].Start {
+		t.Error("two ops issued on the same single-FU tile in one cycle")
+	}
+}
+
+func TestVliwParallelIssueAcrossFUs(t *testing.T) {
+	g := ir.New("vliwpar")
+	a := g.AddConst(1)
+	f := g.AddFConst(2.0)
+	g.Add(ir.Neg, a.ID)  // int ALU
+	g.Add(ir.FNeg, f.ID) // FPU
+	m := machine.Chorus(1)
+	s := mustRun(t, g, m, Options{Assignment: zeros(4)})
+	if s.Placements[2].Start != s.Placements[3].Start {
+		t.Errorf("int op at %d, float op at %d: should co-issue on different FUs",
+			s.Placements[2].Start, s.Placements[3].Start)
+	}
+}
+
+func TestPriorityBreaksContention(t *testing.T) {
+	g := ir.New("prio")
+	a := g.AddConst(1)
+	x := g.Add(ir.Neg, a.ID)
+	y := g.Add(ir.Not, a.ID)
+	m := machine.Raw(1)
+	prio := make([]float64, g.Len())
+	prio[x.ID] = 2
+	prio[y.ID] = 1 // y should win the contended slot
+	s := mustRun(t, g, m, Options{Assignment: zeros(3), Priority: prio})
+	if s.Placements[y.ID].Start > s.Placements[x.ID].Start {
+		t.Errorf("priority ignored: y at %d, x at %d", s.Placements[y.ID].Start, s.Placements[x.ID].Start)
+	}
+}
+
+func TestRemoteLoadOnVliwPaysPenalty(t *testing.T) {
+	g := ir.New("remote")
+	addr := g.AddConst(0)
+	ld := g.AddLoad(1, addr.ID) // bank 1 owned by cluster 1
+	m := machine.Chorus(4)
+	s := mustRun(t, g, m, Options{Assignment: zeros(2)})
+	if got, want := s.Placements[ld.ID].Latency, m.OpLatency(ir.Load)+1; got != want {
+		t.Errorf("remote load latency = %d, want %d", got, want)
+	}
+}
+
+func TestRawRejectsRemoteMemoryAssignment(t *testing.T) {
+	g := ir.New("rawmem")
+	addr := g.AddConst(0)
+	g.AddLoad(1, addr.ID)
+	m := machine.Raw(2)
+	if _, err := Run(g, m, Options{Assignment: []int{0, 0}}); err == nil {
+		t.Error("Run accepted a Raw load off its home tile")
+	}
+}
+
+func TestPreplacementEnforced(t *testing.T) {
+	g := ir.New("pp")
+	a := g.AddConst(1)
+	a.Home = 1
+	m := machine.Raw(2)
+	if _, err := Run(g, m, Options{Assignment: []int{0}}); err == nil {
+		t.Error("Run accepted assignment violating preplacement")
+	}
+	s := mustRun(t, g, m, Options{Assignment: []int{1}})
+	if s.Placements[0].Cluster != 1 {
+		t.Error("preplaced instruction not on home")
+	}
+}
+
+func TestMemoryEdgeOrdersAccesses(t *testing.T) {
+	g := ir.New("memorder")
+	addr := g.AddConst(0)
+	v := g.AddConst(42)
+	st := g.AddStore(0, addr.ID, v.ID)
+	ld := g.AddLoad(0, addr.ID)
+	g.AddMemEdge(st.ID, ld.ID)
+	m := machine.Chorus(1)
+	s := mustRun(t, g, m, Options{Assignment: zeros(4)})
+	if s.Placements[ld.ID].Start < s.Placements[st.ID].Ready() {
+		t.Error("load issued before store completed")
+	}
+}
+
+func TestXferUnitContention(t *testing.T) {
+	// Two values produced on cluster 0 both consumed on cluster 1: the
+	// single transfer unit must serialise the two departures.
+	g := ir.New("xfer")
+	a := g.AddConst(1)
+	x := g.Add(ir.Neg, a.ID)
+	y := g.Add(ir.Not, a.ID)
+	g.Add(ir.Add, x.ID, y.ID)
+	m := machine.Chorus(2)
+	s := mustRun(t, g, m, Options{Assignment: []int{0, 0, 0, 1}})
+	if s.CommCount() != 2 {
+		t.Fatalf("CommCount = %d, want 2", s.CommCount())
+	}
+	if s.Comms[0].Depart == s.Comms[1].Depart {
+		t.Error("two comms departed cluster 0 in the same cycle despite one transfer unit")
+	}
+}
+
+func TestBadOptionsRejected(t *testing.T) {
+	g := chain(2)
+	m := machine.Raw(2)
+	if _, err := Run(g, m, Options{Assignment: []int{0}}); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if _, err := Run(g, m, Options{Assignment: []int{0, 0, 5}}); err == nil {
+		t.Error("out-of-range cluster accepted")
+	}
+	if _, err := Run(g, m, Options{Assignment: zeros(3), Priority: []float64{1}}); err == nil {
+		t.Error("short priority accepted")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := ir.New("empty")
+	m := machine.Raw(1)
+	s := mustRun(t, g, m, Options{Assignment: nil})
+	if s.Length() != 0 {
+		t.Errorf("empty schedule length = %d", s.Length())
+	}
+}
+
+func TestScheduleStringRender(t *testing.T) {
+	g := chain(2)
+	m := machine.Raw(1)
+	s := mustRun(t, g, m, Options{Assignment: zeros(3)})
+	out := s.String()
+	if !strings.Contains(out, "chain") || !strings.Contains(out, "neg") {
+		t.Errorf("String output missing content:\n%s", out)
+	}
+}
+
+func TestWideGraphUsesAllTiles(t *testing.T) {
+	// 8 independent chains on Raw(4): a sane assignment spreads them and
+	// the schedule must be much shorter than serial.
+	g := ir.New("wide")
+	assign := make([]int, 0, 32)
+	for c := 0; c < 8; c++ {
+		prev := g.AddConst(int64(c)).ID
+		assign = append(assign, c%4)
+		for k := 0; k < 3; k++ {
+			prev = g.Add(ir.Neg, prev).ID
+			assign = append(assign, c%4)
+		}
+	}
+	m := machine.Raw(4)
+	s := mustRun(t, g, m, Options{Assignment: assign})
+	serial := 0
+	for _, in := range g.Instrs {
+		serial += m.OpLatency(in.Op)
+	}
+	if s.Length() >= serial {
+		t.Errorf("Length = %d, not better than serial %d", s.Length(), serial)
+	}
+	if s.CommCount() != 0 {
+		t.Errorf("CommCount = %d, want 0 for independent chains", s.CommCount())
+	}
+}
+
+func TestCriticalPathPriorityOrdersByHeight(t *testing.T) {
+	g := ir.New("cp")
+	a := g.AddConst(1) // root of long chain
+	b := g.AddConst(2) // root of short chain
+	x := g.Add(ir.Neg, a.ID)
+	g.Add(ir.Neg, x.ID)
+	g.Add(ir.Not, b.ID)
+	m := machine.Raw(1)
+	p := CriticalPathPriority(g, m)
+	if p[a.ID] >= p[b.ID] {
+		t.Errorf("long-chain root priority %v should beat short-chain %v", p[a.ID], p[b.ID])
+	}
+}
+
+func TestMaxLivePositive(t *testing.T) {
+	g := chain(3)
+	m := machine.Raw(1)
+	s := mustRun(t, g, m, Options{Assignment: zeros(4)})
+	live := s.MaxLivePerCluster()
+	if len(live) != 1 || live[0] < 1 {
+		t.Errorf("MaxLivePerCluster = %v", live)
+	}
+}

@@ -1,0 +1,49 @@
+package listsched
+
+import (
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// SpreadConsts rebalances constant instructions across clusters in place.
+//
+// Under the immediate-broadcast rule a constant's cluster never causes
+// communication — it only consumes an issue slot — so the best cluster for
+// a constant is simply the least crowded one among the clusters that use
+// it. Assignment heuristics tuned for real values (FIRST bias, communication
+// affinity) systematically pile constants onto one cluster, which then
+// steals issue slots from that cluster's real work; every assignment-based
+// scheduler calls this after assignment so all of them compete under the
+// same rule. Preplaced instructions are never moved.
+func SpreadConsts(g *ir.Graph, m *machine.Model, assign []int) {
+	g.Seal()
+	counts := make([]int, m.NumClusters)
+	for _, c := range assign {
+		counts[c]++
+	}
+	for i, in := range g.Instrs {
+		if !in.Op.IsConst() || in.Preplaced() {
+			continue
+		}
+		// Candidate clusters: those hosting a consumer (any cluster
+		// if the constant is dead).
+		cand := map[int]bool{}
+		for _, s := range g.Succs(i) {
+			cand[assign[s]] = true
+		}
+		if len(cand) == 0 {
+			cand[assign[i]] = true
+		}
+		best, bestCount := -1, 0
+		for c := range cand {
+			if best < 0 || counts[c] < bestCount || (counts[c] == bestCount && c < best) {
+				best, bestCount = c, counts[c]
+			}
+		}
+		if best != assign[i] {
+			counts[assign[i]]--
+			counts[best]++
+			assign[i] = best
+		}
+	}
+}

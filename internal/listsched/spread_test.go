@@ -1,0 +1,100 @@
+package listsched
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+func TestSpreadConstsMovesToConsumerClusters(t *testing.T) {
+	g := ir.New("spread")
+	c := g.AddConst(7)
+	g.Add(ir.Neg, c.ID) // consumer on cluster 2
+	g.Add(ir.Not, c.ID) // consumer on cluster 3
+	m := machine.Chorus(4)
+	assign := []int{0, 2, 3}
+	SpreadConsts(g, m, assign)
+	if assign[c.ID] != 2 && assign[c.ID] != 3 {
+		t.Errorf("const moved to %d, want a consumer cluster", assign[c.ID])
+	}
+}
+
+func TestSpreadConstsBalances(t *testing.T) {
+	// Many consts all consumed on two clusters: they should split rather
+	// than pile up.
+	g := ir.New("bal")
+	var consts []int
+	for i := 0; i < 10; i++ {
+		c := g.AddConst(int64(i))
+		consts = append(consts, c.ID)
+		g.Add(ir.Neg, c.ID)
+		g.Add(ir.Not, c.ID)
+	}
+	m := machine.Chorus(4)
+	assign := make([]int, g.Len())
+	for i := range assign {
+		assign[i] = 0
+	}
+	// Consumers alternate between clusters 1 and 2.
+	for k, id := range consts {
+		assign[id+1] = 1 + k%2
+		assign[id+2] = 1 + k%2
+	}
+	SpreadConsts(g, m, assign)
+	counts := map[int]int{}
+	for _, id := range consts {
+		counts[assign[id]]++
+	}
+	if counts[0] != 0 {
+		t.Errorf("consts left on consumer-less cluster 0: %v", counts)
+	}
+	if counts[1] == 0 || counts[2] == 0 {
+		t.Errorf("consts not spread: %v", counts)
+	}
+}
+
+func TestSpreadConstsLeavesNonConstsAndPreplaced(t *testing.T) {
+	g := ir.New("pin")
+	c := g.AddConst(1)
+	c.Home = 0 // preplaced constant (live across regions)
+	n := g.Add(ir.Neg, c.ID)
+	m := machine.Chorus(4)
+	assign := []int{0, 3}
+	SpreadConsts(g, m, assign)
+	if assign[c.ID] != 0 {
+		t.Errorf("preplaced const moved to %d", assign[c.ID])
+	}
+	if assign[n.ID] != 3 {
+		t.Errorf("non-const moved to %d", assign[n.ID])
+	}
+}
+
+func TestSpreadConstsDeadConstStays(t *testing.T) {
+	g := ir.New("dead")
+	c := g.AddConst(1)
+	m := machine.Chorus(4)
+	assign := []int{2}
+	SpreadConsts(g, m, assign)
+	if assign[c.ID] != 2 {
+		t.Errorf("dead const moved to %d", assign[c.ID])
+	}
+}
+
+func TestSpreadConstsKeepsScheduleLegal(t *testing.T) {
+	g := ir.New("legal")
+	c := g.AddConst(1)
+	a := g.Add(ir.Neg, c.ID)
+	b := g.Add(ir.Not, c.ID)
+	g.Add(ir.Add, a.ID, b.ID)
+	m := machine.Raw(4)
+	assign := []int{0, 1, 2, 3}
+	SpreadConsts(g, m, assign)
+	s, err := Run(g, m, Options{Assignment: assign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

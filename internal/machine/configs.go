@@ -1,0 +1,139 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// defaultLatencies is a MIPS-R4000-flavoured latency table, matching the
+// paper's statement that both infrastructures base instruction latencies on
+// the R4000. Exact testbed numbers are not published; these approximations
+// preserve the ratios that matter to the heuristics (multiplies and divides
+// are long, ALU ops are single-cycle, loads are a couple of cycles).
+func defaultLatencies() [ir.NumOps]int {
+	var lat [ir.NumOps]int
+	for op := range lat {
+		lat[op] = 1
+	}
+	lat[ir.Mul] = 2
+	lat[ir.Div] = 12
+	lat[ir.Rem] = 12
+	lat[ir.FAdd] = 2
+	lat[ir.FSub] = 2
+	lat[ir.FMul] = 4
+	lat[ir.FDiv] = 12
+	lat[ir.FSqrt] = 12
+	lat[ir.FMA] = 4
+	lat[ir.IntToFloat] = 2
+	lat[ir.FloatToInt] = 2
+	lat[ir.Load] = 2
+	lat[ir.Store] = 1
+	return lat
+}
+
+// rawMesh returns the width and height of the mesh used for an n-tile Raw
+// configuration. The paper evaluates 2, 4, 8 and 16 tiles; we arrange them
+// as 1x2, 2x2, 2x4 and 4x4.
+func rawMesh(tiles int) (w, h int, err error) {
+	switch tiles {
+	case 1:
+		return 1, 1, nil
+	case 2:
+		return 2, 1, nil
+	case 4:
+		return 2, 2, nil
+	case 8:
+		return 4, 2, nil
+	case 16:
+		return 4, 4, nil
+	}
+	// General fallback: widest w <= sqrt that divides tiles.
+	for w := 1; w*w <= tiles; w++ {
+		if tiles%w == 0 {
+			h = tiles / w
+		}
+	}
+	if h > 0 {
+		return tiles / h, h, nil
+	}
+	return 0, 0, fmt.Errorf("machine: cannot arrange %d tiles in a mesh", tiles)
+}
+
+// Raw returns a Raw-machine model with the given number of tiles. Each tile
+// has one do-everything functional unit, its own memory bank set, and
+// register-mapped static-network ports: communication costs 3 cycles between
+// neighbouring tiles plus 1 per additional hop, and each tile can inject and
+// accept one word per cycle. Memory operations must execute on the tile
+// owning their bank.
+func Raw(tiles int) *Model {
+	w, h, err := rawMesh(tiles)
+	if err != nil {
+		panic(err)
+	}
+	m := &Model{
+		Name:             fmt.Sprintf("raw%d", tiles),
+		NumClusters:      tiles,
+		FUs:              []FUKind{KindAll},
+		MeshW:            w,
+		MeshH:            h,
+		CommBase:         3,
+		CommPerHop:       1,
+		SendPorts:        1,
+		RecvPorts:        1,
+		RemoteMemPenalty: -1,
+		lat:              defaultLatencies(),
+	}
+	return m
+}
+
+// Chorus returns a clustered-VLIW model in the style of the MIT Chorus
+// infrastructure: each cluster has one integer ALU, one integer ALU/memory
+// unit, one floating-point unit and one transfer unit; a register value
+// copies between any two clusters in one cycle via the transfer unit; memory
+// addresses are interleaved across clusters and a remote access pays one
+// extra cycle.
+func Chorus(clusters int) *Model {
+	if clusters < 1 {
+		panic(fmt.Sprintf("machine: Chorus(%d)", clusters))
+	}
+	m := &Model{
+		Name:             fmt.Sprintf("vliw%d", clusters),
+		NumClusters:      clusters,
+		FUs:              []FUKind{KindIntALU, KindIntMem, KindFloat, KindXfer},
+		CommBase:         1,
+		CommPerHop:       0,
+		SendPorts:        1,
+		RecvPorts:        2,
+		RemoteMemPenalty: 1,
+		lat:              defaultLatencies(),
+	}
+	return m
+}
+
+// SingleVLIW returns the one-cluster reference machine for Figure 8's
+// speedup baseline: the same four functional units as one Chorus cluster.
+func SingleVLIW() *Model {
+	m := Chorus(1)
+	m.Name = "vliw1"
+	return m
+}
+
+// Named returns the model for a command-line name such as "raw16" or
+// "vliw4".
+func Named(name string) (*Model, error) {
+	var n int
+	if _, err := fmt.Sscanf(name, "raw%d", &n); err == nil {
+		if _, _, merr := rawMesh(n); merr != nil {
+			return nil, merr
+		}
+		return Raw(n), nil
+	}
+	if _, err := fmt.Sscanf(name, "vliw%d", &n); err == nil {
+		if n < 1 {
+			return nil, fmt.Errorf("machine: bad cluster count in %q", name)
+		}
+		return Chorus(n), nil
+	}
+	return nil, fmt.Errorf("machine: unknown machine %q (want rawN or vliwN)", name)
+}

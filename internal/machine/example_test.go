@@ -1,0 +1,54 @@
+package machine_test
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// Example shows the two machine models' communication costs side by side.
+func Example() {
+	raw := machine.Raw(16)
+	vliw := machine.Chorus(4)
+	fmt.Printf("raw16 neighbour hop: %d cycles\n", raw.CommLatency(0, 1))
+	fmt.Printf("raw16 corner to corner: %d cycles\n", raw.CommLatency(0, 15))
+	fmt.Printf("vliw4 any copy: %d cycle\n", vliw.CommLatency(0, 3))
+	fmt.Printf("vliw4 remote load penalty: +%d cycle\n", vliw.RemoteMemPenalty)
+	// Output:
+	// raw16 neighbour hop: 3 cycles
+	// raw16 corner to corner: 8 cycles
+	// vliw4 any copy: 1 cycle
+	// vliw4 remote load penalty: +1 cycle
+}
+
+// ExampleModel_Route shows dimension-ordered routing on the mesh.
+func ExampleModel_Route() {
+	m := machine.Raw(16) // 4x4, tile = y*4 + x
+	for _, l := range m.Route(0, 10) {
+		fmt.Printf("%d -> %d\n", l.From, l.To)
+	}
+	// Output:
+	// 0 -> 1
+	// 1 -> 2
+	// 2 -> 6
+	// 6 -> 10
+}
+
+// ExampleModel_InstrLatency shows the memory-locality rules: Raw memory
+// operations must execute on their bank's home tile, while the VLIW pays a
+// one-cycle penalty for remote access.
+func ExampleModel_InstrLatency() {
+	ld := &ir.Instr{Op: ir.Load, Bank: 2}
+	raw := machine.Raw(4)
+	if _, ok := raw.InstrLatency(ld, 0); !ok {
+		fmt.Println("raw: remote load illegal")
+	}
+	vliw := machine.Chorus(4)
+	local, _ := vliw.InstrLatency(ld, 2)
+	remote, _ := vliw.InstrLatency(ld, 0)
+	fmt.Printf("vliw: local %d cycles, remote %d cycles\n", local, remote)
+	// Output:
+	// raw: remote load illegal
+	// vliw: local 2 cycles, remote 3 cycles
+}

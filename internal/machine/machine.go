@@ -1,0 +1,259 @@
+// Package machine describes the spatial architectures that schedules are
+// produced for: the Raw tiled processor and the Chorus-style clustered VLIW
+// used in the paper's evaluation, plus single-cluster reference machines.
+//
+// A Model exposes exactly what the schedulers need and nothing more: how many
+// clusters exist, which functional units each cluster has, opcode latencies,
+// the communication latency/occupancy model, and how memory banks map to
+// clusters. Both the convergent scheduler and the baselines are written
+// against this interface, so all of them pay identical costs.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// FUKind classifies a functional unit by the opcodes it can issue.
+type FUKind int
+
+const (
+	// KindAll runs every opcode. A Raw tile has a single KindAll unit.
+	KindAll FUKind = iota
+	// KindIntALU runs integer ALU opcodes (no memory, no floating point).
+	KindIntALU
+	// KindIntMem runs integer ALU opcodes plus Load/Store.
+	KindIntMem
+	// KindFloat runs floating-point opcodes and conversions.
+	KindFloat
+	// KindXfer runs only inter-cluster copies; list schedulers reserve it
+	// for communication operations.
+	KindXfer
+)
+
+// String names the unit kind.
+func (k FUKind) String() string {
+	switch k {
+	case KindAll:
+		return "all"
+	case KindIntALU:
+		return "ialu"
+	case KindIntMem:
+		return "imem"
+	case KindFloat:
+		return "fpu"
+	case KindXfer:
+		return "xfer"
+	}
+	return fmt.Sprintf("fu(%d)", int(k))
+}
+
+// CanRun reports whether a unit of this kind can issue the opcode.
+// Communication copies are handled separately by the schedulers; CanRun
+// covers graph instructions only.
+func (k FUKind) CanRun(op ir.Op) bool {
+	switch k {
+	case KindAll:
+		return true
+	case KindIntALU:
+		return !op.IsMemory() && !op.IsFloat()
+	case KindIntMem:
+		return !op.IsFloat()
+	case KindFloat:
+		return op.IsFloat() || op == FloatToIntOp
+	case KindXfer:
+		return false
+	}
+	return false
+}
+
+// FloatToIntOp aliases ir.FloatToInt so CanRun can special-case it: the
+// conversion reads a float, so it issues on the FPU even though its result
+// is integer.
+const FloatToIntOp = ir.FloatToInt
+
+// Model is a machine description. Clusters are identical; communication
+// topology distinguishes Raw (2D mesh, multi-cycle hops) from clustered
+// VLIW (full crossbar, single-cycle copies).
+type Model struct {
+	// Name labels the model in tables ("raw16", "vliw4", ...).
+	Name string
+	// NumClusters is the number of clusters (tiles on Raw).
+	NumClusters int
+	// FUs lists the functional units present in every cluster.
+	FUs []FUKind
+
+	// MeshW and MeshH give the mesh arrangement when both are positive;
+	// cluster c sits at (c mod MeshW, c div MeshW). Zero means a full
+	// crossbar (clustered VLIW).
+	MeshW, MeshH int
+
+	// CommBase is the cycles for a value to move between two distinct
+	// clusters at distance 1; CommPerHop is added per extra hop.
+	CommBase, CommPerHop int
+
+	// SendPorts and RecvPorts bound how many values a cluster can inject
+	// into / accept from the network per cycle.
+	SendPorts, RecvPorts int
+
+	// RemoteMemPenalty is the extra latency for a memory op executing on
+	// a cluster that does not own the bank. Negative means remote access
+	// is illegal (Raw: memory ops must run on the bank's home tile).
+	RemoteMemPenalty int
+
+	lat [ir.NumOps]int
+}
+
+// OpLatency returns the result latency of the opcode in cycles (at least 1).
+func (m *Model) OpLatency(op ir.Op) int {
+	if !op.Valid() {
+		return 1
+	}
+	return m.lat[op]
+}
+
+// LatencyFunc adapts the model to ir.LatencyFunc.
+func (m *Model) LatencyFunc() ir.LatencyFunc { return m.OpLatency }
+
+// BankOwner returns the cluster that owns a memory bank. Banks are
+// interleaved across clusters, matching the congruence transformation the
+// paper's compilers apply.
+func (m *Model) BankOwner(bank int) int {
+	if bank < 0 {
+		return 0
+	}
+	return bank % m.NumClusters
+}
+
+// MemExtra returns the extra latency a memory op pays when executing on the
+// given cluster against the given bank, and whether the access is legal.
+func (m *Model) MemExtra(cluster, bank int) (extra int, ok bool) {
+	if m.BankOwner(bank) == cluster {
+		return 0, true
+	}
+	if m.RemoteMemPenalty < 0 {
+		return 0, false
+	}
+	return m.RemoteMemPenalty, true
+}
+
+// InstrLatency returns the full latency of a graph instruction executing on
+// the given cluster, including any remote-memory penalty, and whether the
+// placement is legal at all.
+func (m *Model) InstrLatency(in *ir.Instr, cluster int) (cycles int, ok bool) {
+	base := m.OpLatency(in.Op)
+	if in.Op.IsMemory() {
+		extra, legal := m.MemExtra(cluster, in.Bank)
+		if !legal {
+			return 0, false
+		}
+		return base + extra, true
+	}
+	return base, true
+}
+
+// Dist returns the hop distance between two clusters: Manhattan distance on
+// a mesh, 1 on a crossbar, 0 for the same cluster.
+func (m *Model) Dist(a, b int) int {
+	if a == b {
+		return 0
+	}
+	if m.MeshW > 0 && m.MeshH > 0 {
+		ax, ay := a%m.MeshW, a/m.MeshW
+		bx, by := b%m.MeshW, b/m.MeshW
+		dx, dy := ax-bx, ay-by
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		return dx + dy
+	}
+	return 1
+}
+
+// CommLatency returns the cycles for a value produced on cluster a to become
+// usable on cluster b: zero for the same cluster, otherwise
+// CommBase + CommPerHop*(Dist-1).
+func (m *Model) CommLatency(a, b int) int {
+	d := m.Dist(a, b)
+	if d == 0 {
+		return 0
+	}
+	return m.CommBase + m.CommPerHop*(d-1)
+}
+
+// MaxCommLatency returns the worst-case CommLatency over all cluster pairs.
+func (m *Model) MaxCommLatency() int {
+	max := 0
+	for a := 0; a < m.NumClusters; a++ {
+		for b := 0; b < m.NumClusters; b++ {
+			if l := m.CommLatency(a, b); l > max {
+				max = l
+			}
+		}
+	}
+	return max
+}
+
+// CanRunOn reports whether functional unit fu of a cluster can issue the
+// instruction.
+func (m *Model) CanRunOn(op ir.Op, fu int) bool {
+	if fu < 0 || fu >= len(m.FUs) {
+		return false
+	}
+	return m.FUs[fu].CanRun(op)
+}
+
+// FirstFU returns the index of some functional unit able to run the opcode,
+// or -1 if none exists.
+func (m *Model) FirstFU(op ir.Op) int {
+	for i, k := range m.FUs {
+		if k.CanRun(op) {
+			return i
+		}
+	}
+	return -1
+}
+
+// XferFU returns the index of the transfer unit, or -1 when communication
+// does not occupy an issue slot (Raw's register-mapped network ports).
+func (m *Model) XferFU() int {
+	for i, k := range m.FUs {
+		if k == KindXfer {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks internal consistency of a model; constructors always
+// produce valid models, so this guards hand-built ones in tests.
+func (m *Model) Validate() error {
+	if m.NumClusters <= 0 {
+		return fmt.Errorf("machine %s: %d clusters", m.Name, m.NumClusters)
+	}
+	if len(m.FUs) == 0 {
+		return fmt.Errorf("machine %s: no functional units", m.Name)
+	}
+	if m.MeshW > 0 && m.MeshH > 0 && m.MeshW*m.MeshH != m.NumClusters {
+		return fmt.Errorf("machine %s: mesh %dx%d does not hold %d clusters", m.Name, m.MeshW, m.MeshH, m.NumClusters)
+	}
+	for op := ir.Op(0); int(op) < ir.NumOps; op++ {
+		if m.lat[op] < 1 {
+			return fmt.Errorf("machine %s: op %v has latency %d", m.Name, op, m.lat[op])
+		}
+		if m.FirstFU(op) < 0 && op != ir.Nop {
+			// Nop never issues; every other opcode needs a unit.
+			if op.Valid() {
+				return fmt.Errorf("machine %s: no functional unit runs %v", m.Name, op)
+			}
+		}
+	}
+	if m.SendPorts < 1 || m.RecvPorts < 1 {
+		return fmt.Errorf("machine %s: ports must be positive", m.Name)
+	}
+	return nil
+}

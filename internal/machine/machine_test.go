@@ -1,0 +1,233 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestRawConfigsValidate(t *testing.T) {
+	for _, tiles := range []int{1, 2, 4, 8, 16} {
+		m := Raw(tiles)
+		if err := m.Validate(); err != nil {
+			t.Errorf("Raw(%d): %v", tiles, err)
+		}
+		if m.NumClusters != tiles {
+			t.Errorf("Raw(%d) has %d clusters", tiles, m.NumClusters)
+		}
+	}
+}
+
+func TestChorusValidates(t *testing.T) {
+	for _, c := range []int{1, 2, 4, 8} {
+		if err := Chorus(c).Validate(); err != nil {
+			t.Errorf("Chorus(%d): %v", c, err)
+		}
+	}
+}
+
+func TestRawMeshDistance(t *testing.T) {
+	m := Raw(16) // 4x4: tile = y*4+x
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 4, 1},
+		{0, 5, 2},
+		{0, 15, 6},
+		{3, 12, 6},
+	}
+	for _, c := range cases {
+		if got := m.Dist(c.a, c.b); got != c.want {
+			t.Errorf("Dist(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := m.Dist(c.b, c.a); got != c.want {
+			t.Errorf("Dist(%d,%d) = %d, want %d (asymmetric)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestRawCommLatency(t *testing.T) {
+	m := Raw(16)
+	// Paper: 3 cycles between neighbours, +1 per extra hop.
+	if got := m.CommLatency(0, 1); got != 3 {
+		t.Errorf("neighbour latency = %d, want 3", got)
+	}
+	if got := m.CommLatency(0, 5); got != 4 {
+		t.Errorf("2-hop latency = %d, want 4", got)
+	}
+	if got := m.CommLatency(0, 15); got != 8 {
+		t.Errorf("corner latency = %d, want 8", got)
+	}
+	if got := m.CommLatency(7, 7); got != 0 {
+		t.Errorf("same-tile latency = %d, want 0", got)
+	}
+	if got := m.MaxCommLatency(); got != 8 {
+		t.Errorf("MaxCommLatency = %d, want 8", got)
+	}
+}
+
+func TestChorusCommLatency(t *testing.T) {
+	m := Chorus(4)
+	if got := m.CommLatency(0, 3); got != 1 {
+		t.Errorf("crossbar copy latency = %d, want 1", got)
+	}
+	if got := m.CommLatency(2, 2); got != 0 {
+		t.Errorf("same-cluster latency = %d, want 0", got)
+	}
+}
+
+func TestRawMemoryIsHomeOnly(t *testing.T) {
+	m := Raw(4)
+	if _, ok := m.MemExtra(1, 1); !ok {
+		t.Error("home access rejected")
+	}
+	if _, ok := m.MemExtra(0, 1); ok {
+		t.Error("Raw allowed a remote memory access")
+	}
+}
+
+func TestChorusRemotePenalty(t *testing.T) {
+	m := Chorus(4)
+	extra, ok := m.MemExtra(0, 1)
+	if !ok || extra != 1 {
+		t.Errorf("remote access = (%d,%v), want (1,true)", extra, ok)
+	}
+	extra, ok = m.MemExtra(1, 5) // bank 5 owned by cluster 1
+	if !ok || extra != 0 {
+		t.Errorf("home access = (%d,%v), want (0,true)", extra, ok)
+	}
+}
+
+func TestBankOwnerInterleaves(t *testing.T) {
+	m := Chorus(4)
+	for bank := 0; bank < 12; bank++ {
+		if got := m.BankOwner(bank); got != bank%4 {
+			t.Errorf("BankOwner(%d) = %d", bank, got)
+		}
+	}
+}
+
+func TestInstrLatency(t *testing.T) {
+	m := Chorus(4)
+	ld := &ir.Instr{Op: ir.Load, Bank: 2}
+	if got, ok := m.InstrLatency(ld, 2); !ok || got != m.OpLatency(ir.Load) {
+		t.Errorf("home load latency = (%d,%v)", got, ok)
+	}
+	if got, ok := m.InstrLatency(ld, 0); !ok || got != m.OpLatency(ir.Load)+1 {
+		t.Errorf("remote load latency = (%d,%v)", got, ok)
+	}
+	add := &ir.Instr{Op: ir.Add, Bank: ir.NoBank}
+	if got, ok := m.InstrLatency(add, 3); !ok || got != 1 {
+		t.Errorf("add latency = (%d,%v)", got, ok)
+	}
+	raw := Raw(4)
+	if _, ok := raw.InstrLatency(ld, 0); ok {
+		t.Error("Raw accepted remote load")
+	}
+}
+
+func TestFUKindDispatch(t *testing.T) {
+	if !KindAll.CanRun(ir.FDiv) || !KindAll.CanRun(ir.Store) {
+		t.Error("KindAll should run everything")
+	}
+	if KindIntALU.CanRun(ir.Load) || KindIntALU.CanRun(ir.FAdd) || !KindIntALU.CanRun(ir.Xor) {
+		t.Error("KindIntALU dispatch wrong")
+	}
+	if !KindIntMem.CanRun(ir.Store) || KindIntMem.CanRun(ir.FMul) {
+		t.Error("KindIntMem dispatch wrong")
+	}
+	if !KindFloat.CanRun(ir.FMA) || !KindFloat.CanRun(ir.FloatToInt) || KindFloat.CanRun(ir.Add) {
+		t.Error("KindFloat dispatch wrong")
+	}
+	if KindXfer.CanRun(ir.Copy) {
+		t.Error("KindXfer must not run graph instructions")
+	}
+}
+
+func TestChorusFUAssignment(t *testing.T) {
+	m := Chorus(4)
+	if fu := m.FirstFU(ir.Load); m.FUs[fu] != KindIntMem {
+		t.Errorf("Load lands on %v", m.FUs[fu])
+	}
+	if fu := m.FirstFU(ir.FAdd); m.FUs[fu] != KindFloat {
+		t.Errorf("FAdd lands on %v", m.FUs[fu])
+	}
+	if fu := m.XferFU(); fu < 0 || m.FUs[fu] != KindXfer {
+		t.Errorf("XferFU = %d", fu)
+	}
+	if Raw(4).XferFU() != -1 {
+		t.Error("Raw should have no transfer unit")
+	}
+}
+
+func TestLatencyTableShape(t *testing.T) {
+	m := Raw(16)
+	if m.OpLatency(ir.Add) != 1 {
+		t.Error("Add should be single cycle")
+	}
+	if m.OpLatency(ir.Mul) <= m.OpLatency(ir.Add) {
+		t.Error("Mul should be longer than Add")
+	}
+	if m.OpLatency(ir.FDiv) <= m.OpLatency(ir.FMul) {
+		t.Error("FDiv should be longer than FMul")
+	}
+	if m.OpLatency(ir.Op(999)) != 1 {
+		t.Error("invalid op should default to 1")
+	}
+}
+
+func TestNamedLookups(t *testing.T) {
+	m, err := Named("raw16")
+	if err != nil || m.NumClusters != 16 || m.MeshW != 4 {
+		t.Errorf("Named(raw16) = %v, %v", m, err)
+	}
+	m, err = Named("vliw4")
+	if err != nil || m.NumClusters != 4 || m.MeshW != 0 {
+		t.Errorf("Named(vliw4) = %v, %v", m, err)
+	}
+	if _, err := Named("gpu9000"); err == nil {
+		t.Error("Named accepted nonsense")
+	}
+	// Odd tile counts fall back to a linear arrangement.
+	if m, err := Named("raw7"); err != nil || m.MeshW*m.MeshH != 7 {
+		t.Errorf("Named(raw7) = %v, %v", m, err)
+	}
+}
+
+func TestValidateCatchesBadModels(t *testing.T) {
+	m := Raw(4)
+	m.NumClusters = 0
+	if err := m.Validate(); err == nil {
+		t.Error("accepted zero clusters")
+	}
+	m = Raw(4)
+	m.MeshW, m.MeshH = 3, 3
+	if err := m.Validate(); err == nil {
+		t.Error("accepted wrong mesh shape")
+	}
+	m = Chorus(4)
+	m.FUs = []FUKind{KindXfer}
+	if err := m.Validate(); err == nil {
+		t.Error("accepted machine that cannot run Add")
+	}
+	m = Chorus(4)
+	m.SendPorts = 0
+	if err := m.Validate(); err == nil {
+		t.Error("accepted zero send ports")
+	}
+}
+
+func TestRawOddTileFallback(t *testing.T) {
+	// 6 tiles arranges as 3x2 via the fallback path.
+	w, h, err := rawMesh(6)
+	if err != nil || w*h != 6 {
+		t.Errorf("rawMesh(6) = %d,%d,%v", w, h, err)
+	}
+	if _, _, err := rawMesh(7); err == nil {
+		// 7 is prime: 7x1 fallback is acceptable, so expect success.
+		w, h, _ := rawMesh(7)
+		if w*h != 7 {
+			t.Errorf("rawMesh(7) = %dx%d", w, h)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package machine
+
+// Link is one directed hop of the static network, identified by its
+// endpoint clusters (which must be mesh neighbours).
+type Link struct {
+	From, To int
+}
+
+// Route returns the dimension-ordered (X-then-Y) path from cluster a to
+// cluster b on a mesh machine as a sequence of directed links; nil when
+// a == b or when the machine is a crossbar (whose single logical hop has no
+// shared links to contend on). Dimension-ordered routing is what Raw's
+// static network compiler used by default, and its determinism is what lets
+// the scheduler reserve links at compile time.
+func (m *Model) Route(a, b int) []Link {
+	if a == b || m.MeshW <= 0 || m.MeshH <= 0 {
+		return nil
+	}
+	var links []Link
+	cur := a
+	cx, cy := a%m.MeshW, a/m.MeshW
+	bx, by := b%m.MeshW, b/m.MeshW
+	step := func(nx, ny int) {
+		next := ny*m.MeshW + nx
+		links = append(links, Link{From: cur, To: next})
+		cur = next
+		cx, cy = nx, ny
+	}
+	for cx != bx {
+		if cx < bx {
+			step(cx+1, cy)
+		} else {
+			step(cx-1, cy)
+		}
+	}
+	for cy != by {
+		if cy < by {
+			step(cx, cy+1)
+		} else {
+			step(cx, cy-1)
+		}
+	}
+	return links
+}
+
+// LinkLevel reports whether the machine models per-link network occupancy
+// (true for meshes). Crossbar machines model contention at the endpoints
+// only.
+func (m *Model) LinkLevel() bool { return m.MeshW > 0 && m.MeshH > 0 && m.NumClusters > 1 }

@@ -1,0 +1,74 @@
+package machine
+
+import "testing"
+
+func TestRouteXYOrder(t *testing.T) {
+	m := Raw(16) // 4x4, tile = y*4+x
+	// 0 (0,0) -> 10 (2,2): X first (0->1->2), then Y (2->6->10).
+	route := m.Route(0, 10)
+	want := []Link{{0, 1}, {1, 2}, {2, 6}, {6, 10}}
+	if len(route) != len(want) {
+		t.Fatalf("Route(0,10) = %v", route)
+	}
+	for i := range want {
+		if route[i] != want[i] {
+			t.Fatalf("Route(0,10) = %v, want %v", route, want)
+		}
+	}
+}
+
+func TestRouteNegativeDirections(t *testing.T) {
+	m := Raw(16)
+	// 15 (3,3) -> 5 (1,1): X down (15->14->13), then Y up (13->9->5).
+	route := m.Route(15, 5)
+	want := []Link{{15, 14}, {14, 13}, {13, 9}, {9, 5}}
+	for i := range want {
+		if route[i] != want[i] {
+			t.Fatalf("Route(15,5) = %v, want %v", route, want)
+		}
+	}
+}
+
+func TestRouteLengthMatchesDistance(t *testing.T) {
+	m := Raw(8)
+	for a := 0; a < 8; a++ {
+		for b := 0; b < 8; b++ {
+			route := m.Route(a, b)
+			if len(route) != m.Dist(a, b) {
+				t.Errorf("Route(%d,%d) has %d links, Dist %d", a, b, len(route), m.Dist(a, b))
+			}
+			// Links must chain and connect mesh neighbours.
+			cur := a
+			for _, l := range route {
+				if l.From != cur {
+					t.Fatalf("Route(%d,%d) broken at %v", a, b, l)
+				}
+				if m.Dist(l.From, l.To) != 1 {
+					t.Fatalf("Route(%d,%d) has non-neighbour link %v", a, b, l)
+				}
+				cur = l.To
+			}
+			if len(route) > 0 && cur != b {
+				t.Fatalf("Route(%d,%d) ends at %d", a, b, cur)
+			}
+		}
+	}
+}
+
+func TestRouteCrossbarAndSelf(t *testing.T) {
+	if Chorus(4).Route(0, 3) != nil {
+		t.Error("crossbar returned links")
+	}
+	if Raw(16).Route(5, 5) != nil {
+		t.Error("self route returned links")
+	}
+	if Chorus(4).LinkLevel() {
+		t.Error("crossbar claims link-level modelling")
+	}
+	if !Raw(16).LinkLevel() {
+		t.Error("mesh does not claim link-level modelling")
+	}
+	if Raw(1).LinkLevel() {
+		t.Error("single tile claims link-level modelling")
+	}
+}

@@ -1,0 +1,65 @@
+package passes_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/passes"
+)
+
+// Example shows how preplacement information flows through PLACE and
+// PLACEPROP: the load is pinned to its home tile and its consumer is pulled
+// toward it, without any pass talking to another directly.
+func Example() {
+	g := ir.New("pp")
+	addr := g.AddConst(0)
+	ld := g.AddLoad(3, addr.ID)
+	ld.Home = 3
+	use := g.Add(ir.Neg, ld.ID)
+
+	s := core.NewState(g, machine.Raw(4), 1)
+	passes.Place{}.Run(s)
+	s.W.NormalizeAll()
+	passes.PlaceProp{}.Run(s)
+	s.W.NormalizeAll()
+
+	fmt.Printf("load prefers tile %d\n", s.W.PreferredCluster(ld.ID))
+	fmt.Printf("consumer prefers tile %d\n", s.W.PreferredCluster(use.ID))
+	// Output:
+	// load prefers tile 3
+	// consumer prefers tile 3
+}
+
+// ExampleNamed resolves passes by their Table 1 labels, the same lookup the
+// tuneseq search and the CLI use.
+func ExampleNamed() {
+	for _, label := range []string{"INITTIME", "COMM", "LEVEL"} {
+		p, ok := passes.Named(label)
+		fmt.Println(p.Name(), ok)
+	}
+	// Output:
+	// INITTIME true
+	// COMM true
+	// LEVEL true
+}
+
+// ExampleRawSequence prints the published Raw pass order (Table 1a).
+func ExampleRawSequence() {
+	for _, p := range passes.RawSequence() {
+		fmt.Println(p.Name())
+	}
+	// Output:
+	// INITTIME
+	// PLACEPROP
+	// LOAD
+	// PLACE
+	// PATH
+	// PATHPROP
+	// LEVEL
+	// PATHPROP
+	// COMM2
+	// PATHPROP
+	// EMPHCP
+}

@@ -1,0 +1,57 @@
+package passes
+
+import "repro/internal/core"
+
+// FULoad is a functional-unit-aware variant of LOAD, and our demonstration
+// of the framework's extensibility claim (Section 2: a pass can "address
+// peculiarities of the underlying architecture"). On a clustered VLIW the
+// binding resource is usually one functional-unit class — floating-point
+// kernels saturate the FPU while integer units idle — so balancing total
+// instructions (LOAD) can leave the bottleneck unit badly skewed. FULoad
+// divides each instruction's weight on a cluster by the load on the
+// functional-unit class that instruction will occupy there. On Raw, where a
+// tile has a single do-everything unit, FULoad degenerates to exactly LOAD.
+type FULoad struct{}
+
+// Name implements core.Pass.
+func (FULoad) Name() string { return "FULOAD" }
+
+// Run implements core.Pass.
+func (FULoad) Run(s *core.State) {
+	n, C := s.W.N(), s.W.Clusters()
+	// kindOf maps each instruction to the FU index it would issue on.
+	kindOf := make([]int, n)
+	numFU := len(s.Machine.FUs)
+	for i := 0; i < n; i++ {
+		fu := s.Machine.FirstFU(s.Graph.Instrs[i].Op)
+		if fu < 0 {
+			fu = 0
+		}
+		kindOf[i] = fu
+	}
+	// loads[c][fu]: expected instructions bound for that unit.
+	loads := make([][]float64, C)
+	for c := range loads {
+		loads[c] = make([]float64, numFU)
+	}
+	for i := 0; i < n; i++ {
+		for c := 0; c < C; c++ {
+			loads[c][kindOf[i]] += s.W.ClusterWeight(i, c)
+		}
+	}
+	const eps = 1e-3
+	for i := 0; i < n; i++ {
+		fu := kindOf[i]
+		div := make([]float64, C)
+		for c := 0; c < C; c++ {
+			l := loads[c][fu]
+			if l < eps {
+				l = eps
+			}
+			div[c] = l
+		}
+		s.W.Apply(i, func(t, c int, w float64) float64 {
+			return w / div[c]
+		})
+	}
+}

@@ -1,0 +1,148 @@
+package passes
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+func TestFULoadBalancesTheBottleneckUnit(t *testing.T) {
+	// Eight independent float ops all biased to cluster 0, plus eight
+	// integer ops also on cluster 0. FULoad must push the float ops away
+	// from cluster 0's crowded FPU even though the integer units there
+	// are also crowded — each class is balanced against its own unit.
+	g := ir.New("fu")
+	f := g.AddFConst(1)
+	c := g.AddConst(1)
+	for i := 0; i < 8; i++ {
+		g.Add(ir.FNeg, f.ID)
+		g.Add(ir.Neg, c.ID)
+	}
+	m := machine.Chorus(4)
+	s := core.NewState(g, m, 1)
+	for i := 0; i < s.W.N(); i++ {
+		s.W.MulCluster(i, 0, 10)
+	}
+	s.W.NormalizeAll()
+	before := s.W.ClusterWeight(2, 0) // first FNeg
+	FULoad{}.Run(s)
+	s.W.NormalizeAll()
+	after := s.W.ClusterWeight(2, 0)
+	if after >= before {
+		t.Errorf("FULoad did not reduce crowded-cluster weight: %v -> %v", before, after)
+	}
+}
+
+func TestFULoadEqualsLoadOnRaw(t *testing.T) {
+	// A Raw tile has one do-everything unit, so FULoad must compute the
+	// same per-cluster divisors as LOAD and produce identical weights.
+	mk := func() *core.State {
+		g := ir.New("same")
+		c := g.AddConst(1)
+		for i := 0; i < 6; i++ {
+			g.Add(ir.Neg, c.ID)
+		}
+		s := core.NewState(g, machine.Raw(4), 1)
+		for i := 0; i < s.W.N(); i++ {
+			s.W.MulCluster(i, i%4, 3)
+		}
+		s.W.NormalizeAll()
+		return s
+	}
+	a := mk()
+	FULoad{}.Run(a)
+	a.W.NormalizeAll()
+	b := mk()
+	Load{}.Run(b)
+	b.W.NormalizeAll()
+	for i := 0; i < a.W.N(); i++ {
+		for c := 0; c < 4; c++ {
+			wa, wb := a.W.ClusterWeight(i, c), b.W.ClusterWeight(i, c)
+			if diff := wa - wb; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("FULoad(%d,%d)=%v != Load=%v on Raw", i, c, wa, wb)
+			}
+		}
+	}
+}
+
+func TestPathStrengthensAllParallelChains(t *testing.T) {
+	// Four equal-length chains: every chain must end up coherent (all
+	// members preferring one cluster), and the chains must not all pick
+	// the same cluster.
+	g := ir.New("chains")
+	var chains [][]int
+	for c := 0; c < 4; c++ {
+		var ids []int
+		cur := g.AddConst(int64(c)).ID
+		for k := 0; k < 6; k++ {
+			cur = g.Add(ir.Neg, cur).ID
+			ids = append(ids, cur)
+		}
+		chains = append(chains, ids)
+	}
+	s := core.NewState(g, machine.Raw(4), 1)
+	Path{}.Run(s)
+	s.W.NormalizeAll()
+	used := map[int]bool{}
+	for ci, ids := range chains {
+		first := s.W.PreferredCluster(ids[0])
+		for _, id := range ids {
+			if got := s.W.PreferredCluster(id); got != first {
+				t.Errorf("chain %d split: instr %d on %d, chain on %d", ci, id, got, first)
+			}
+		}
+		used[first] = true
+	}
+	if len(used) < 3 {
+		t.Errorf("chains not spread across clusters: %v", used)
+	}
+}
+
+func TestPathAbsorbsPrivateFringe(t *testing.T) {
+	// A recurrence with a multiply feeding each step: the multiplies are
+	// private fringe and must follow the chain's cluster.
+	g := ir.New("fringe")
+	a := g.AddFConst(0.5)
+	cur := g.AddFConst(1).ID
+	var muls []int
+	for k := 0; k < 6; k++ {
+		mul := g.Add(ir.FMul, a.ID, a.ID)
+		muls = append(muls, mul.ID)
+		cur = g.Add(ir.FAdd, cur, mul.ID).ID
+	}
+	s := core.NewState(g, machine.Raw(4), 1)
+	Path{}.Run(s)
+	s.W.NormalizeAll()
+	chainCluster := s.W.PreferredCluster(cur)
+	for _, id := range muls {
+		if got := s.W.PreferredCluster(id); got != chainCluster {
+			t.Errorf("fringe mul %d on %d, chain on %d", id, got, chainCluster)
+		}
+	}
+}
+
+func TestCommSlackWeightFavoursCriticalEdges(t *testing.T) {
+	// A critical consumer and a slack consumer pull an instruction in
+	// different directions; with SlackWeight the critical one wins.
+	g := ir.New("slack")
+	src := g.AddConst(1)
+	// Critical chain through b (long), slack consumer c (leaf).
+	b := g.Add(ir.Neg, src.ID)
+	cur := b.ID
+	for k := 0; k < 6; k++ {
+		cur = g.Add(ir.Neg, cur).ID
+	}
+	cLeaf := g.Add(ir.Not, src.ID)
+	s := core.NewState(g, machine.Raw(4), 1)
+	// Pull b toward cluster 1 and the leaf toward cluster 2, equally.
+	s.W.MulCluster(b.ID, 1, 50)
+	s.W.MulCluster(cLeaf.ID, 2, 50)
+	s.W.NormalizeAll()
+	Comm{SlackWeight: 8}.Run(s)
+	s.W.NormalizeAll()
+	if got := s.W.PreferredCluster(src.ID); got != 1 {
+		t.Errorf("source preferred %d, want 1 (critical consumer's cluster)", got)
+	}
+}

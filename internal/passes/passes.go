@@ -1,0 +1,806 @@
+// Package passes implements the paper's collection of convergent-scheduling
+// heuristics (Section 4) and the published pass sequences for Raw and the
+// clustered VLIW (Table 1).
+//
+// Each pass addresses one constraint and communicates with the others only
+// through the preference map. Parameters default to the paper's published
+// constants (PLACE ×100, PATH ×3, FIRST ×1.2, EMPHCP ×1.2, LEVEL confidence
+// threshold 2.0, LEVEL applied every four levels on Raw); where the paper
+// leaves a constant unstated the field documents our choice.
+package passes
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// InitTime is INITTIME: squash to zero every time slot outside an
+// instruction's feasible window [EarliestStart, LatestStart]. Instructions
+// on the critical path end up with exactly one feasible slot.
+type InitTime struct{}
+
+// Name implements core.Pass.
+func (InitTime) Name() string { return "INITTIME" }
+
+// Run implements core.Pass.
+func (InitTime) Run(s *core.State) {
+	for i := 0; i < s.W.N(); i++ {
+		lo, hi := s.EarliestStart[i], s.LatestStart[i]
+		s.W.Apply(i, func(t, c int, w float64) float64 {
+			if t < lo || t > hi {
+				return 0
+			}
+			return w
+		})
+	}
+}
+
+// Noise is NOISE: add randomness to every weight to break symmetry so later
+// passes can spread instructions for parallelism. The paper's formula adds
+// rand()/RAND_MAX — a uniform draw in [0,1] — to each raw weight; since the
+// normalized weights are on the order of 1/(T·C), the noise deliberately
+// dwarfs the prior and gives each instruction an essentially random initial
+// cluster preference, which the deterministic passes then sharpen. This is
+// what spreads work across clusters on machines whose sequence has no LOAD
+// pass (the clustered VLIW).
+type Noise struct {
+	// Amp scales the added noise; 0 means the paper's 1.0.
+	Amp float64
+}
+
+// Name implements core.Pass.
+func (Noise) Name() string { return "NOISE" }
+
+// Run implements core.Pass.
+func (p Noise) Run(s *core.State) {
+	amp := p.Amp
+	if amp == 0 {
+		amp = 1
+	}
+	// One draw per (instruction, cluster), spread as constant total mass
+	// over that cluster's feasible slots. Independent per-slot draws
+	// would leave instructions with narrow feasible windows (the near-
+	// critical ones) almost noise-free, and a mild deterministic bias
+	// like FIRST would then override the noise for all of them at once —
+	// the exact symmetry the pass exists to break. Figure 9 of the paper
+	// shows FIRST changing few preferences after NOISE, which requires
+	// the cluster marginals themselves to be noisy for every
+	// instruction. With amp = 1 the noise marginal is uniform in [0,1]
+	// against a normalized prior marginal of 1/C, reproducing the
+	// paper's noise-dominates-prior regime.
+	C := s.W.Clusters()
+	T := s.W.Times()
+	feasible := make([]int, C)
+	for i := 0; i < s.W.N(); i++ {
+		for c := 0; c < C; c++ {
+			feasible[c] = 0
+			for t := 0; t < T; t++ {
+				if s.W.At(i, t, c) > 0 {
+					feasible[c]++
+				}
+			}
+		}
+		draw := make([]float64, C)
+		for c := range draw {
+			if feasible[c] > 0 {
+				draw[c] = s.Rand.Float64() * amp / float64(feasible[c])
+			}
+		}
+		s.W.Apply(i, func(t, c int, w float64) float64 {
+			if w == 0 {
+				// Respect feasibility squashes from INITTIME.
+				return 0
+			}
+			return w + draw[c]
+		})
+	}
+}
+
+// Place is PLACE: boost, strongly, every preplaced instruction's weight on
+// its home cluster. The paper multiplies by 100 because preplacement is a
+// correctness constraint.
+type Place struct {
+	// Factor defaults to the paper's 100.
+	Factor float64
+}
+
+// Name implements core.Pass.
+func (Place) Name() string { return "PLACE" }
+
+// Run implements core.Pass.
+func (p Place) Run(s *core.State) {
+	f := p.Factor
+	if f == 0 {
+		f = 100
+	}
+	for _, i := range s.Graph.Preplaced() {
+		s.W.MulCluster(i, s.Graph.Instrs[i].Home, f)
+	}
+}
+
+// First is FIRST: bias every instruction toward the first cluster, where the
+// Chorus VLIW invariant guarantees all live-in data is available at region
+// entry.
+type First struct {
+	// Factor defaults to the paper's 1.2.
+	Factor float64
+}
+
+// Name implements core.Pass.
+func (First) Name() string { return "FIRST" }
+
+// Run implements core.Pass.
+func (p First) Run(s *core.State) {
+	f := p.Factor
+	if f == 0 {
+		f = 1.2
+	}
+	for i := 0; i < s.W.N(); i++ {
+		s.W.MulCluster(i, 0, f)
+	}
+}
+
+// Path is PATH, critical-path strengthening: keep the instructions of each
+// critical path together on one cluster. If a stretch of a path is biased
+// toward some cluster (for example because it contains a preplaced
+// instruction), that stretch moves there; unbiased stretches go to the least
+// loaded cluster, which spreads parallel near-critical chains across the
+// machine. Stretches are split at preplaced instructions with different
+// homes. After strengthening a path the pass repeats on the remaining
+// instructions, so a graph of many equally-long chains (an unrolled
+// reduction, for instance) has every chain placed, not just the single
+// longest one.
+type Path struct {
+	// Factor defaults to the paper's 3.
+	Factor float64
+	// BiasRatio is how much stronger than uniform a segment's average
+	// cluster marginal must be to count as "bias for a particular
+	// cluster" (default 1.5).
+	BiasRatio float64
+	// MinFraction stops the repetition once the longest remaining path
+	// is shorter than this fraction of the critical path (default 0.5:
+	// only near-critical chains are strengthened; everything shorter has
+	// slack that COMM and the load-balancing passes handle better).
+	MinFraction float64
+	// MaxPaths caps the number of strengthened paths (default
+	// 8 × clusters).
+	MaxPaths int
+}
+
+// Name implements core.Pass.
+func (Path) Name() string { return "PATH" }
+
+// Run implements core.Pass.
+func (p Path) Run(s *core.State) {
+	f := p.Factor
+	if f == 0 {
+		f = 3
+	}
+	ratio := p.BiasRatio
+	if ratio == 0 {
+		ratio = 1.5
+	}
+	minFrac := p.MinFraction
+	if minFrac == 0 {
+		minFrac = 0.5
+	}
+	maxPaths := p.MaxPaths
+	if maxPaths == 0 {
+		maxPaths = 8 * s.W.Clusters()
+	}
+	cpl := s.CPL
+	marked := make([]bool, s.Graph.Len())
+	loads := s.Loads()
+	for iter := 0; iter < maxPaths; iter++ {
+		path := longestUnmarkedPath(s, marked)
+		if len(path) == 0 || float64(pathLength(s, path)) < minFrac*float64(cpl) {
+			return
+		}
+		path = absorbFringe(s, path, marked)
+		for _, seg := range splitAtHomes(s, path) {
+			cc := p.chooseCluster(s, seg, ratio, loads)
+			for _, i := range seg {
+				s.W.MulCluster(i, cc, f)
+				// A chain member whose prior weights strongly
+				// favour another cluster (for example after
+				// PLACEPROP's sharp distance division) would
+				// shrug off a fixed boost and split the chain,
+				// paying communication latency on a critical
+				// dependence. The interface lets a pass be as
+				// assertive as its constraint warrants (paper
+				// Section 2, feature 2), so PATH tops up the
+				// boost until the path's cluster actually
+				// leads.
+				if s.Graph.Instrs[i].Preplaced() {
+					continue
+				}
+				top := 0.0
+				for c := 0; c < s.W.Clusters(); c++ {
+					if c != cc && s.W.ClusterWeight(i, c) > top {
+						top = s.W.ClusterWeight(i, c)
+					}
+				}
+				if cur := s.W.ClusterWeight(i, cc); cur < 1.5*top && cur > 0 {
+					s.W.MulCluster(i, cc, 1.5*top/cur)
+				}
+			}
+			loads[cc] += float64(len(seg))
+		}
+		for _, i := range path {
+			marked[i] = true
+		}
+	}
+}
+
+// absorbFringe extends a path with its private operand fringe: unmarked,
+// non-preplaced, non-constant operands of path members whose consumers all
+// lie on the path. Such an operand feeds the critical chain and nothing
+// else, so splitting it off can only add communication latency to the
+// chain. Fringe instructions are inserted before their consumer so
+// splitAtHomes still sees a coherent order. One level of fringe is
+// absorbed, which covers the common shape (a multiply feeding each step of
+// a recurrence).
+func absorbFringe(s *core.State, path []int, marked []bool) []int {
+	onPath := make(map[int]bool, len(path))
+	for _, i := range path {
+		onPath[i] = true
+	}
+	var out []int
+	for _, i := range path {
+		for _, p := range s.Graph.Preds(i) {
+			in := s.Graph.Instrs[p]
+			if onPath[p] || marked[p] || in.Preplaced() || in.Op.IsConst() {
+				continue
+			}
+			private := true
+			for _, sc := range s.Graph.Succs(p) {
+				if !onPath[sc] {
+					private = false
+					break
+				}
+			}
+			if private {
+				onPath[p] = true
+				out = append(out, p)
+			}
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// pathLength sums machine latencies along a path.
+func pathLength(s *core.State, path []int) int {
+	total := 0
+	for _, i := range path {
+		total += s.Machine.OpLatency(s.Graph.Instrs[i].Op)
+	}
+	return total
+}
+
+// splitAtHomes cuts a path at preplaced instructions with conflicting homes.
+func splitAtHomes(s *core.State, cp []int) [][]int {
+	var segments [][]int
+	cur := []int{}
+	curHome := -1
+	for _, i := range cp {
+		h := s.Graph.Instrs[i].Home
+		if h >= 0 && curHome >= 0 && h != curHome && len(cur) > 0 {
+			segments = append(segments, cur)
+			cur = nil
+			curHome = -1
+		}
+		cur = append(cur, i)
+		if h >= 0 {
+			curHome = h
+		}
+	}
+	if len(cur) > 0 {
+		segments = append(segments, cur)
+	}
+	return segments
+}
+
+// longestUnmarkedPath finds the longest dependence chain consisting purely
+// of unmarked instructions, under machine latencies. Returns nil when all
+// instructions are marked.
+func longestUnmarkedPath(s *core.State, marked []bool) []int {
+	g := s.Graph
+	n := g.Len()
+	lat := s.Machine.LatencyFunc()
+	down := make([]int, n) // longest chain length starting at i, unmarked only
+	next := make([]int, n)
+	best := -1
+	for i := n - 1; i >= 0; i-- {
+		next[i] = -1
+		if marked[i] {
+			down[i] = 0
+			continue
+		}
+		down[i] = lat(g.Instrs[i].Op)
+		for _, sc := range g.Succs(i) {
+			if marked[sc] {
+				continue
+			}
+			if l := lat(g.Instrs[i].Op) + down[sc]; l > down[i] {
+				down[i] = l
+				next[i] = sc
+			}
+		}
+		if best < 0 || down[i] > down[best] {
+			best = i
+		}
+	}
+	if best < 0 || marked[best] {
+		return nil
+	}
+	var path []int
+	for cur := best; cur >= 0; cur = next[cur] {
+		path = append(path, cur)
+	}
+	return path
+}
+
+func (p Path) chooseCluster(s *core.State, seg []int, ratio float64, loads []float64) int {
+	// A preplaced member pins the segment.
+	for _, i := range seg {
+		if h := s.Graph.Instrs[i].Home; h >= 0 {
+			return h
+		}
+	}
+	// Otherwise look for an existing bias in the segment's weights.
+	C := s.W.Clusters()
+	sums := make([]float64, C)
+	for _, i := range seg {
+		for c := 0; c < C; c++ {
+			sums[c] += s.W.ClusterWeight(i, c)
+		}
+	}
+	best, second := 0, -1
+	for c := 1; c < C; c++ {
+		if sums[c] > sums[best] {
+			second = best
+			best = c
+		} else if second < 0 || sums[c] > sums[second] {
+			second = c
+		}
+	}
+	if second >= 0 && sums[second] > 0 && sums[best]/sums[second] >= ratio {
+		return best
+	}
+	if second < 0 { // single cluster
+		return best
+	}
+	// No clear bias: least loaded cluster.
+	least := 0
+	for c := 1; c < C; c++ {
+		if loads[c] < loads[least] {
+			least = c
+		}
+	}
+	return least
+}
+
+// Comm is COMM, communication minimization: skew each instruction toward
+// the clusters where its dependence-graph neighbours' weight mass sits, by
+// multiplying each cluster entry by the neighbours' summed marginal there.
+type Comm struct {
+	// IncludeGrand also counts distance-two neighbours (grandparents and
+	// grandchildren) at half weight, the variant the paper usually runs
+	// together with COMM.
+	IncludeGrand bool
+	// Floor keeps a fraction of the original weight so an instruction
+	// with isolated neighbours is not zeroed (default 0.05).
+	Floor float64
+	// SlackWeight scales each neighbour's pull by the criticality of the
+	// connecting edge: a zero-slack edge (splitting it stretches the
+	// critical path) pulls with weight 1+SlackWeight, a fully slack edge
+	// with weight 1. Zero disables the scaling.
+	SlackWeight float64
+}
+
+// Name implements core.Pass.
+func (p Comm) Name() string {
+	if p.IncludeGrand {
+		return "COMM2"
+	}
+	return "COMM"
+}
+
+// Run implements core.Pass.
+func (p Comm) Run(s *core.State) {
+	floor := p.Floor
+	if floor == 0 {
+		floor = 0.05
+	}
+	n, C := s.W.N(), s.W.Clusters()
+	// Snapshot the marginals so the pass reads a consistent picture
+	// while it rewrites weights.
+	marg := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, C)
+		for c := 0; c < C; c++ {
+			row[c] = s.W.ClusterWeight(i, c)
+		}
+		marg[i] = row
+	}
+	// edgeCrit returns the pull multiplier between two directly dependent
+	// instructions: near-critical edges (little scheduling slack between
+	// the pair) matter more, because splitting them across clusters adds
+	// communication latency straight onto the critical path.
+	edgeCrit := func(a, b int) float64 {
+		if p.SlackWeight == 0 {
+			return 1
+		}
+		if a > b {
+			a, b = b, a
+		}
+		lat := s.Machine.OpLatency(s.Graph.Instrs[a].Op)
+		slack := s.LatestStart[b] - (s.EarliestStart[a] + lat)
+		if slack < 0 {
+			slack = 0
+		}
+		return 1 + p.SlackWeight/float64(1+slack)
+	}
+	for i := 0; i < n; i++ {
+		attract := make([]float64, C)
+		for _, nb := range s.Graph.Neighbors(i) {
+			crit := edgeCrit(i, nb)
+			for c := 0; c < C; c++ {
+				attract[c] += crit * marg[nb][c]
+			}
+		}
+		if p.IncludeGrand {
+			seen := map[int]bool{i: true}
+			for _, nb := range s.Graph.Neighbors(i) {
+				seen[nb] = true
+			}
+			for _, nb := range s.Graph.Neighbors(i) {
+				for _, nb2 := range s.Graph.Neighbors(nb) {
+					if seen[nb2] {
+						continue
+					}
+					seen[nb2] = true
+					for c := 0; c < C; c++ {
+						attract[c] += 0.5 * marg[nb2][c]
+					}
+				}
+			}
+		}
+		total := 0.0
+		for _, a := range attract {
+			total += a
+		}
+		if total == 0 {
+			continue
+		}
+		s.W.Apply(i, func(t, c int, w float64) float64 {
+			return w * (floor + attract[c]/total)
+		})
+	}
+}
+
+// PlaceProp is PLACEPROP, preplacement propagation: divide each
+// non-preplaced instruction's weight on cluster c by its dependence-graph
+// distance to the closest preplaced instruction homed on c, so instructions
+// gravitate toward the homes of nearby preplaced neighbours.
+type PlaceProp struct{}
+
+// Name implements core.Pass.
+func (PlaceProp) Name() string { return "PLACEPROP" }
+
+// Run implements core.Pass.
+func (PlaceProp) Run(s *core.State) {
+	n, C := s.W.N(), s.W.Clusters()
+	pp := s.Graph.Preplaced()
+	if len(pp) == 0 {
+		return
+	}
+	// Multi-source BFS per cluster: dist[c][i] = hops from i to the
+	// nearest preplaced instruction homed on c.
+	const unreachable = math.MaxInt32
+	dist := make([][]int, C)
+	for c := range dist {
+		dist[c] = make([]int, n)
+		for i := range dist[c] {
+			dist[c][i] = unreachable
+		}
+	}
+	for c := 0; c < C; c++ {
+		var queue []int
+		for _, i := range pp {
+			if s.Graph.Instrs[i].Home == c {
+				dist[c][i] = 0
+				queue = append(queue, i)
+			}
+		}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range s.Graph.Neighbors(cur) {
+				if dist[c][nb] > dist[c][cur]+1 {
+					dist[c][nb] = dist[c][cur] + 1
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+	// The divisor for an unreachable cluster: one beyond the largest
+	// finite distance, so clusters with no preplaced instructions are
+	// maximally unattractive but not zeroed.
+	maxFinite := 1
+	for c := 0; c < C; c++ {
+		for i := 0; i < n; i++ {
+			if d := dist[c][i]; d != unreachable && d > maxFinite {
+				maxFinite = d
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if s.Graph.Instrs[i].Preplaced() {
+			continue
+		}
+		div := make([]float64, C)
+		for c := 0; c < C; c++ {
+			d := dist[c][i]
+			if d == unreachable {
+				d = maxFinite + 1
+			}
+			if d < 1 {
+				d = 1
+			}
+			div[c] = float64(d)
+		}
+		s.W.Apply(i, func(t, c int, w float64) float64 {
+			return w / div[c]
+		})
+	}
+}
+
+// Load is LOAD, load balancing: divide each weight by the current total
+// load of its cluster so underused clusters become relatively more
+// attractive.
+type Load struct{}
+
+// Name implements core.Pass.
+func (Load) Name() string { return "LOAD" }
+
+// Run implements core.Pass.
+func (Load) Run(s *core.State) {
+	loads := s.Loads()
+	// Guard against an empty cluster making the division degenerate.
+	const eps = 1e-3
+	for c := range loads {
+		if loads[c] < eps {
+			loads[c] = eps
+		}
+	}
+	for i := 0; i < s.W.N(); i++ {
+		s.W.Apply(i, func(t, c int, w float64) float64 {
+			return w / loads[c]
+		})
+	}
+}
+
+// EmphCP is EMPHCP: emphasize each instruction's dependence level as its
+// likely issue time, helping the temporal preferences converge. We use the
+// machine-latency earliest start, the cycle the instruction would issue on
+// an infinite machine, which is what the paper's "level" approximates.
+type EmphCP struct {
+	// Factor defaults to the paper's 1.2.
+	Factor float64
+}
+
+// Name implements core.Pass.
+func (EmphCP) Name() string { return "EMPHCP" }
+
+// Run implements core.Pass.
+func (p EmphCP) Run(s *core.State) {
+	f := p.Factor
+	if f == 0 {
+		f = 1.2
+	}
+	for i := 0; i < s.W.N(); i++ {
+		t := s.EarliestStart[i]
+		if t >= s.W.Times() {
+			t = s.W.Times() - 1
+		}
+		s.W.MulTime(i, t, f)
+	}
+}
+
+// PathProp is PATHPROP: pick instructions whose spatial assignment is
+// confident and diffuse their distributions along chains of less-confident
+// successors (and predecessors), blending 50/50 as the paper specifies.
+type PathProp struct {
+	// Threshold is the minimum confidence for an instruction to act as a
+	// propagation source (default 2).
+	Threshold float64
+}
+
+// Name implements core.Pass.
+func (PathProp) Name() string { return "PATHPROP" }
+
+// Run implements core.Pass.
+func (p PathProp) Run(s *core.State) {
+	th := p.Threshold
+	if th == 0 {
+		th = 2
+	}
+	n := s.W.N()
+	conf := make([]float64, n)
+	for i := 0; i < n; i++ {
+		conf[i] = s.W.Confidence(i)
+	}
+	dir := func(ih int, next func(int) []int) {
+		visited := map[int]bool{ih: true}
+		cur := ih
+		for {
+			cand := -1
+			for _, nb := range next(cur) {
+				if !visited[nb] && conf[nb] < conf[ih] && (cand < 0 || nb < cand) {
+					cand = nb
+				}
+			}
+			if cand < 0 {
+				return
+			}
+			s.W.Blend(cand, ih, 0.5)
+			visited[cand] = true
+			cur = cand
+		}
+	}
+	for ih := 0; ih < n; ih++ {
+		if conf[ih] < th {
+			continue
+		}
+		// Preplaced instructions are trivially confident (PLACE gives
+		// them ~100× mass) and their influence already reaches
+		// neighbours through PLACE and PLACEPROP; letting them also
+		// blend 50/50 along paths would bulldoze decisions other
+		// passes just made (chains deliberately kept together by
+		// PATH, for instance).
+		if s.Graph.Instrs[ih].Preplaced() {
+			continue
+		}
+		dir(ih, s.Graph.Succs)
+		dir(ih, s.Graph.Preds)
+	}
+}
+
+// Level is LEVEL, level distribution: distribute the instructions of a
+// dependence level across clusters to expose parallelism, while keeping
+// instructions that are close in the graph together to limit communication.
+// Confident instructions seed per-cluster bins; the rest are dealt
+// round-robin, each bin taking the unassigned instruction farthest from it.
+type Level struct {
+	// Stride applies the pass every Stride levels (the paper uses 4 on
+	// Raw, matching the machine's profitable parallelism granularity).
+	Stride int
+	// MinDist is the paper's g parameter: instructions closer than this
+	// to an existing bin stay out of the round-robin distribution
+	// (default 2).
+	MinDist int
+	// ConfThreshold seeds bins with instructions at least this confident
+	// (the paper uses 2.0).
+	ConfThreshold float64
+	// Factor is the weight boost toward the chosen bin's cluster
+	// (default 3; the paper does not publish this constant).
+	Factor float64
+}
+
+// Name implements core.Pass.
+func (Level) Name() string { return "LEVEL" }
+
+// Run implements core.Pass.
+func (p Level) Run(s *core.State) {
+	stride := p.Stride
+	if stride == 0 {
+		stride = 4
+	}
+	minDist := p.MinDist
+	if minDist == 0 {
+		minDist = 2
+	}
+	th := p.ConfThreshold
+	if th == 0 {
+		th = 2
+	}
+	f := p.Factor
+	if f == 0 {
+		f = 3
+	}
+	maxLevel := -1
+	for _, l := range s.UnitLevel {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	for l := 0; l <= maxLevel; l += stride {
+		p.distribute(s, l, minDist, th, f)
+	}
+}
+
+func (p Level) distribute(s *core.State, level, minDist int, th, f float64) {
+	C := s.W.Clusters()
+	var il []int
+	for i, l := range s.UnitLevel {
+		if l == level {
+			il = append(il, i)
+		}
+	}
+	if len(il) == 0 {
+		return
+	}
+	bins := make([][]int, C)
+	var rest []int
+	for _, i := range il {
+		if s.W.Confidence(i) >= th {
+			c := s.W.PreferredCluster(i)
+			bins[c] = append(bins[c], i)
+		} else {
+			rest = append(rest, i)
+		}
+	}
+	distToBin := func(i, c int) int {
+		d := s.Distances(i)
+		best := math.MaxInt32
+		for _, b := range bins[c] {
+			if d[b] >= 0 && d[b] < best {
+				best = d[b]
+			}
+		}
+		return best
+	}
+	closestBin := func(i int) (bin, dist int) {
+		bin, dist = -1, math.MaxInt32
+		for c := 0; c < C; c++ {
+			if len(bins[c]) == 0 {
+				continue
+			}
+			if d := distToBin(i, c); d < dist {
+				bin, dist = c, d
+			}
+		}
+		return bin, dist
+	}
+	// Instructions close to an existing bin are left where they are; the
+	// distant ones (the paper's Ig) get distributed round-robin, each
+	// bin pulling the remaining instruction farthest from itself.
+	var ig []int
+	for _, i := range rest {
+		if _, d := closestBin(i); d > minDist {
+			ig = append(ig, i)
+		}
+	}
+	sort.Ints(ig)
+	rr := 0
+	for len(ig) > 0 {
+		b := rr % C
+		rr++
+		// Farthest remaining instruction from bin b; instructions
+		// with no connection (infinite distance) are the farthest of
+		// all.
+		bestIdx, bestD := 0, -1
+		for k, i := range ig {
+			d := distToBin(i, b)
+			if d > bestD {
+				bestIdx, bestD = k, d
+			}
+		}
+		chosen := ig[bestIdx]
+		ig = append(ig[:bestIdx], ig[bestIdx+1:]...)
+		bins[b] = append(bins[b], chosen)
+		s.W.MulCluster(chosen, b, f)
+	}
+	// Also reinforce the seeds so the bins stay stable.
+	for c := 0; c < C; c++ {
+		for _, i := range bins[c] {
+			if s.W.PreferredCluster(i) == c {
+				s.W.MulCluster(i, c, 1.1)
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package passes
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// RegPres addresses register pressure, the constraint the paper's
+// introduction pairs with parallelism as the scheduler's primary tension
+// ("code sequences that expose more ILP also have longer live ranges and
+// higher register pressure"). The published sequences handle pressure only
+// implicitly; RegPres makes it a first-class pass in the same mould as
+// LOAD: it estimates, from the current preferences, the expected
+// register-file occupancy of each cluster and divides weights by it, so
+// clusters heading for heavy spilling become less attractive.
+//
+// The estimate mirrors internal/regalloc's exact liveness, but
+// probabilistically: a value's expected live span is the distance from its
+// earliest-ready cycle to its last consumer's earliest start, and it
+// occupies cluster c with the mass of its cluster marginal. Constants are
+// ignored (immediate-broadcast rule).
+type RegPres struct {
+	// Alpha scales the penalty's sharpness (default 1: divide by the
+	// normalized expected pressure).
+	Alpha float64
+}
+
+// Name implements core.Pass.
+func (RegPres) Name() string { return "REGPRES" }
+
+// Run implements core.Pass.
+func (p RegPres) Run(s *core.State) {
+	alpha := p.Alpha
+	if alpha == 0 {
+		alpha = 1
+	}
+	g := s.Graph
+	n, C := s.W.N(), s.W.Clusters()
+	lat := s.Machine.LatencyFunc()
+	// Expected live span per value under infinite resources.
+	span := make([]float64, n)
+	for i := 0; i < n; i++ {
+		in := g.Instrs[i]
+		if !in.Op.HasResult() || in.Op.IsConst() {
+			continue
+		}
+		ready := s.EarliestStart[i] + lat(in.Op)
+		last := ready
+		for _, sc := range g.Succs(i) {
+			if t := s.EarliestStart[sc]; t > last {
+				last = t
+			}
+		}
+		span[i] = float64(last-ready) + 1
+	}
+	pressure := make([]float64, C)
+	for i := 0; i < n; i++ {
+		if span[i] == 0 {
+			continue
+		}
+		for c := 0; c < C; c++ {
+			pressure[c] += s.W.ClusterWeight(i, c) * span[i]
+		}
+	}
+	mean := 0.0
+	for _, v := range pressure {
+		mean += v
+	}
+	mean /= float64(C)
+	if mean <= 0 {
+		return
+	}
+	div := make([]float64, C)
+	for c := 0; c < C; c++ {
+		norm := pressure[c] / mean
+		if norm < 0.1 {
+			norm = 0.1
+		}
+		div[c] = math.Pow(norm, alpha)
+	}
+	for i := 0; i < n; i++ {
+		in := g.Instrs[i]
+		if in.Op.IsConst() {
+			continue
+		}
+		s.W.Apply(i, func(t, c int, w float64) float64 {
+			return w / div[c]
+		})
+	}
+}

@@ -1,0 +1,87 @@
+package passes
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// pressureKernel builds long-lived values (produced early, consumed late)
+// plus short-lived ones.
+func pressureKernel() *ir.Graph {
+	g := ir.New("press")
+	c := g.AddConst(1)
+	cur := c.ID
+	var longLived []int
+	for i := 0; i < 6; i++ {
+		cur = g.Add(ir.Neg, cur).ID
+		longLived = append(longLived, cur)
+	}
+	acc := longLived[5]
+	for i := 4; i >= 0; i-- {
+		acc = g.Add(ir.Add, acc, longLived[i]).ID
+	}
+	return g
+}
+
+func TestRegPresPenalisesCrowdedCluster(t *testing.T) {
+	g := pressureKernel()
+	m := machine.Chorus(4)
+	s := core.NewState(g, m, 1)
+	// Pile every long-lived value onto cluster 0.
+	for i := 0; i < s.W.N(); i++ {
+		s.W.MulCluster(i, 0, 10)
+	}
+	s.W.NormalizeAll()
+	before := s.W.ClusterWeight(3, 0)
+	RegPres{}.Run(s)
+	s.W.NormalizeAll()
+	after := s.W.ClusterWeight(3, 0)
+	if after >= before {
+		t.Errorf("RegPres did not reduce crowded-cluster weight: %v -> %v", before, after)
+	}
+	if err := s.W.CheckInvariants(1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegPresIgnoresConstants(t *testing.T) {
+	g := ir.New("consts")
+	c := g.AddConst(1)
+	g.Add(ir.Neg, c.ID)
+	m := machine.Chorus(2)
+	s := core.NewState(g, m, 1)
+	s.W.MulCluster(c.ID, 0, 5)
+	s.W.NormalizeAll()
+	before := s.W.ClusterWeight(c.ID, 0)
+	RegPres{}.Run(s)
+	s.W.NormalizeAll()
+	got := s.W.ClusterWeight(c.ID, 0)
+	if diff := got - before; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("constant weight changed: %v -> %v", before, got)
+	}
+}
+
+func TestRegPresUniformIsNoop(t *testing.T) {
+	// Balanced preferences mean equal expected pressure everywhere: the
+	// division is by ~1 and normalization restores the exact weights.
+	g := pressureKernel()
+	m := machine.Chorus(4)
+	s := core.NewState(g, m, 1)
+	RegPres{}.Run(s)
+	s.W.NormalizeAll()
+	for c := 0; c < 4; c++ {
+		if w := s.W.ClusterWeight(3, c); w < 0.24 || w > 0.26 {
+			t.Errorf("uniform input skewed: cluster %d weight %v", c, w)
+		}
+	}
+}
+
+func TestRegPresNamed(t *testing.T) {
+	p, ok := Named("REGPRES")
+	if !ok || p.Name() != "REGPRES" {
+		t.Fatalf("Named(REGPRES) = %v, %v", p, ok)
+	}
+}

@@ -1,0 +1,231 @@
+// Package regalloc implements the per-cluster register allocator that runs
+// after space-time scheduling, mirroring the paper's compilation pipelines:
+// "it applies a traditional register allocator to the code on each tile"
+// (Rawcc) and "followed by traditional single-cluster register allocation"
+// (Chorus).
+//
+// Because the code is statically scheduled, liveness is exact: a value is
+// live on a cluster from the cycle it arrives (result ready or
+// communication arrival) until its last local use (operand read or
+// communication departure). The allocator runs linear-scan over these
+// intervals per cluster and reports, for each value that could not be kept
+// in a register, a spill: on real hardware every use beyond the first would
+// reload it. Spill counts feed the evaluation and the register-pressure
+// convergent pass (passes.RegPres uses the same liveness estimator on
+// preferences instead of placements).
+package regalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/schedule"
+)
+
+// Interval is the live range of one value on one cluster, in cycles.
+type Interval struct {
+	// Value is the producing instruction's ID.
+	Value int
+	// Cluster is where the value is live.
+	Cluster int
+	// From is the arrival cycle (result ready or communication arrival).
+	From int
+	// To is the last local use cycle.
+	To int
+}
+
+// Result is the outcome of allocation on one schedule.
+type Result struct {
+	// Assigned maps (value, cluster) to a register number for every
+	// interval that received a register.
+	Assigned map[[2]int]int
+	// Spilled lists the intervals that did not fit in the register file.
+	Spilled []Interval
+	// MaxPressure is the peak simultaneous liveness per cluster.
+	MaxPressure []int
+}
+
+// SpillCount returns the number of spilled intervals.
+func (r *Result) SpillCount() int { return len(r.Spilled) }
+
+// Intervals computes the exact per-cluster live intervals of a schedule.
+// Values with no local consumer (computed only to be shipped elsewhere, or
+// dead) are live from arrival to their last departure, or for a single
+// cycle if nothing reads them at all. Constants are skipped: under the
+// immediate-broadcast rule they live in instruction encodings, not
+// registers.
+func Intervals(s *schedule.Schedule) []Interval {
+	type key struct{ value, cluster int }
+	spans := map[key]*Interval{}
+	note := func(value, cluster, at int) {
+		k := key{value, cluster}
+		sp, ok := spans[k]
+		if !ok {
+			arr := s.ArrivalOn(value, cluster)
+			if arr < 0 {
+				// The consumer reads it via broadcast or it is
+				// produced here; ArrivalOn covers both, so a
+				// negative arrival means a validation-level bug
+				// — be conservative and start at the use.
+				arr = at
+			}
+			sp = &Interval{Value: value, Cluster: cluster, From: arr, To: arr}
+			spans[k] = sp
+		}
+		if at > sp.To {
+			sp.To = at
+		}
+	}
+	g := s.Graph
+	for i, p := range s.Placements {
+		in := g.Instrs[i]
+		if in.Op.HasResult() && !in.Op.IsConst() {
+			note(i, p.Cluster, p.Ready())
+		}
+		for _, a := range in.Args {
+			if g.Instrs[a].Op.IsConst() {
+				continue
+			}
+			note(a, p.Cluster, p.Start)
+		}
+	}
+	for _, c := range s.Comms {
+		if g.Instrs[c.Value].Op.IsConst() {
+			continue
+		}
+		note(c.Value, c.From, c.Depart)
+	}
+	out := make([]Interval, 0, len(spans))
+	for _, sp := range spans {
+		out = append(out, *sp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Cluster != b.Cluster {
+			return a.Cluster < b.Cluster
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.Value < b.Value
+	})
+	return out
+}
+
+// Allocate runs linear-scan register allocation with k registers per
+// cluster over the schedule's exact live intervals. When the register file
+// overflows, the interval ending furthest in the future is spilled (the
+// classic linear-scan choice). k must be positive.
+func Allocate(s *schedule.Schedule, k int) (*Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("regalloc: %d registers", k)
+	}
+	intervals := Intervals(s)
+	res := &Result{
+		Assigned:    make(map[[2]int]int),
+		MaxPressure: make([]int, s.Machine.NumClusters),
+	}
+	// Pressure is independent of allocation decisions.
+	length := s.Length()
+	for c := 0; c < s.Machine.NumClusters; c++ {
+		counts := make([]int, length+2)
+		for _, iv := range intervals {
+			if iv.Cluster != c {
+				continue
+			}
+			for t := iv.From; t <= iv.To && t < len(counts); t++ {
+				counts[t]++
+			}
+		}
+		for _, n := range counts {
+			if n > res.MaxPressure[c] {
+				res.MaxPressure[c] = n
+			}
+		}
+	}
+	// Linear scan per cluster.
+	type active struct {
+		iv  Interval
+		reg int
+	}
+	for c := 0; c < s.Machine.NumClusters; c++ {
+		var cluster []Interval
+		for _, iv := range intervals {
+			if iv.Cluster == c {
+				cluster = append(cluster, iv)
+			}
+		}
+		free := make([]int, 0, k)
+		for r := k - 1; r >= 0; r-- {
+			free = append(free, r)
+		}
+		var act []active
+		expire := func(now int) {
+			keep := act[:0]
+			for _, a := range act {
+				if a.iv.To < now {
+					free = append(free, a.reg)
+				} else {
+					keep = append(keep, a)
+				}
+			}
+			act = keep
+		}
+		for _, iv := range cluster {
+			expire(iv.From)
+			if len(free) > 0 {
+				reg := free[len(free)-1]
+				free = free[:len(free)-1]
+				act = append(act, active{iv, reg})
+				res.Assigned[[2]int{iv.Value, iv.Cluster}] = reg
+				continue
+			}
+			// Spill the interval with the furthest end.
+			victim := -1
+			for ai, a := range act {
+				if victim < 0 || a.iv.To > act[victim].iv.To {
+					victim = ai
+				}
+			}
+			if victim >= 0 && act[victim].iv.To > iv.To {
+				spilled := act[victim]
+				res.Spilled = append(res.Spilled, spilled.iv)
+				delete(res.Assigned, [2]int{spilled.iv.Value, spilled.iv.Cluster})
+				res.Assigned[[2]int{iv.Value, iv.Cluster}] = spilled.reg
+				act[victim] = active{iv, spilled.reg}
+			} else {
+				res.Spilled = append(res.Spilled, iv)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Validate checks an allocation: no two register-resident intervals on the
+// same cluster may share a register while overlapping in time.
+func Validate(s *schedule.Schedule, res *Result) error {
+	intervals := Intervals(s)
+	byCluster := map[int][]Interval{}
+	for _, iv := range intervals {
+		if _, ok := res.Assigned[[2]int{iv.Value, iv.Cluster}]; ok {
+			byCluster[iv.Cluster] = append(byCluster[iv.Cluster], iv)
+		}
+	}
+	for c, ivs := range byCluster {
+		for i := 0; i < len(ivs); i++ {
+			for j := i + 1; j < len(ivs); j++ {
+				a, b := ivs[i], ivs[j]
+				ra := res.Assigned[[2]int{a.Value, a.Cluster}]
+				rb := res.Assigned[[2]int{b.Value, b.Cluster}]
+				if ra != rb {
+					continue
+				}
+				if a.From <= b.To && b.From <= a.To {
+					return fmt.Errorf("regalloc: values %d and %d share register %d on cluster %d over [%d,%d]∩[%d,%d]",
+						a.Value, b.Value, ra, c, a.From, a.To, b.From, b.To)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package regalloc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline/uas"
+	"repro/internal/bench"
+	"repro/internal/ir"
+	"repro/internal/listsched"
+	"repro/internal/machine"
+	"repro/internal/schedule"
+)
+
+func mustSchedule(t *testing.T, g *ir.Graph, m *machine.Model, assign []int) *schedule.Schedule {
+	t.Helper()
+	s, err := listsched.Run(g, m, listsched.Options{Assignment: assign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestIntervalsChain(t *testing.T) {
+	// const -> neg -> not on one tile: neg's value is live from its
+	// ready cycle until not issues.
+	g := ir.New("chain")
+	a := g.AddConst(1)
+	b := g.Add(ir.Neg, a.ID)
+	c := g.Add(ir.Not, b.ID)
+	m := machine.Raw(1)
+	s := mustSchedule(t, g, m, []int{0, 0, 0})
+	ivs := Intervals(s)
+	var bIv *Interval
+	for i := range ivs {
+		if ivs[i].Value == b.ID {
+			bIv = &ivs[i]
+		}
+		if ivs[i].Value == a.ID {
+			t.Error("constant got a live interval")
+		}
+	}
+	if bIv == nil {
+		t.Fatal("no interval for neg result")
+	}
+	if bIv.From != s.Placements[b.ID].Ready() || bIv.To != s.Placements[c.ID].Start {
+		t.Errorf("interval = %+v, schedule: ready %d, use %d", bIv, s.Placements[b.ID].Ready(), s.Placements[c.ID].Start)
+	}
+}
+
+func TestIntervalsCrossCluster(t *testing.T) {
+	// A value shipped to another cluster is live at the source until
+	// departure and at the destination from arrival to use.
+	g := ir.New("cross")
+	a := g.AddConst(1)
+	b := g.Add(ir.Neg, a.ID)
+	g.Add(ir.Not, b.ID)
+	m := machine.Raw(2)
+	s := mustSchedule(t, g, m, []int{0, 0, 1})
+	if s.CommCount() != 1 {
+		t.Fatalf("comms = %d", s.CommCount())
+	}
+	comm := s.Comms[0]
+	var src, dst *Interval
+	for _, iv := range Intervals(s) {
+		iv := iv
+		if iv.Value == b.ID && iv.Cluster == 0 {
+			src = &iv
+		}
+		if iv.Value == b.ID && iv.Cluster == 1 {
+			dst = &iv
+		}
+	}
+	if src == nil || dst == nil {
+		t.Fatal("missing intervals for shipped value")
+	}
+	if src.To != comm.Depart {
+		t.Errorf("source interval ends at %d, departure at %d", src.To, comm.Depart)
+	}
+	if dst.From != comm.Arrive {
+		t.Errorf("destination interval starts at %d, arrival at %d", dst.From, comm.Arrive)
+	}
+}
+
+func TestAllocateEnoughRegisters(t *testing.T) {
+	k, _ := bench.ByName("vvmul")
+	g := k.Build(4)
+	m := machine.Chorus(4)
+	s, err := uas.Schedule(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Allocate(s, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpillCount() != 0 {
+		t.Errorf("spilled %d with 64 registers", res.SpillCount())
+	}
+	if err := Validate(s, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocateTightRegistersSpills(t *testing.T) {
+	// Produce many long-lived values on one tile: with 2 registers most
+	// must spill, and the allocation must stay conflict-free.
+	g := ir.New("press")
+	c := g.AddConst(1)
+	// A serial chain whose every intermediate value is also consumed in
+	// reverse order at the end: production order is forced, consumption
+	// is reversed, so all eight intermediates are live together no
+	// matter how cleverly the list scheduler orders issue.
+	var vals []int
+	cur := c.ID
+	for i := 0; i < 8; i++ {
+		cur = g.Add(ir.Neg, cur).ID
+		vals = append(vals, cur)
+	}
+	acc := vals[7]
+	for i := 6; i >= 0; i-- {
+		acc = g.Add(ir.Add, acc, vals[i]).ID
+	}
+	m := machine.Raw(1)
+	s := mustSchedule(t, g, m, make([]int, g.Len()))
+	res, err := Allocate(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpillCount() == 0 {
+		t.Error("no spills with 2 registers and 8 simultaneous lives")
+	}
+	if err := Validate(s, res); err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxPressure[0] < 5 {
+		t.Errorf("MaxPressure = %v, expected high", res.MaxPressure)
+	}
+}
+
+func TestAllocateRejectsBadK(t *testing.T) {
+	g := ir.New("x")
+	g.AddConst(1)
+	s := mustSchedule(t, g, machine.Raw(1), []int{0})
+	if _, err := Allocate(s, 0); err == nil {
+		t.Error("accepted k=0")
+	}
+}
+
+func TestPressureMatchesScheduleEstimate(t *testing.T) {
+	// MaxPressure must never exceed the schedule's own MaxLivePerCluster
+	// (which counts constants too, so it is an upper bound).
+	k, _ := bench.ByName("fir")
+	g := k.Build(4)
+	m := machine.Chorus(4)
+	s, err := uas.Schedule(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Allocate(s, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upper := s.MaxLivePerCluster()
+	for c, p := range res.MaxPressure {
+		if p > upper[c] {
+			t.Errorf("cluster %d: pressure %d exceeds schedule estimate %d", c, p, upper[c])
+		}
+	}
+}
+
+// Property: allocation is always conflict-free, and with k >= MaxPressure
+// there are never spills.
+func TestQuickAllocationSound(t *testing.T) {
+	m := machine.Chorus(4)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := ir.New("q")
+		var results []int
+		pick := func() int { return results[rng.Intn(len(results))] }
+		for i := 0; i < 30; i++ {
+			if i < 2 {
+				results = append(results, g.AddConst(int64(i)).ID)
+				continue
+			}
+			ops := []ir.Op{ir.Add, ir.Sub, ir.Xor, ir.Min}
+			results = append(results, g.Add(ops[rng.Intn(len(ops))], pick(), pick()).ID)
+		}
+		assign := make([]int, g.Len())
+		for i := range assign {
+			assign[i] = rng.Intn(4)
+		}
+		s, err := listsched.Run(g, m, listsched.Options{Assignment: assign})
+		if err != nil {
+			return false
+		}
+		for _, k := range []int{2, 4, 64} {
+			res, err := Allocate(s, k)
+			if err != nil {
+				return false
+			}
+			if Validate(s, res) != nil {
+				return false
+			}
+			maxP := 0
+			for _, p := range res.MaxPressure {
+				if p > maxP {
+					maxP = p
+				}
+			}
+			if k >= maxP && res.SpillCount() > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

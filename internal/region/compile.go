@@ -1,0 +1,240 @@
+package region
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+)
+
+// Scheduler turns one scheduling-unit graph into a schedule; any of the
+// repository's schedulers fits after partial application.
+type Scheduler func(g *ir.Graph, m *machine.Model) (*schedule.Schedule, error)
+
+// CompiledBlock is one basic block after lowering and scheduling.
+type CompiledBlock struct {
+	Graph *ir.Graph
+	Sched *schedule.Schedule
+}
+
+// Compiled is a whole function compiled for a machine: every block lowered
+// (with cross-region values in their home cells) and scheduled.
+type Compiled struct {
+	Fn      *Fn
+	Machine *machine.Model
+	Layout  *Layout
+	Units   []*CompiledBlock
+}
+
+// Compile lowers and schedules every block of f for m, placing cross-region
+// values per the policy.
+func Compile(f *Fn, m *machine.Model, policy HomePolicy, sched Scheduler) (*Compiled, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	l := f.PlanLayout(m, policy)
+	c := &Compiled{Fn: f, Machine: m, Layout: l}
+	for _, b := range f.Blocks {
+		g, err := f.LowerBlock(b.ID, m, l)
+		if err != nil {
+			return nil, err
+		}
+		s, err := sched(g, m)
+		if err != nil {
+			return nil, fmt.Errorf("region: block %d: %w", b.ID, err)
+		}
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("region: block %d: %w", b.ID, err)
+		}
+		c.Units = append(c.Units, &CompiledBlock{Graph: g, Sched: s})
+	}
+	return c, nil
+}
+
+// evalStmt computes one region-level statement over variable values.
+func evalStmt(st Stmt, vars []sim.Value) sim.Value {
+	in := ir.Instr{Op: st.Op, Imm: st.Imm, FImm: st.FImm}
+	args := make([]sim.Value, len(st.Args))
+	for i, a := range st.Args {
+		args[i] = vars[a]
+	}
+	return sim.Eval(&in, args)
+}
+
+// Interpret executes the CFG directly over variable values — the function's
+// reference semantics. It returns the final variable values and the number
+// of times each block ran. maxSteps bounds total block executions so
+// runaway loops fail fast.
+func (f *Fn) Interpret(maxSteps int) (vars []sim.Value, runs []int64, err error) {
+	if err := f.Validate(); err != nil {
+		return nil, nil, err
+	}
+	vars = make([]sim.Value, len(f.Vars))
+	runs = make([]int64, len(f.Blocks))
+	cur := f.Entry
+	for steps := 0; ; steps++ {
+		if steps >= maxSteps {
+			return nil, nil, fmt.Errorf("region: %s: exceeded %d block executions", f.Name, maxSteps)
+		}
+		b := f.Blocks[cur]
+		runs[cur]++
+		for _, st := range b.Code {
+			vars[st.Dst] = evalStmt(st, vars)
+		}
+		switch b.Term.Kind {
+		case Return:
+			return vars, runs, nil
+		case Jump:
+			cur = b.Term.Then
+		case Branch:
+			if vars[b.Term.Cond].AsInt() != 0 {
+				cur = b.Term.Then
+			} else {
+				cur = b.Term.Else
+			}
+		}
+	}
+}
+
+// SetProfile interprets the function and writes the observed block
+// execution counts into Block.Count, giving trace formation a real profile.
+func (f *Fn) SetProfile(maxSteps int) error {
+	_, runs, err := f.Interpret(maxSteps)
+	if err != nil {
+		return err
+	}
+	for i, b := range f.Blocks {
+		b.Count = runs[i]
+	}
+	return nil
+}
+
+// Execution is the result of running a compiled function.
+type Execution struct {
+	// Memory is the final memory (variable cells included).
+	Memory sim.Memory
+	// Cycles is the total schedule length over the dynamic block
+	// sequence — the whole-program cost a scheduler is judged by.
+	Cycles int64
+	// Runs counts executions per block.
+	Runs []int64
+}
+
+// Execute runs the compiled function: the dynamic block sequence is driven
+// by the branch conditions the scheduled code stores into their home
+// cells, and each executed block's schedule is simulated against the shared
+// memory. Every block execution is also checked against reference
+// execution of the block's graph.
+func (c *Compiled) Execute(maxSteps int) (*Execution, error) {
+	mem := sim.NewMemory()
+	ex := &Execution{Memory: mem, Runs: make([]int64, len(c.Fn.Blocks))}
+	cur := c.Fn.Entry
+	for steps := 0; ; steps++ {
+		if steps >= maxSteps {
+			return nil, fmt.Errorf("region: %s: exceeded %d block executions", c.Fn.Name, maxSteps)
+		}
+		b := c.Fn.Blocks[cur]
+		unit := c.Units[cur]
+		res, err := sim.Verify(unit.Sched, mem)
+		if err != nil {
+			return nil, fmt.Errorf("region: block %d: %w", cur, err)
+		}
+		ex.Memory = res.Memory
+		mem = res.Memory
+		ex.Cycles += int64(unit.Sched.Length())
+		ex.Runs[cur]++
+		switch b.Term.Kind {
+		case Return:
+			return ex, nil
+		case Jump:
+			cur = b.Term.Then
+		case Branch:
+			cond := b.Term.Cond
+			v := mem.Load(c.Layout.Home[cond], c.Layout.Addr(cond))
+			if v.AsInt() != 0 {
+				cur = b.Term.Then
+			} else {
+				cur = b.Term.Else
+			}
+		}
+	}
+}
+
+// InterpretCells interprets the function while also tracking the contents
+// every variable cell would have under the lowering's store policy (live-out
+// definitions plus defined branch conditions get written back). The result
+// is the reference final memory image of the variable cells.
+func (f *Fn) InterpretCells(maxSteps int) (map[VarID]sim.Value, []int64, error) {
+	if err := f.Validate(); err != nil {
+		return nil, nil, err
+	}
+	_, liveOut := f.Liveness()
+	vars := make([]sim.Value, len(f.Vars))
+	cells := map[VarID]sim.Value{}
+	runs := make([]int64, len(f.Blocks))
+	cur := f.Entry
+	for steps := 0; ; steps++ {
+		if steps >= maxSteps {
+			return nil, nil, fmt.Errorf("region: %s: exceeded %d block executions", f.Name, maxSteps)
+		}
+		b := f.Blocks[cur]
+		runs[cur]++
+		defined := map[VarID]bool{}
+		for _, st := range b.Code {
+			vars[st.Dst] = evalStmt(st, vars)
+			defined[st.Dst] = true
+		}
+		for v := range liveOut[cur] {
+			if defined[v] {
+				cells[v] = vars[v]
+			}
+		}
+		switch b.Term.Kind {
+		case Return:
+			return cells, runs, nil
+		case Jump:
+			cur = b.Term.Then
+		case Branch:
+			if defined[b.Term.Cond] {
+				cells[b.Term.Cond] = vars[b.Term.Cond]
+			}
+			if vars[b.Term.Cond].AsInt() != 0 {
+				cur = b.Term.Then
+			} else {
+				cur = b.Term.Else
+			}
+		}
+	}
+}
+
+// VerifyAgainstInterpreter runs both the interpreter and the compiled
+// program and checks that they executed the same block sequence and that
+// every variable cell ends with the value the reference semantics dictate.
+func (c *Compiled) VerifyAgainstInterpreter(maxSteps int) (*Execution, error) {
+	cells, runs, err := c.Fn.InterpretCells(maxSteps)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := c.Execute(maxSteps)
+	if err != nil {
+		return nil, err
+	}
+	for i := range runs {
+		if runs[i] != ex.Runs[i] {
+			return nil, fmt.Errorf("region: block %d ran %d times compiled, %d interpreted", i, ex.Runs[i], runs[i])
+		}
+	}
+	for v := range c.Fn.Vars {
+		if c.Layout.Home[v] < 0 {
+			continue // block-local: no cell to compare
+		}
+		got := ex.Memory.Load(c.Layout.Home[v], c.Layout.Addr(VarID(v)))
+		want := cells[VarID(v)] // zero Value if never stored
+		if !got.Equal(want) {
+			return nil, fmt.Errorf("region: variable %s cell: compiled %v, reference %v", c.Fn.Vars[v], got, want)
+		}
+	}
+	return ex, nil
+}

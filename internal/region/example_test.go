@@ -1,0 +1,98 @@
+package region_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/listsched"
+	"repro/internal/machine"
+	"repro/internal/region"
+	"repro/internal/schedule"
+)
+
+// Example compiles a two-block program whose variable crosses the region
+// boundary: the definition is stored to the variable's home bank and the
+// use loads it back, both preplaced — the paper's cross-region constraint.
+func Example() {
+	f := region.NewFn("twoblocks")
+	v := f.Var("v")
+	b1 := f.NewBlock()
+	f.Blocks[0].EmitConst(v, 21)
+	f.Blocks[0].Emit(v, ir.Add, v, v)
+	f.Blocks[0].Jump(b1.ID)
+	b1.Emit(v, ir.Neg, v)
+	b1.Ret()
+	f.Output(v)
+
+	m := machine.Raw(2)
+	sched := func(g *ir.Graph, mm *machine.Model) (*schedule.Schedule, error) {
+		assign := make([]int, g.Len())
+		for i, in := range g.Instrs {
+			if in.Preplaced() {
+				assign[i] = in.Home
+			}
+		}
+		return listsched.Run(g, mm, listsched.Options{Assignment: assign})
+	}
+	c, err := region.Compile(f, m, region.RoundRobin, sched)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ex, err := c.VerifyAgainstInterpreter(100)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	got := ex.Memory.Load(c.Layout.Home[v], c.Layout.Addr(v))
+	fmt.Printf("v = %s after %d blocks\n", got, ex.Runs[0]+ex.Runs[1])
+	// Output:
+	// v = -42 after 2 blocks
+}
+
+// ExampleParseFn reads the text format cmd/regionc uses and interprets it.
+func ExampleParseFn() {
+	src := `
+fn double
+out r
+block 0
+  r = const 7
+  r = add r r
+  ret
+`
+	f, err := region.ParseFn(strings.NewReader(src))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	vars, _, err := f.Interpret(10)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("r = %s\n", vars[f.Outputs[0]])
+	// Output:
+	// r = 14
+}
+
+// ExampleFn_Traces shows Fisher trace formation following a profile.
+func ExampleFn_Traces() {
+	f := region.NewFn("hot")
+	v := f.Var("v")
+	b1 := f.NewBlock()
+	b2 := f.NewBlock()
+	f.Blocks[0].EmitConst(v, 1)
+	f.Blocks[0].Jump(b1.ID)
+	b1.Emit(v, ir.Neg, v)
+	b1.Jump(b2.ID)
+	b2.Ret()
+	for _, b := range f.Blocks {
+		b.Count = 100
+	}
+	for _, tr := range f.Traces() {
+		fmt.Printf("trace %v weight %d\n", tr.Blocks, tr.Count)
+	}
+	// Output:
+	// trace [0 1 2] weight 100
+}

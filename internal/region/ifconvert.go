@@ -1,0 +1,136 @@
+package region
+
+// IfConvert merges branch diamonds and triangles into straightline blocks
+// using Sel (conditional select), in the spirit of hyperblock formation —
+// one of the scheduling-unit kinds the paper lists. Bigger straightline
+// blocks give the spatial scheduler more parallelism to work with, at the
+// cost of executing both arms.
+//
+// A pattern is convertible when the branch's arms are side-effect-free
+// straightline blocks (statements only, single predecessor) that both jump
+// to a common join block. Converted arms execute unconditionally into
+// temporary variables, and each variable assigned on either arm receives a
+// Sel at the end. The transform repeats until no pattern remains and
+// returns the number of conversions performed.
+//
+// Like real if-conversion, correctness relies on the arms being speculation
+// safe; at region level every statement is (memory ops are banned here and
+// the simulator's Div/Rem/FSqrt are total functions).
+func IfConvert(f *Fn) int {
+	converted := 0
+	for {
+		if !ifConvertOne(f) {
+			return converted
+		}
+		converted++
+	}
+}
+
+func ifConvertOne(f *Fn) bool {
+	preds := f.Preds()
+	singlePred := func(id int) bool { return len(preds[id]) == 1 }
+	straightline := func(id int) bool {
+		b := f.Blocks[id]
+		return b.Term.Kind == Jump
+	}
+	for _, b := range f.Blocks {
+		if b.Term.Kind != Branch {
+			continue
+		}
+		thenID, elseID := b.Term.Then, b.Term.Else
+		if thenID == b.ID || elseID == b.ID || thenID == elseID {
+			continue
+		}
+		// Diamond: both arms are straightline single-pred blocks
+		// jumping to the same join.
+		if straightline(thenID) && straightline(elseID) &&
+			singlePred(thenID) && singlePred(elseID) &&
+			f.Blocks[thenID].Term.Then == f.Blocks[elseID].Term.Then {
+			mergeDiamond(f, b, thenID, elseID, f.Blocks[thenID].Term.Then)
+			return true
+		}
+		// Triangle: then-arm falls through to the else-target (or vice
+		// versa).
+		if straightline(thenID) && singlePred(thenID) && f.Blocks[thenID].Term.Then == elseID {
+			mergeTriangle(f, b, thenID, elseID, true)
+			return true
+		}
+		if straightline(elseID) && singlePred(elseID) && f.Blocks[elseID].Term.Then == thenID {
+			mergeTriangle(f, b, elseID, thenID, false)
+			return true
+		}
+	}
+	return false
+}
+
+// appendArm copies an arm's statements into dst, redirecting every write to
+// a fresh temporary; it returns the mapping from original variable to the
+// arm's final temporary for that variable.
+func appendArm(f *Fn, dst *Block, arm *Block, tag string) map[VarID]VarID {
+	rename := map[VarID]VarID{}
+	readOf := func(v VarID) VarID {
+		if t, ok := rename[v]; ok {
+			return t
+		}
+		return v
+	}
+	for _, st := range arm.Code {
+		tmp := f.Var(f.Vars[st.Dst] + tag)
+		ns := Stmt{Dst: tmp, Op: st.Op, Imm: st.Imm, FImm: st.FImm}
+		for _, a := range st.Args {
+			ns.Args = append(ns.Args, readOf(a))
+		}
+		dst.Code = append(dst.Code, ns)
+		rename[st.Dst] = tmp
+	}
+	return rename
+}
+
+func mergeDiamond(f *Fn, b *Block, thenID, elseID, joinID int) {
+	cond := b.Term.Cond
+	thenMap := appendArm(f, b, f.Blocks[thenID], ".t")
+	elseMap := appendArm(f, b, f.Blocks[elseID], ".e")
+	// Every variable written on either arm gets a select.
+	written := map[VarID]bool{}
+	for v := range thenMap {
+		written[v] = true
+	}
+	for v := range elseMap {
+		written[v] = true
+	}
+	for v := VarID(0); int(v) < len(f.Vars); v++ {
+		if !written[v] {
+			continue
+		}
+		tv, ev := v, v
+		if t, ok := thenMap[v]; ok {
+			tv = t
+		}
+		if e, ok := elseMap[v]; ok {
+			ev = e
+		}
+		b.Emit(v, selOp, cond, tv, ev)
+	}
+	// The arms become unreachable; empty them so they cost nothing.
+	f.Blocks[thenID].Code = nil
+	f.Blocks[elseID].Code = nil
+	b.Jump(joinID)
+}
+
+func mergeTriangle(f *Fn, b *Block, armID, joinID int, armIsThen bool) {
+	cond := b.Term.Cond
+	armMap := appendArm(f, b, f.Blocks[armID], ".a")
+	for v := VarID(0); int(v) < len(f.Vars); v++ {
+		t, ok := armMap[v]
+		if !ok {
+			continue
+		}
+		if armIsThen {
+			b.Emit(v, selOp, cond, t, v)
+		} else {
+			b.Emit(v, selOp, cond, v, t)
+		}
+	}
+	f.Blocks[armID].Code = nil
+	b.Jump(joinID)
+}

@@ -1,0 +1,145 @@
+package region
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestIfConvertDiamond(t *testing.T) {
+	f := diamond()
+	vars0, _, err := f.Interpret(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := IfConvert(f)
+	if n != 1 {
+		t.Fatalf("IfConvert = %d conversions, want 1", n)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The entry block must now be straightline into the join.
+	if f.Blocks[0].Term.Kind != Jump {
+		t.Errorf("entry still branches: %+v", f.Blocks[0].Term)
+	}
+	vars1, runs, err := f.Interpret(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Semantics preserved for the original variables.
+	for v := 0; v < 3; v++ {
+		if !vars1[v].Equal(vars0[v]) {
+			t.Errorf("var %d: %v != %v after if-conversion", v, vars1[v], vars0[v])
+		}
+	}
+	// The arm blocks execute as empty shells or not at all; either way
+	// total block executions must not exceed the original path length.
+	total := int64(0)
+	for _, r := range runs {
+		total += r
+	}
+	if total > 4 {
+		t.Errorf("%d block executions after conversion", total)
+	}
+}
+
+func TestIfConvertTriangle(t *testing.T) {
+	// if (c) { y = x+x }  — a triangle: then-arm falls into the join.
+	f := NewFn("tri")
+	x := f.Var("x")
+	c := f.Var("c")
+	y := f.Var("y")
+	arm := f.NewBlock()
+	join := f.NewBlock()
+	f.Blocks[0].EmitConst(x, 5)
+	f.Blocks[0].EmitConst(y, 1)
+	f.Blocks[0].Emit(c, ir.Slt, y, x) // 1: take the arm
+	f.Blocks[0].Branch(c, arm.ID, join.ID)
+	arm.Emit(y, ir.Add, x, x)
+	arm.Jump(join.ID)
+	join.Emit(y, ir.Neg, y)
+	join.Ret()
+	f.Output(y)
+
+	want, _, err := f.Interpret(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IfConvert(f) != 1 {
+		t.Fatal("triangle not converted")
+	}
+	got, _, err := f.Interpret(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[y].Equal(want[y]) {
+		t.Errorf("y = %v, want %v", got[y], want[y])
+	}
+	if got[y].AsInt() != -10 {
+		t.Errorf("y = %v, want -10", got[y])
+	}
+}
+
+func TestIfConvertSkipsLoops(t *testing.T) {
+	f, _ := sumLoop()
+	if n := IfConvert(f); n != 0 {
+		t.Errorf("converted %d patterns in a loop CFG", n)
+	}
+}
+
+func TestIfConvertEnlargesSchedulingUnit(t *testing.T) {
+	// After conversion the entry block carries both arms plus selects —
+	// a bigger scheduling unit, which is the point of hyperblocks.
+	f := diamond()
+	before := len(f.Blocks[0].Code)
+	IfConvert(f)
+	after := len(f.Blocks[0].Code)
+	if after <= before {
+		t.Errorf("entry grew from %d to %d statements", before, after)
+	}
+	// And it still compiles and verifies end to end.
+	c, err := Compile(f, rawMachineForTest(t), RoundRobin, listScheduler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.VerifyAgainstInterpreter(100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIfConvertBothArmsWriteDisjointVars(t *testing.T) {
+	// then writes a, else writes b: both need selects against the
+	// incoming values.
+	f := NewFn("disjoint")
+	a := f.Var("a")
+	b := f.Var("b")
+	c := f.Var("c")
+	thenB := f.NewBlock()
+	elseB := f.NewBlock()
+	join := f.NewBlock()
+	f.Blocks[0].EmitConst(a, 1)
+	f.Blocks[0].EmitConst(b, 2)
+	f.Blocks[0].EmitConst(c, 0) // take else
+	f.Blocks[0].Branch(c, thenB.ID, elseB.ID)
+	thenB.Emit(a, ir.Neg, a)
+	thenB.Jump(join.ID)
+	elseB.Emit(b, ir.Neg, b)
+	elseB.Jump(join.ID)
+	join.Ret()
+	f.Output(a)
+	f.Output(b)
+
+	want, _, err := f.Interpret(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	IfConvert(f)
+	got, _, err := f.Interpret(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[a].Equal(want[a]) || !got[b].Equal(want[b]) {
+		t.Errorf("a=%v b=%v, want a=%v b=%v", got[a], got[b], want[a], want[b])
+	}
+}

@@ -1,0 +1,200 @@
+package region
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// HomePolicy chooses the home bank of variables that are live across
+// blocks.
+type HomePolicy int
+
+const (
+	// FirstCluster maps every cross-region value to cluster 0, the
+	// policy the paper reports for Chorus ("all values that are live
+	// across multiple scheduling regions are mapped to the first
+	// cluster").
+	FirstCluster HomePolicy = iota
+	// RoundRobin distributes cross-region values over clusters in trace
+	// order (hottest trace's definitions first), standing in for
+	// Rawcc's policy of pinning each value to the cluster of its first
+	// definition or use.
+	RoundRobin
+)
+
+// varBank is the fixed bank namespace for cross-region variable cells:
+// variable v lives at address varAddrBase+v in its home bank, far above the
+// addresses the kernels use.
+const varAddrBase = 1 << 20
+
+// Layout records where every cross-block variable lives.
+type Layout struct {
+	// Home[v] is the bank of variable v, or -1 for block-local
+	// variables (never stored).
+	Home []int
+	// CrossBlock marks the variables that are live into some block.
+	CrossBlock []bool
+}
+
+// Addr returns the memory cell of variable v.
+func (l *Layout) Addr(v VarID) int64 { return varAddrBase + int64(v) }
+
+// PlanLayout assigns home banks to every variable that is live across
+// blocks. Variables are processed in trace order (hottest first, then
+// block order within the trace, then definition order), so RoundRobin
+// spreads the hot path's values evenly across clusters.
+func (f *Fn) PlanLayout(m *machine.Model, policy HomePolicy) *Layout {
+	liveIn, _ := f.Liveness()
+	cross := make([]bool, len(f.Vars))
+	for _, in := range liveIn {
+		for v := range in {
+			cross[v] = true
+		}
+	}
+	// Branch conditions cross the block boundary by construction: the
+	// block's scheduled code writes the taken direction into the
+	// condition's cell and the control-flow machinery reads it, even
+	// when dataflow liveness considers the variable dead.
+	for _, b := range f.Blocks {
+		if b.Term.Kind == Branch {
+			cross[b.Term.Cond] = true
+		}
+	}
+	// Outputs leave the function through their cells.
+	for _, v := range f.Outputs {
+		cross[v] = true
+	}
+	l := &Layout{Home: make([]int, len(f.Vars)), CrossBlock: cross}
+	for i := range l.Home {
+		l.Home[i] = -1
+	}
+	next := 0
+	assign := func(v VarID) {
+		if !cross[v] || l.Home[v] >= 0 {
+			return
+		}
+		switch policy {
+		case FirstCluster:
+			l.Home[v] = 0
+		case RoundRobin:
+			l.Home[v] = next % m.NumClusters
+			next++
+		}
+	}
+	for _, tr := range f.Traces() {
+		for _, bid := range tr.Blocks {
+			for _, st := range f.Blocks[bid].Code {
+				for _, a := range st.Args {
+					assign(a)
+				}
+				assign(st.Dst)
+			}
+			if f.Blocks[bid].Term.Kind == Branch {
+				assign(f.Blocks[bid].Term.Cond)
+			}
+		}
+	}
+	return l
+}
+
+// LowerBlock turns one basic block into a scheduling-unit graph: loads of
+// the live-in variables the block reads, the block body, and stores of the
+// definitions that are live out (plus the branch condition, stored so the
+// interpreter can read the taken direction from memory). The loads and
+// stores are preplaced on their variables' home banks — the paper's
+// cross-region preplacement constraint, materialised.
+func (f *Fn) LowerBlock(bid int, m *machine.Model, l *Layout) (*ir.Graph, error) {
+	if bid < 0 || bid >= len(f.Blocks) {
+		return nil, fmt.Errorf("region: block %d out of range", bid)
+	}
+	b := f.Blocks[bid]
+	_, liveOut := f.Liveness()
+	g := ir.New(fmt.Sprintf("%s.b%d", f.Name, bid))
+	val := map[VarID]int{}      // current graph value of each variable
+	defined := map[VarID]bool{} // variables written by this block
+	loadOf := map[VarID]int{}   // the load instruction that read each cell
+	consts := map[int64]int{}
+	readVar := func(v VarID) (int, error) {
+		if id, ok := val[v]; ok {
+			return id, nil
+		}
+		if l.Home[v] < 0 {
+			return 0, fmt.Errorf("region: block %d reads variable %s with no home", bid, f.Vars[v])
+		}
+		addrImm := l.Addr(v)
+		addr, ok := consts[addrImm]
+		if !ok {
+			addr = g.AddConst(addrImm).ID
+			consts[addrImm] = addr
+		}
+		ld := g.AddLoad(l.Home[v], addr)
+		ld.Home = m.BankOwner(l.Home[v])
+		ld.Name = "in:" + f.Vars[v]
+		val[v] = ld.ID
+		loadOf[v] = ld.ID
+		return ld.ID, nil
+	}
+	for si, st := range b.Code {
+		var args []int
+		for _, a := range st.Args {
+			id, err := readVar(a)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, id)
+		}
+		in := g.Add(st.Op, args...)
+		in.Imm = st.Imm
+		in.FImm = st.FImm
+		in.Name = fmt.Sprintf("s%d:%s", si, f.Vars[st.Dst])
+		val[st.Dst] = in.ID
+		defined[st.Dst] = true
+	}
+	// Store live-out definitions (and the branch condition, which the
+	// interpreter reads from its cell).
+	needStore := map[VarID]bool{}
+	for v := range liveOut[bid] {
+		if defined[v] {
+			needStore[v] = true
+		}
+	}
+	if b.Term.Kind == Branch {
+		// The interpreter reads the condition from its cell; make sure
+		// the cell is current. If the block did not define it, the
+		// cell already holds the right value from an earlier block.
+		if defined[b.Term.Cond] {
+			needStore[b.Term.Cond] = true
+		} else if _, err := readVar(b.Term.Cond); err != nil {
+			return nil, err
+		}
+	}
+	for v := VarID(0); int(v) < len(f.Vars); v++ {
+		if !needStore[v] {
+			continue
+		}
+		if l.Home[v] < 0 {
+			return nil, fmt.Errorf("region: block %d defines live-out %s with no home", bid, f.Vars[v])
+		}
+		addrImm := l.Addr(v)
+		addr, ok := consts[addrImm]
+		if !ok {
+			addr = g.AddConst(addrImm).ID
+			consts[addrImm] = addr
+		}
+		st := g.AddStore(l.Home[v], addr, val[v])
+		st.Home = m.BankOwner(l.Home[v])
+		st.Name = "out:" + f.Vars[v]
+		// Anti-dependence: if this block also loaded the old value of
+		// the cell, that load must complete before the store rewrites
+		// it.
+		if ld, ok := loadOf[v]; ok {
+			g.AddMemEdge(ld, st.ID)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,285 @@
+// Package region models the compiler layer above scheduling units: control
+// flow graphs of basic blocks, edge profiles, trace formation, and — the
+// part the paper cares about — values that live across scheduling regions.
+//
+// The paper's second source of preplaced instructions is exactly this
+// layer: "when a value is live across scheduling regions, its definitions
+// and uses must be mapped to a consistent cluster". Here, every variable
+// that is live across blocks is assigned a home memory bank; the defining
+// block stores it there and consuming blocks load it, so the store/load
+// instructions arrive at the scheduler preplaced on the bank's owner —
+// precisely the constraint convergent scheduling was built to absorb. Both
+// published policies are provided: Chorus mapped every cross-region value
+// to the first cluster; Rawcc distributed them (FirstCluster and
+// RoundRobin here).
+//
+// Each basic block is one scheduling unit (the first option in the paper's
+// list of unit kinds). Traces in the style of Fisher are formed from the
+// edge profile and drive reporting and the home-assignment order, but
+// blocks stay the unit of execution, so program semantics are independent
+// of scheduling decisions and the whole program can be verified end to end
+// by the interpreter in this package against per-block simulation of the
+// scheduled code.
+package region
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// selOp aliases ir.Sel for the if-conversion transform.
+const selOp = ir.Sel
+
+// VarID names a function-level variable.
+type VarID int
+
+// Stmt is one straightline statement: Dst = Op(Args...) over variables.
+// ConstInt/ConstFloat use Imm/FImm and no Args. Memory ops are not allowed
+// at this level — arrays belong to the kernel layer; region-level state
+// lives in variables.
+type Stmt struct {
+	Dst  VarID
+	Op   ir.Op
+	Args []VarID
+	Imm  int64
+	FImm float64
+}
+
+// TermKind discriminates block terminators.
+type TermKind int
+
+const (
+	// Jump transfers to Then unconditionally.
+	Jump TermKind = iota
+	// Branch transfers to Then when Cond's value is non-zero, else to
+	// Else.
+	Branch
+	// Return ends the program.
+	Return
+)
+
+// Term is a block terminator.
+type Term struct {
+	Kind TermKind
+	Cond VarID // Branch only
+	Then int
+	Else int // Branch only
+}
+
+// Block is one basic block: straightline statements plus a terminator, and
+// a profile count used for trace formation.
+type Block struct {
+	ID    int
+	Code  []Stmt
+	Term  Term
+	Count int64
+}
+
+// Fn is a function: a CFG over named variables. Build with NewFn and the
+// block-construction helpers.
+type Fn struct {
+	Name   string
+	Vars   []string
+	Blocks []*Block
+	Entry  int
+	// Outputs lists the variables whose final values the function
+	// returns; they are live out of every Return block, so their cells
+	// always hold the result when the program stops.
+	Outputs []VarID
+}
+
+// NewFn returns an empty function whose entry is block 0 (created).
+func NewFn(name string) *Fn {
+	f := &Fn{Name: name}
+	f.NewBlock()
+	return f
+}
+
+// NewBlock appends an empty block (terminator Return by default) and
+// returns it.
+func (f *Fn) NewBlock() *Block {
+	b := &Block{ID: len(f.Blocks), Term: Term{Kind: Return}}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Var declares a variable and returns its ID.
+func (f *Fn) Var(name string) VarID {
+	f.Vars = append(f.Vars, name)
+	return VarID(len(f.Vars) - 1)
+}
+
+// Output declares a variable as a function result.
+func (f *Fn) Output(v VarID) { f.Outputs = append(f.Outputs, v) }
+
+// Emit appends Dst = Op(Args...) to the block.
+func (b *Block) Emit(dst VarID, op ir.Op, args ...VarID) {
+	b.Code = append(b.Code, Stmt{Dst: dst, Op: op, Args: args})
+}
+
+// EmitConst appends Dst = constant.
+func (b *Block) EmitConst(dst VarID, v int64) {
+	b.Code = append(b.Code, Stmt{Dst: dst, Op: ir.ConstInt, Imm: v})
+}
+
+// EmitFConst appends Dst = float constant.
+func (b *Block) EmitFConst(dst VarID, v float64) {
+	b.Code = append(b.Code, Stmt{Dst: dst, Op: ir.ConstFloat, FImm: v})
+}
+
+// Jump sets an unconditional terminator.
+func (b *Block) Jump(to int) { b.Term = Term{Kind: Jump, Then: to} }
+
+// Branch sets a conditional terminator.
+func (b *Block) Branch(cond VarID, then, els int) {
+	b.Term = Term{Kind: Branch, Cond: cond, Then: then, Else: els}
+}
+
+// Ret sets a Return terminator.
+func (b *Block) Ret() { b.Term = Term{Kind: Return} }
+
+// Succs returns a block's successor IDs.
+func (b *Block) Succs() []int {
+	switch b.Term.Kind {
+	case Jump:
+		return []int{b.Term.Then}
+	case Branch:
+		return []int{b.Term.Then, b.Term.Else}
+	}
+	return nil
+}
+
+// Validate checks structural sanity: variables and targets in range,
+// opcode arities, no memory ops at region level, and a reachable entry.
+func (f *Fn) Validate() error {
+	if len(f.Blocks) == 0 || f.Entry < 0 || f.Entry >= len(f.Blocks) {
+		return fmt.Errorf("region: %s: bad entry", f.Name)
+	}
+	checkVar := func(v VarID) error {
+		if v < 0 || int(v) >= len(f.Vars) {
+			return fmt.Errorf("region: %s: variable %d out of range", f.Name, v)
+		}
+		return nil
+	}
+	for _, v := range f.Outputs {
+		if err := checkVar(v); err != nil {
+			return err
+		}
+	}
+	for _, b := range f.Blocks {
+		for si, st := range b.Code {
+			if st.Op.IsMemory() {
+				return fmt.Errorf("region: %s: block %d stmt %d: memory op at region level", f.Name, b.ID, si)
+			}
+			if !st.Op.HasResult() {
+				return fmt.Errorf("region: %s: block %d stmt %d: %v has no result", f.Name, b.ID, si, st.Op)
+			}
+			if want := st.Op.Arity(); want >= 0 && len(st.Args) != want {
+				return fmt.Errorf("region: %s: block %d stmt %d: %v wants %d args, got %d", f.Name, b.ID, si, st.Op, want, len(st.Args))
+			}
+			if err := checkVar(st.Dst); err != nil {
+				return err
+			}
+			for _, a := range st.Args {
+				if err := checkVar(a); err != nil {
+					return err
+				}
+			}
+		}
+		for _, s := range b.Succs() {
+			if s < 0 || s >= len(f.Blocks) {
+				return fmt.Errorf("region: %s: block %d branches to %d", f.Name, b.ID, s)
+			}
+		}
+		if b.Term.Kind == Branch {
+			if err := checkVar(b.Term.Cond); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Preds returns the predecessor lists of every block.
+func (f *Fn) Preds() [][]int {
+	preds := make([][]int, len(f.Blocks))
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			preds[s] = append(preds[s], b.ID)
+		}
+	}
+	return preds
+}
+
+// Liveness computes, per block, the variables live on entry and on exit
+// (classic backward dataflow). A variable is live at a point if some path
+// from there reads it before writing it.
+func (f *Fn) Liveness() (liveIn, liveOut []map[VarID]bool) {
+	n := len(f.Blocks)
+	use := make([]map[VarID]bool, n)
+	def := make([]map[VarID]bool, n)
+	for _, b := range f.Blocks {
+		u, d := map[VarID]bool{}, map[VarID]bool{}
+		for _, st := range b.Code {
+			for _, a := range st.Args {
+				if !d[a] {
+					u[a] = true
+				}
+			}
+			d[st.Dst] = true
+		}
+		if b.Term.Kind == Branch && !d[b.Term.Cond] {
+			u[b.Term.Cond] = true
+		}
+		use[b.ID], def[b.ID] = u, d
+	}
+	liveIn = make([]map[VarID]bool, n)
+	liveOut = make([]map[VarID]bool, n)
+	for i := range liveIn {
+		liveIn[i] = map[VarID]bool{}
+		liveOut[i] = map[VarID]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			out := map[VarID]bool{}
+			if b.Term.Kind == Return {
+				for _, v := range f.Outputs {
+					out[v] = true
+				}
+			}
+			for _, s := range b.Succs() {
+				for v := range liveIn[s] {
+					out[v] = true
+				}
+			}
+			in := map[VarID]bool{}
+			for v := range use[i] {
+				in[v] = true
+			}
+			for v := range out {
+				if !def[i][v] {
+					in[v] = true
+				}
+			}
+			if len(out) != len(liveOut[i]) || len(in) != len(liveIn[i]) {
+				changed = true
+			} else {
+				for v := range in {
+					if !liveIn[i][v] {
+						changed = true
+					}
+				}
+				for v := range out {
+					if !liveOut[i][v] {
+						changed = true
+					}
+				}
+			}
+			liveIn[i], liveOut[i] = in, out
+		}
+	}
+	return liveIn, liveOut
+}

@@ -1,0 +1,111 @@
+package region
+
+// FormSuperblocks eliminates side entrances from the hottest traces by tail
+// duplication, turning each trace into a superblock: a single-entry,
+// multiple-exit region (Hwu et al., the paper's second scheduling-unit
+// kind). When a block in the middle of a trace has predecessors outside the
+// trace, the block and the rest of the trace are cloned, and the external
+// predecessors are redirected to the clone; the trace itself then has a
+// single entry at its head.
+//
+// The transform preserves semantics exactly (clones are verbatim copies)
+// and leaves profile counts approximate: each duplicated block keeps the
+// original's count split proportionally by incoming edges being redirected,
+// which is enough for later trace formation to stay sensible. It returns
+// the number of blocks duplicated.
+func FormSuperblocks(f *Fn) int {
+	// Tail duplication is worst-case exponential on irreducible control
+	// flow; cap growth at 4x the original block count.
+	budget := 3 * len(f.Blocks)
+	duplicated := 0
+	for _, tr := range f.Traces() {
+		d := dedupeSideEntrances(f, tr.Blocks, &budget)
+		duplicated += d
+	}
+	return duplicated
+}
+
+func dedupeSideEntrances(f *Fn, trace []int, budget *int) int {
+	if len(trace) < 2 || *budget <= 0 {
+		return 0
+	}
+	preds := f.Preds()
+	// Find the first side entrance: a trace block (not the head) with a
+	// predecessor that is neither its trace predecessor nor itself (a
+	// self-loop back edge is an entrance from inside and cannot be
+	// removed by duplication; skip those).
+	for pos := 1; pos < len(trace); pos++ {
+		id := trace[pos]
+		var external []int
+		for _, p := range preds[id] {
+			if p == trace[pos-1] || p == id {
+				continue
+			}
+			// A back edge from later in the same trace also
+			// counts as external for superblock purposes.
+			external = append(external, p)
+		}
+		if len(external) == 0 {
+			continue
+		}
+		// Clone the tail trace[pos:].
+		clone := make(map[int]int, len(trace)-pos)
+		for _, orig := range trace[pos:] {
+			nb := f.NewBlock()
+			ob := f.Blocks[orig]
+			nb.Code = append([]Stmt(nil), ob.Code...)
+			nb.Term = ob.Term
+			nb.Count = 0
+			clone[orig] = nb.ID
+		}
+		// Clone-internal control flow stays inside the clone.
+		redirect := func(target int) int {
+			if c, ok := clone[target]; ok {
+				return c
+			}
+			return target
+		}
+		for _, orig := range trace[pos:] {
+			nb := f.Blocks[clone[orig]]
+			switch nb.Term.Kind {
+			case Jump:
+				nb.Term.Then = redirect(nb.Term.Then)
+			case Branch:
+				nb.Term.Then = redirect(nb.Term.Then)
+				nb.Term.Else = redirect(nb.Term.Else)
+			}
+		}
+		// External predecessors enter the clone instead.
+		moved := int64(0)
+		for _, p := range external {
+			pb := f.Blocks[p]
+			switch pb.Term.Kind {
+			case Jump:
+				if pb.Term.Then == id {
+					pb.Term.Then = clone[id]
+				}
+			case Branch:
+				if pb.Term.Then == id {
+					pb.Term.Then = clone[id]
+				}
+				if pb.Term.Else == id {
+					pb.Term.Else = clone[id]
+				}
+			}
+			moved += pb.Count
+		}
+		// Rough profile split: the clone inherits the external
+		// predecessors' weight.
+		orig := f.Blocks[id]
+		if moved > orig.Count {
+			moved = orig.Count
+		}
+		f.Blocks[clone[id]].Count = moved
+		orig.Count -= moved
+		*budget -= len(clone)
+		// Restart: one duplication can change the pred structure of
+		// the rest of the trace.
+		return len(clone) + dedupeSideEntrances(f, trace, budget)
+	}
+	return 0
+}

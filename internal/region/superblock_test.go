@@ -1,0 +1,125 @@
+package region
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// sideEntrance builds a CFG where block 2 (mid-trace) has an external
+// predecessor:
+//
+//	b0 -> b1 -> b2 -> b4(ret)
+//	b0 -> b3 -> b2            (side entrance into the hot trace)
+func sideEntrance() (*Fn, VarID) {
+	f := NewFn("side")
+	x := f.Var("x")
+	c := f.Var("c")
+	b1 := f.NewBlock()
+	b2 := f.NewBlock()
+	b3 := f.NewBlock()
+	b4 := f.NewBlock()
+
+	f.Blocks[0].EmitConst(x, 3)
+	f.Blocks[0].Emit(c, ir.Slt, x, x) // 0: take else (b3)
+	f.Blocks[0].Branch(c, b1.ID, b3.ID)
+
+	b1.Emit(x, ir.Add, x, x)
+	b1.Jump(b2.ID)
+
+	b3.Emit(x, ir.Neg, x)
+	b3.Jump(b2.ID)
+
+	b2.Emit(x, ir.Add, x, x)
+	b2.Jump(b4.ID)
+
+	b4.Ret()
+	f.Output(x)
+
+	// Profile: make b0-b1-b2-b4 the hot trace.
+	f.Blocks[0].Count = 10
+	b1.Count = 9
+	b2.Count = 10
+	b3.Count = 1
+	b4.Count = 10
+	return f, x
+}
+
+func TestFormSuperblocksRemovesSideEntrance(t *testing.T) {
+	f, x := sideEntrance()
+	want, _, err := f.Interpret(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocksBefore := len(f.Blocks)
+	d := FormSuperblocks(f)
+	if d == 0 {
+		t.Fatal("no duplication happened")
+	}
+	if len(f.Blocks) <= blocksBefore {
+		t.Error("no blocks added")
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := f.Interpret(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[x].Equal(want[x]) {
+		t.Errorf("x = %v, want %v", got[x], want[x])
+	}
+	// The hot trace's mid block must now have a single predecessor.
+	preds := f.Preds()
+	for _, tr := range f.Traces() {
+		for pos := 1; pos < len(tr.Blocks); pos++ {
+			id := tr.Blocks[pos]
+			ext := 0
+			for _, p := range preds[id] {
+				if p != tr.Blocks[pos-1] && p != id {
+					ext++
+				}
+			}
+			if ext > 0 {
+				t.Errorf("block %d still has %d side entrances", id, ext)
+			}
+		}
+	}
+}
+
+func TestFormSuperblocksNoopOnCleanTraces(t *testing.T) {
+	f, _ := sumLoop()
+	if err := f.SetProfile(100); err != nil {
+		t.Fatal(err)
+	}
+	before := len(f.Blocks)
+	// The sum loop's traces have no side entrances except the loop back
+	// edge to its own head, which must not trigger duplication.
+	FormSuperblocks(f)
+	// Semantics always preserved.
+	vars, _, err := f.Interpret(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vars[6].AsInt() != 165 {
+		t.Errorf("result = %v", vars[6])
+	}
+	_ = before
+}
+
+func TestFormSuperblocksThenCompile(t *testing.T) {
+	f, x := sideEntrance()
+	FormSuperblocks(f)
+	c, err := Compile(f, rawMachineForTest(t), RoundRobin, listScheduler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := c.VerifyAgainstInterpreter(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ex.Memory.Load(c.Layout.Home[x], c.Layout.Addr(x))
+	if got.AsInt() != -6 { // x=3; else arm: -3; b2: -6
+		t.Errorf("x = %v, want -6", got)
+	}
+}

@@ -1,0 +1,216 @@
+package region
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// ParseFn reads a function in the ".cfg" text format used by cmd/regionc:
+//
+//	fn collatz
+//	out steps            # declare outputs (may appear anywhere)
+//	block 0
+//	  n = const 27
+//	  steps = const 0
+//	  jump 1
+//	block 1
+//	  odd = and n one    # variables auto-declare on first mention
+//	  branch odd 2 3
+//	block 2
+//	  ret
+//
+// Statements are "dst = op arg..."; "const"/"fconst" take an immediate.
+// Terminators are jump N, branch cond N M, ret (each block needs exactly
+// one, as its last line). '#' starts a comment.
+func ParseFn(r io.Reader) (*Fn, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	f := NewFn("")
+	vars := map[string]VarID{}
+	getVar := func(name string) VarID {
+		if v, ok := vars[name]; ok {
+			return v
+		}
+		v := f.Var(name)
+		vars[name] = v
+		return v
+	}
+	var cur *Block
+	curTerminated := false
+	var outputs []string
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("region: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "fn":
+			if len(fields) != 2 {
+				return nil, fail("want 'fn <name>'")
+			}
+			f.Name = fields[1]
+		case "out":
+			outputs = append(outputs, fields[1:]...)
+		case "block":
+			if len(fields) != 2 {
+				return nil, fail("want 'block <id>'")
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fail("bad block id %q", fields[1])
+			}
+			if cur != nil && !curTerminated {
+				return nil, fail("block %d has no terminator", cur.ID)
+			}
+			for len(f.Blocks) <= id {
+				f.NewBlock()
+			}
+			cur = f.Blocks[id]
+			curTerminated = false
+		case "jump":
+			if cur == nil || len(fields) != 2 {
+				return nil, fail("want 'jump <block>' inside a block")
+			}
+			to, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fail("bad jump target %q", fields[1])
+			}
+			cur.Jump(to)
+			curTerminated = true
+		case "branch":
+			if cur == nil || len(fields) != 4 {
+				return nil, fail("want 'branch <cond> <then> <else>' inside a block")
+			}
+			then, err1 := strconv.Atoi(fields[2])
+			els, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil {
+				return nil, fail("bad branch targets")
+			}
+			cur.Branch(getVar(fields[1]), then, els)
+			curTerminated = true
+		case "ret":
+			if cur == nil {
+				return nil, fail("'ret' outside a block")
+			}
+			cur.Ret()
+			curTerminated = true
+		default:
+			// dst = op args...
+			if cur == nil {
+				return nil, fail("statement outside a block")
+			}
+			if curTerminated {
+				return nil, fail("statement after terminator in block %d", cur.ID)
+			}
+			if len(fields) < 3 || fields[1] != "=" {
+				return nil, fail("want '<dst> = <op> <args...>'")
+			}
+			dst := getVar(fields[0])
+			op, ok := ir.OpFromString(fields[2])
+			if !ok {
+				return nil, fail("unknown op %q", fields[2])
+			}
+			switch op {
+			case ir.ConstInt:
+				if len(fields) != 4 {
+					return nil, fail("want '<dst> = const <imm>'")
+				}
+				v, err := strconv.ParseInt(fields[3], 10, 64)
+				if err != nil {
+					return nil, fail("bad immediate %q", fields[3])
+				}
+				cur.EmitConst(dst, v)
+			case ir.ConstFloat:
+				if len(fields) != 4 {
+					return nil, fail("want '<dst> = fconst <imm>'")
+				}
+				v, err := strconv.ParseFloat(fields[3], 64)
+				if err != nil {
+					return nil, fail("bad immediate %q", fields[3])
+				}
+				cur.EmitFConst(dst, v)
+			default:
+				var args []VarID
+				for _, a := range fields[3:] {
+					args = append(args, getVar(a))
+				}
+				cur.Emit(dst, op, args...)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil && !curTerminated {
+		return nil, fmt.Errorf("region: block %d has no terminator", cur.ID)
+	}
+	for _, name := range outputs {
+		v, ok := vars[name]
+		if !ok {
+			return nil, fmt.Errorf("region: output %q never mentioned", name)
+		}
+		f.Output(v)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// PrintFn writes the function in the same text format ParseFn reads.
+func PrintFn(w io.Writer, f *Fn) error {
+	if f.Name != "" {
+		if _, err := fmt.Fprintf(w, "fn %s\n", f.Name); err != nil {
+			return err
+		}
+	}
+	if len(f.Outputs) > 0 {
+		names := make([]string, len(f.Outputs))
+		for i, v := range f.Outputs {
+			names[i] = f.Vars[v]
+		}
+		if _, err := fmt.Fprintf(w, "out %s\n", strings.Join(names, " ")); err != nil {
+			return err
+		}
+	}
+	for _, b := range f.Blocks {
+		fmt.Fprintf(w, "block %d\n", b.ID)
+		for _, st := range b.Code {
+			switch st.Op {
+			case ir.ConstInt:
+				fmt.Fprintf(w, "  %s = const %d\n", f.Vars[st.Dst], st.Imm)
+			case ir.ConstFloat:
+				fmt.Fprintf(w, "  %s = fconst %g\n", f.Vars[st.Dst], st.FImm)
+			default:
+				args := make([]string, len(st.Args))
+				for i, a := range st.Args {
+					args[i] = f.Vars[a]
+				}
+				fmt.Fprintf(w, "  %s = %s %s\n", f.Vars[st.Dst], st.Op, strings.Join(args, " "))
+			}
+		}
+		switch b.Term.Kind {
+		case Jump:
+			fmt.Fprintf(w, "  jump %d\n", b.Term.Then)
+		case Branch:
+			fmt.Fprintf(w, "  branch %s %d %d\n", f.Vars[b.Term.Cond], b.Term.Then, b.Term.Else)
+		case Return:
+			fmt.Fprintln(w, "  ret")
+		}
+	}
+	return nil
+}

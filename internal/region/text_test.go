@@ -1,0 +1,99 @@
+package region
+
+import (
+	"strings"
+	"testing"
+)
+
+const collatzText = `
+fn collatz
+out steps
+block 0
+  n = const 27
+  steps = const 0
+  one = const 1
+  two = const 2
+  three = const 3
+  jump 1
+block 1
+  odd = and n one
+  branch odd 2 3
+block 2
+  n = mul n three   # 3n+1
+  n = add n one
+  jump 4
+block 3
+  n = div n two
+  jump 4
+block 4
+  steps = add steps one
+  cont = seq n one
+  branch cont 5 1
+block 5
+  ret
+`
+
+func TestParseFnCollatz(t *testing.T) {
+	f, err := ParseFn(strings.NewReader(collatzText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "collatz" || len(f.Blocks) != 6 {
+		t.Fatalf("parsed %q with %d blocks", f.Name, len(f.Blocks))
+	}
+	vars, _, err := f.Interpret(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Outputs) != 1 || vars[f.Outputs[0]].AsInt() != 111 {
+		t.Errorf("steps = %v", vars[f.Outputs[0]])
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	f, err := ParseFn(strings.NewReader(collatzText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := PrintFn(&b, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseFn(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, b.String())
+	}
+	want, _, err := f.Interpret(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := back.Interpret(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if !got[v].Equal(want[v]) {
+			t.Errorf("var %d: %v != %v after round trip", v, got[v], want[v])
+		}
+	}
+}
+
+func TestParseFnErrors(t *testing.T) {
+	cases := map[string]string{
+		"statement outside block": "x = const 1",
+		"unknown op":              "block 0\n  x = warp y\n  ret",
+		"bad const imm":           "block 0\n  x = const zz\n  ret",
+		"missing terminator":      "block 0\n  x = const 1",
+		"stmt after terminator":   "block 0\n  ret\n  x = const 1",
+		"bad branch":              "block 0\n  branch c x y",
+		"undeclared output":       "out nothing\nblock 0\n  ret",
+		"bad jump":                "block 0\n  jump x",
+		"jump out of range":       "block 0\n  jump 7",
+		"memory op":               "block 0\n  x = const 1\n  y = load x\n  ret",
+	}
+	for label, text := range cases {
+		if _, err := ParseFn(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted %q", label, text)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package region
+
+import "sort"
+
+// Trace is an ordered list of block IDs forming one of Fisher's traces: a
+// likely acyclic execution path selected from the profile.
+type Trace struct {
+	Blocks []int
+	// Count is the seed block's execution count, the trace's weight.
+	Count int64
+}
+
+// Traces forms traces with the classic mutual-most-likely heuristic: pick
+// the hottest unassigned block as a seed, grow forward while the current
+// block's most likely successor is unassigned and has the current block as
+// its most likely predecessor (likelihood approximated from block counts),
+// then grow backward symmetrically. Every block lands in exactly one
+// trace; traces come out hottest first.
+func (f *Fn) Traces() []Trace {
+	n := len(f.Blocks)
+	assigned := make([]bool, n)
+	preds := f.Preds()
+
+	// Most likely successor/predecessor over ALL blocks (the mutual
+	// check must not depend on assignment state).
+	likelySucc := func(id int) int {
+		best, bestCount := -1, int64(-1)
+		for _, s := range f.Blocks[id].Succs() {
+			if s == id {
+				continue
+			}
+			if c := f.Blocks[s].Count; c > bestCount {
+				best, bestCount = s, c
+			}
+		}
+		return best
+	}
+	likelyPred := func(id int) int {
+		best, bestCount := -1, int64(-1)
+		for _, p := range preds[id] {
+			if p == id {
+				continue
+			}
+			if c := f.Blocks[p].Count; c > bestCount {
+				best, bestCount = p, c
+			}
+		}
+		return best
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := f.Blocks[order[a]].Count, f.Blocks[order[b]].Count
+		if ca != cb {
+			return ca > cb
+		}
+		return order[a] < order[b]
+	})
+
+	var traces []Trace
+	for _, seed := range order {
+		if assigned[seed] {
+			continue
+		}
+		assigned[seed] = true
+		tr := Trace{Blocks: []int{seed}, Count: f.Blocks[seed].Count}
+		// Grow forward.
+		for cur := seed; ; {
+			next := likelySucc(cur)
+			if next < 0 || assigned[next] || likelyPred(next) != cur {
+				break
+			}
+			assigned[next] = true
+			tr.Blocks = append(tr.Blocks, next)
+			cur = next
+		}
+		// Grow backward.
+		for cur := seed; ; {
+			prev := likelyPred(cur)
+			if prev < 0 || assigned[prev] || likelySucc(prev) != cur {
+				break
+			}
+			assigned[prev] = true
+			tr.Blocks = append([]int{prev}, tr.Blocks...)
+			cur = prev
+		}
+		traces = append(traces, tr)
+	}
+	return traces
+}

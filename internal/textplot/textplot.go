@@ -1,0 +1,197 @@
+// Package textplot renders the experiment results as plain-text tables, bar
+// charts and log-scale line plots, standing in for the paper's figures in a
+// terminal.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table renders rows with left-aligned first column and right-aligned
+// numeric columns, sized to content.
+func Table(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for c, h := range header {
+		width[c] = len(h)
+	}
+	for _, row := range rows {
+		for c, cell := range row {
+			if c < len(width) && len(cell) > width[c] {
+				width[c] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for c, cell := range cells {
+			if c == 0 {
+				fmt.Fprintf(&b, "%-*s", width[c], cell)
+			} else {
+				fmt.Fprintf(&b, "  %*s", width[c], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	total := len(header) - 1
+	for _, w := range width {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Bars renders a grouped horizontal bar chart: one block per label, one bar
+// per series. Bar lengths scale linearly to the largest value.
+func Bars(labels []string, series []string, values [][]float64, maxWidth int) string {
+	if maxWidth <= 0 {
+		maxWidth = 50
+	}
+	max := 0.0
+	for _, group := range values {
+		for _, v := range group {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	labelW, seriesW := 0, 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for _, s := range series {
+		if len(s) > seriesW {
+			seriesW = len(s)
+		}
+	}
+	var b strings.Builder
+	for gi, label := range labels {
+		for si, s := range series {
+			v := 0.0
+			if gi < len(values) && si < len(values[gi]) {
+				v = values[gi][si]
+			}
+			n := int(math.Round(v / max * float64(maxWidth)))
+			name := ""
+			if si == 0 {
+				name = label
+			}
+			fmt.Fprintf(&b, "%-*s  %-*s |%s %.2f\n", labelW, name, seriesW, s, strings.Repeat("#", n), v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// LogLines renders series of (x, y) points on a log10 y-axis as an ASCII
+// scatter, one rune per series, matching the paper's Figure 10 style.
+func LogLines(xs []int, series []string, ys [][]float64, height int) string {
+	if height <= 0 {
+		height = 16
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range ys {
+		for _, v := range row {
+			if v <= 0 {
+				continue
+			}
+			l := math.Log10(v)
+			if l < lo {
+				lo = l
+			}
+			if l > hi {
+				hi = l
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return "(no data)\n"
+	}
+	if hi-lo < 1e-9 {
+		hi = lo + 1
+	}
+	marks := []byte("*+xo@%")
+	width := len(xs)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, row := range ys {
+		for xi, v := range row {
+			if v <= 0 || xi >= width {
+				continue
+			}
+			r := int((math.Log10(v) - lo) / (hi - lo) * float64(height-1))
+			grid[height-1-r][xi] = marks[si%len(marks)]
+		}
+	}
+	var b strings.Builder
+	for r, rowBytes := range grid {
+		yVal := math.Pow(10, hi-(hi-lo)*float64(r)/float64(height-1))
+		fmt.Fprintf(&b, "%9.4g |%s|\n", yVal, string(rowBytes))
+	}
+	fmt.Fprintf(&b, "%9s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%9s  x: %d .. %d instructions\n", "", xs[0], xs[len(xs)-1])
+	for si, s := range series {
+		fmt.Fprintf(&b, "%9s  %c = %s\n", "", marks[si%len(marks)], s)
+	}
+	return b.String()
+}
+
+// Heat renders a fraction (0..1) per (row, column) as shaded cells, used for
+// the convergence figures: one row per pass, one column per benchmark.
+func Heat(rowLabels, colLabels []string, frac [][]float64) string {
+	glyphs := []byte(" .:-=+*#%@")
+	labelW := 0
+	for _, l := range rowLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s ", labelW, "")
+	for i, c := range colLabels {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%-8s", truncate(c, 8))
+	}
+	b.WriteByte('\n')
+	for ri, rl := range rowLabels {
+		fmt.Fprintf(&b, "%-*s ", labelW, rl)
+		for ci := range colLabels {
+			v := 0.0
+			if ri < len(frac) && ci < len(frac[ri]) {
+				v = frac[ri][ci]
+			}
+			gi := int(v * float64(len(glyphs)))
+			if gi >= len(glyphs) {
+				gi = len(glyphs) - 1
+			}
+			if ci > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "[%c] %.2f", glyphs[gi], v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

@@ -1,0 +1,78 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignsColumns(t *testing.T) {
+	out := Table([]string{"bench", "cycles"}, [][]string{
+		{"mxm", "123"},
+		{"cholesky", "45"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "bench") || !strings.Contains(lines[0], "cycles") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	// Numeric column right-aligned: "123" and " 45" end at same offset.
+	if len(lines[2]) != len(lines[3]) {
+		t.Errorf("rows unaligned:\n%s", out)
+	}
+}
+
+func TestBarsScaleToMax(t *testing.T) {
+	out := Bars([]string{"a", "b"}, []string{"base", "conv"},
+		[][]float64{{1, 2}, {4, 2}}, 20)
+	if !strings.Contains(out, strings.Repeat("#", 20)+" 4.00") {
+		t.Errorf("max bar not full width:\n%s", out)
+	}
+	if !strings.Contains(out, strings.Repeat("#", 5)+" 1.00") {
+		t.Errorf("1.0 bar should be 5 of 20:\n%s", out)
+	}
+}
+
+func TestBarsZeroSafe(t *testing.T) {
+	out := Bars([]string{"a"}, []string{"s"}, [][]float64{{0}}, 10)
+	if !strings.Contains(out, "0.00") {
+		t.Errorf("zero bar missing:\n%s", out)
+	}
+}
+
+func TestLogLinesPlacesPoints(t *testing.T) {
+	out := LogLines([]int{100, 200, 300}, []string{"pcc", "uas"},
+		[][]float64{{0.001, 0.01, 0.1}, {0.002, 0.002, 0.002}}, 8)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("marks missing:\n%s", out)
+	}
+	if !strings.Contains(out, "pcc") || !strings.Contains(out, "uas") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "100 .. 300") {
+		t.Errorf("x range missing:\n%s", out)
+	}
+}
+
+func TestLogLinesEmptyData(t *testing.T) {
+	if out := LogLines([]int{1}, []string{"s"}, [][]float64{{0}}, 4); !strings.Contains(out, "no data") {
+		t.Errorf("expected no-data marker:\n%s", out)
+	}
+}
+
+func TestHeatShadesByFraction(t *testing.T) {
+	out := Heat([]string{"NOISE", "COMM"}, []string{"mxm"}, [][]float64{{0.9}, {0.0}})
+	if !strings.Contains(out, "0.90") || !strings.Contains(out, "0.00") {
+		t.Errorf("values missing:\n%s", out)
+	}
+	if !strings.Contains(out, "[@]") && !strings.Contains(out, "[%]") {
+		t.Errorf("high fraction should use a dense glyph:\n%s", out)
+	}
+	if !strings.Contains(out, "[ ]") {
+		t.Errorf("zero fraction should be blank glyph:\n%s", out)
+	}
+}

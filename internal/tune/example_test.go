@@ -1,0 +1,33 @@
+package tune_test
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/machine"
+	"repro/internal/tune"
+)
+
+// Example runs a tiny deterministic search over pass sequences for one
+// kernel — the paper's "systematic heuristic selection" future work in
+// miniature.
+func Example() {
+	k, _ := bench.ByName("vvmul")
+	res, err := tune.Search(tune.Options{
+		Machine: machine.Chorus(4),
+		Kernels: []bench.Kernel{k},
+		Iters:   10,
+		Seed:    7,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("seed cost reproducible: %v\n", res.StartCost > 0)
+	fmt.Printf("best never worse than seed: %v\n", res.BestCost <= res.StartCost)
+	fmt.Printf("evaluations: %d\n", res.Evaluations)
+	// Output:
+	// seed cost reproducible: true
+	// best never worse than seed: true
+	// evaluations: 11
+}

@@ -1,0 +1,128 @@
+package tune
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/machine"
+)
+
+func suite(t *testing.T, names ...string) []bench.Kernel {
+	t.Helper()
+	var out []bench.Kernel
+	for _, n := range names {
+		k, ok := bench.ByName(n)
+		if !ok {
+			t.Fatalf("kernel %s", n)
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestCostMatchesSingleRun(t *testing.T) {
+	m := machine.Chorus(4)
+	ks := suite(t, "vvmul")
+	c1, err := Cost(m, ks, []string{"INITTIME", "NOISE", "PLACE", "EMPHCP"}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 <= 0 {
+		t.Errorf("cost = %d", c1)
+	}
+	// Deterministic for the same seed.
+	c2, err := Cost(m, ks, []string{"INITTIME", "NOISE", "PLACE", "EMPHCP"}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Errorf("cost not deterministic: %d vs %d", c1, c2)
+	}
+}
+
+func TestCostRejectsUnknownPass(t *testing.T) {
+	m := machine.Chorus(4)
+	if _, err := Cost(m, suite(t, "vvmul"), []string{"WARP"}, 1); err == nil {
+		t.Error("unknown pass accepted")
+	}
+}
+
+func TestSearchNeverWorsens(t *testing.T) {
+	m := machine.Chorus(4)
+	res, err := Search(Options{
+		Machine: m,
+		Kernels: suite(t, "vvmul", "yuv"),
+		Iters:   12,
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCost > res.StartCost {
+		t.Errorf("search worsened: %d -> %d", res.StartCost, res.BestCost)
+	}
+	if res.Evaluations != 13 { // seed + 12 proposals
+		t.Errorf("evaluations = %d", res.Evaluations)
+	}
+	// Improvements must be strictly decreasing.
+	prev := res.StartCost
+	for _, st := range res.Improvements {
+		if st.Cost >= prev {
+			t.Errorf("non-improving step recorded: %+v", st)
+		}
+		prev = st.Cost
+	}
+	// Best must reproduce its cost.
+	c, err := Cost(m, suite(t, "vvmul", "yuv"), res.Best, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != res.BestCost {
+		t.Errorf("best cost not reproducible: %d vs %d", c, res.BestCost)
+	}
+}
+
+func TestSearchDefaultsToPublishedSequence(t *testing.T) {
+	m := machine.Raw(2)
+	res, err := Search(Options{
+		Machine: m,
+		Kernels: suite(t, "vvmul"),
+		Iters:   1,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(res.Start, " ")
+	if !strings.Contains(joined, "PLACEPROP") || !strings.Contains(joined, "LEVEL") {
+		t.Errorf("seed sequence = %v, want the Raw sequence", res.Start)
+	}
+}
+
+func TestSearchValidatesOptions(t *testing.T) {
+	if _, err := Search(Options{}); err == nil {
+		t.Error("empty options accepted")
+	}
+	if _, err := Search(Options{Machine: machine.Raw(2)}); err == nil {
+		t.Error("no kernels accepted")
+	}
+}
+
+func TestSearchLogsImprovements(t *testing.T) {
+	m := machine.Chorus(4)
+	var lines []string
+	res, err := Search(Options{
+		Machine: m,
+		Kernels: suite(t, "vvmul"),
+		Iters:   20,
+		Seed:    5,
+		Log:     func(s string) { lines = append(lines, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(res.Improvements) {
+		t.Errorf("logged %d lines for %d improvements", len(lines), len(res.Improvements))
+	}
+}
