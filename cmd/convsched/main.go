@@ -8,99 +8,173 @@
 // Schedulers: convergent (the paper's), rawcc, uas, pcc, list (critical-path
 // list scheduling on cluster 0 homes only — a sanity baseline).
 // Machines: rawN (N tiles) or vliwN (N clusters).
-// Show: stats (default), schedule, assignment, dot, trace.
+// Show: stats (default), schedule, assignment, dot, trace, report.
+//
+// Every scheduling run goes through the resilient driver (internal/robust):
+// a panicking or stalling scheduler becomes a clean error instead of a
+// crash, and every accepted schedule is re-validated against the pristine
+// graph and machine. With -fallback the driver walks the degradation ladder
+// (convergent → truncated convergent → rawcc/uas → list) until a rung
+// serves; -timeout bounds each attempt; -chaos injects a named, seeded
+// fault class for resilience testing (-chaos-list enumerates them).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
-	"repro/internal/baseline/pcc"
-	"repro/internal/baseline/rawcc"
-	"repro/internal/baseline/uas"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/ir"
 	"repro/internal/irtext"
-	"repro/internal/listsched"
 	"repro/internal/machine"
 	"repro/internal/passes"
+	"repro/internal/robust"
 	"repro/internal/schedule"
 	"repro/internal/sim"
 )
 
+// options collects the command's flags.
+type options struct {
+	machine   string
+	scheduler string
+	seed      int64
+	show      string
+	verify    bool
+	timeout   time.Duration
+	fallback  bool
+	chaos     string
+	chaosSeed int64
+}
+
 func main() {
-	machineName := flag.String("machine", "raw16", "target machine (rawN or vliwN)")
-	scheduler := flag.String("scheduler", "convergent", "convergent|rawcc|uas|pcc|list")
-	seed := flag.Int64("seed", 2002, "noise seed for the convergent scheduler")
-	show := flag.String("show", "stats", "stats|schedule|assignment|dot|trace")
-	verify := flag.Bool("verify", true, "simulate the schedule and compare against reference execution")
+	var o options
+	flag.StringVar(&o.machine, "machine", "raw16", "target machine (rawN or vliwN)")
+	flag.StringVar(&o.scheduler, "scheduler", "convergent", "convergent|rawcc|uas|pcc|list")
+	flag.Int64Var(&o.seed, "seed", 2002, "noise seed for the convergent scheduler")
+	flag.StringVar(&o.show, "show", "stats", "stats|schedule|assignment|dot|trace|report")
+	flag.BoolVar(&o.verify, "verify", true, "simulate the schedule and compare against reference execution")
+	flag.DurationVar(&o.timeout, "timeout", 0, "time budget per scheduling attempt (0 = unbounded)")
+	flag.BoolVar(&o.fallback, "fallback", false, "degrade through the fallback ladder instead of failing")
+	flag.StringVar(&o.chaos, "chaos", "", "inject this fault class into the pipeline (implies -fallback)")
+	flag.Int64Var(&o.chaosSeed, "chaos-seed", 1, "seed for the injected fault")
+	chaosList := flag.Bool("chaos-list", false, "list chaos classes and exit")
 	flag.Parse()
 
-	if err := run(*machineName, *scheduler, *seed, *show, *verify, flag.Args()); err != nil {
+	if *chaosList {
+		fmt.Println(strings.Join(faultinject.Classes(), "\n"))
+		return
+	}
+	if err := run(o, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "convsched:", err)
 		os.Exit(1)
 	}
 }
 
-func run(machineName, scheduler string, seed int64, show string, verify bool, args []string) error {
-	m, err := machine.Named(machineName)
+// readGraph parses the .ddg input from the single optional file argument or
+// stdin.
+func readGraph(args []string) (*ir.Graph, error) {
+	switch len(args) {
+	case 0:
+		return irtext.Parse(os.Stdin)
+	case 1:
+		f, err := os.Open(args[0])
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return irtext.Parse(f)
+	}
+	return nil, fmt.Errorf("want at most one input file, got %d", len(args))
+}
+
+func run(o options, args []string) error {
+	m, err := machine.Named(o.machine)
 	if err != nil {
 		return err
 	}
-	var g *ir.Graph
-	switch len(args) {
-	case 0:
-		g, err = irtext.Parse(os.Stdin)
-	case 1:
-		var f *os.File
-		f, err = os.Open(args[0])
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		g, err = irtext.Parse(f)
-	default:
-		return fmt.Errorf("want at most one input file, got %d", len(args))
-	}
+	g, err := readGraph(args)
 	if err != nil {
 		return err
 	}
 
-	var s *schedule.Schedule
-	var res *core.Result
-	switch scheduler {
-	case "convergent":
-		s, res, err = core.Schedule(g, m, passes.ForMachine(m.Name), seed)
-	case "rawcc":
-		s, err = rawcc.Schedule(g, m)
-	case "uas":
-		s, err = uas.Schedule(g, m)
-	case "pcc":
-		s, err = pcc.Schedule(g, m, pcc.Options{})
-	case "list":
-		assign := make([]int, g.Len())
-		for i, in := range g.Instrs {
-			if in.Preplaced() {
-				assign[i] = in.Home
-			} else if in.Op.IsMemory() {
-				assign[i] = m.BankOwner(in.Bank)
-			}
-		}
-		s, err = listsched.Run(g, m, listsched.Options{Assignment: assign})
-	default:
-		return fmt.Errorf("unknown scheduler %q", scheduler)
+	if o.show == "trace" {
+		return showTrace(o, g, m)
 	}
+
+	var ladder []robust.Rung
+	switch {
+	case o.chaos != "":
+		if o.scheduler != "convergent" {
+			return fmt.Errorf("-chaos poisons the convergent ladder; use -scheduler convergent, not %q", o.scheduler)
+		}
+		chaos := faultinject.Chaos{Class: o.chaos, Seed: o.chaosSeed}
+		if ladder, err = chaos.Ladder(m, o.seed); err != nil {
+			return fmt.Errorf("%w (see -chaos-list)", err)
+		}
+	case o.fallback:
+		if ladder, err = robust.LadderFor(m, o.scheduler, o.seed); err != nil {
+			return err
+		}
+	default:
+		r, err := robust.RungFor(m, o.scheduler, o.seed)
+		if err != nil {
+			return err
+		}
+		ladder = []robust.Rung{r}
+	}
+
+	s, rep, err := robust.Schedule(context.Background(), g, m, robust.Options{
+		Timeout: o.timeout,
+		Verify:  o.verify,
+		Ladder:  ladder,
+	})
+	if err != nil {
+		return fmt.Errorf("%w\n%s", err, rep)
+	}
+	// Degradation is worth knowing about even when the caller only asked
+	// for the schedule; it goes to stderr so stdout stays parseable.
+	if o.show != "report" && len(rep.Attempts) > 1 {
+		fmt.Fprint(os.Stderr, rep)
+	}
+	return show(o, g, m, s, rep)
+}
+
+// showTrace runs the convergent scheduler directly (the per-pass trace only
+// exists inside core.Schedule) with panic isolation but no ladder.
+func showTrace(o options, g *ir.Graph, m *machine.Model) error {
+	if o.scheduler != "convergent" {
+		return fmt.Errorf("-show trace requires -scheduler convergent")
+	}
+	if o.chaos != "" {
+		return fmt.Errorf("-show trace cannot be combined with -chaos")
+	}
+	var res *core.Result
+	s, err := robust.Guard("convergent", func() (*schedule.Schedule, error) {
+		s, r, err := core.Schedule(g, m, passes.ForMachine(m.Name), o.seed)
+		res = r
+		return s, err
+	})
 	if err != nil {
 		return err
 	}
-	if verify {
+	if o.verify {
 		if _, err := sim.Verify(s, sim.NewMemory()); err != nil {
 			return fmt.Errorf("verification failed: %w", err)
 		}
 	}
+	for _, pc := range res.Trace {
+		fmt.Printf("%-10s changed %5.1f%% of preferred clusters\n", pc.Pass, 100*pc.Fraction)
+	}
+	return nil
+}
 
-	switch show {
+func show(o options, g *ir.Graph, m *machine.Model, s *schedule.Schedule, rep *robust.Report) error {
+	switch o.show {
 	case "stats":
 		st := g.ComputeStats()
 		fmt.Printf("graph %s: %s\n", g.Name, st)
@@ -112,7 +186,7 @@ func run(machineName, scheduler string, seed int64, show string, verify bool, ar
 			}
 		}
 		fmt.Printf("machine %s, scheduler %s: %d cycles, %d communications, max live values %d\n",
-			m.Name, scheduler, s.Length(), s.CommCount(), maxLive)
+			m.Name, rep.Served, s.Length(), s.CommCount(), maxLive)
 	case "schedule":
 		fmt.Print(s.String())
 	case "assignment":
@@ -121,15 +195,10 @@ func run(machineName, scheduler string, seed int64, show string, verify bool, ar
 		}
 	case "dot":
 		fmt.Print(g.DOT())
-	case "trace":
-		if res == nil {
-			return fmt.Errorf("-show trace requires -scheduler convergent")
-		}
-		for _, pc := range res.Trace {
-			fmt.Printf("%-10s changed %5.1f%% of preferred clusters\n", pc.Pass, 100*pc.Fraction)
-		}
+	case "report":
+		fmt.Print(rep)
 	default:
-		return fmt.Errorf("unknown -show %q", show)
+		return fmt.Errorf("unknown -show %q", o.show)
 	}
 	return nil
 }

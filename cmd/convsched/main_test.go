@@ -5,10 +5,24 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/faultinject"
 	"repro/internal/irtext"
 )
+
+// opts builds the default flag set for tests.
+func opts(machine, scheduler, show string, verify bool) options {
+	return options{
+		machine:   machine,
+		scheduler: scheduler,
+		seed:      2002,
+		show:      show,
+		verify:    verify,
+		chaosSeed: 1,
+	}
+}
 
 // capture runs f with os.Stdout redirected and returns what it printed.
 func capture(t *testing.T, f func() error) (string, error) {
@@ -50,7 +64,7 @@ func TestRunAllSchedulers(t *testing.T) {
 	path := writeKernel(t, "vvmul", 4)
 	for _, sched := range []string{"convergent", "rawcc", "uas", "pcc", "list"} {
 		out, err := capture(t, func() error {
-			return run("vliw4", sched, 2002, "stats", true, []string{path})
+			return run(opts("vliw4", sched, "stats", true), []string{path})
 		})
 		if err != nil {
 			t.Fatalf("%s: %v", sched, err)
@@ -68,9 +82,10 @@ func TestRunShowModes(t *testing.T) {
 		"assignment": "cluster",
 		"dot":        "digraph",
 		"trace":      "NOISE",
+		"report":     "served by rung convergent",
 	} {
 		out, err := capture(t, func() error {
-			return run("vliw4", "convergent", 2002, show, false, []string{path})
+			return run(opts("vliw4", "convergent", show, false), []string{path})
 		})
 		if err != nil {
 			t.Fatalf("show=%s: %v", show, err)
@@ -84,22 +99,21 @@ func TestRunShowModes(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	path := writeKernel(t, "vvmul", 4)
 	cases := []struct {
-		label   string
-		machine string
-		sched   string
-		show    string
-		args    []string
+		label string
+		o     options
+		args  []string
 	}{
-		{"bad machine", "gpu1", "convergent", "stats", []string{path}},
-		{"bad scheduler", "vliw4", "magic", "stats", []string{path}},
-		{"bad show", "vliw4", "convergent", "hologram", []string{path}},
-		{"missing file", "vliw4", "convergent", "stats", []string{"/nonexistent.ddg"}},
-		{"too many args", "vliw4", "convergent", "stats", []string{path, path}},
-		{"trace needs convergent", "vliw4", "uas", "trace", []string{path}},
+		{"bad machine", opts("gpu1", "convergent", "stats", false), []string{path}},
+		{"bad scheduler", opts("vliw4", "magic", "stats", false), []string{path}},
+		{"bad show", opts("vliw4", "convergent", "hologram", false), []string{path}},
+		{"missing file", opts("vliw4", "convergent", "stats", false), []string{"/nonexistent.ddg"}},
+		{"too many args", opts("vliw4", "convergent", "stats", false), []string{path, path}},
+		{"trace needs convergent", opts("vliw4", "uas", "trace", false), []string{path}},
+		{"degenerate machine", opts("vliw0", "convergent", "stats", false), []string{path}},
 	}
 	for _, c := range cases {
 		if _, err := capture(t, func() error {
-			return run(c.machine, c.sched, 1, c.show, false, c.args)
+			return run(c.o, c.args)
 		}); err == nil {
 			t.Errorf("%s: no error", c.label)
 		}
@@ -111,8 +125,94 @@ func TestRunRejectsRawGraphOnWrongMachine(t *testing.T) {
 	// range); run must surface the error rather than panic.
 	path := writeKernel(t, "vvmul", 4)
 	if _, err := capture(t, func() error {
-		return run("raw2", "convergent", 1, "stats", true, []string{path})
+		return run(opts("raw2", "convergent", "stats", true), []string{path})
 	}); err == nil {
 		t.Error("expected error for 4-bank kernel on raw2")
+	}
+}
+
+// TestChaosFallsThroughToBaseline: the headline CLI scenario — a poisoned
+// pass panics inside both convergent rungs and the run still succeeds, with
+// the report naming the baseline rung that served.
+func TestChaosFallsThroughToBaseline(t *testing.T) {
+	path := writeKernel(t, "vvmul", 4)
+	o := opts("vliw4", "convergent", "report", true)
+	o.chaos = faultinject.ChaosPassPanic
+	out, err := capture(t, func() error {
+		return run(o, []string{path})
+	})
+	if err != nil {
+		t.Fatalf("chaos run failed outright: %v", err)
+	}
+	if !strings.Contains(out, "served by rung uas") {
+		t.Errorf("report does not show the uas baseline serving:\n%s", out)
+	}
+	if !strings.Contains(out, "!pass-panic") || !strings.Contains(out, "panic") {
+		t.Errorf("report does not name the injected fault:\n%s", out)
+	}
+}
+
+func TestChaosRequiresConvergent(t *testing.T) {
+	path := writeKernel(t, "vvmul", 4)
+	o := opts("vliw4", "uas", "stats", false)
+	o.chaos = faultinject.ChaosPassPanic
+	if _, err := capture(t, func() error {
+		return run(o, []string{path})
+	}); err == nil {
+		t.Error("chaos with a non-convergent scheduler accepted")
+	}
+}
+
+func TestUnknownChaosClass(t *testing.T) {
+	path := writeKernel(t, "vvmul", 4)
+	o := opts("vliw4", "convergent", "stats", false)
+	o.chaos = "gremlins"
+	_, err := capture(t, func() error {
+		return run(o, []string{path})
+	})
+	if err == nil || !strings.Contains(err.Error(), "chaos-list") {
+		t.Errorf("unknown chaos class error %v should point at -chaos-list", err)
+	}
+}
+
+// TestTimeoutWithFallback: a stalled convergent pipeline loses to the budget
+// and the ladder serves a baseline within wall-clock bounds.
+func TestTimeoutWithFallback(t *testing.T) {
+	path := writeKernel(t, "vvmul", 4)
+	o := opts("vliw4", "convergent", "report", true)
+	o.chaos = faultinject.ChaosPassStall
+	o.timeout = 50 * time.Millisecond
+	t0 := time.Now()
+	out, err := capture(t, func() error {
+		return run(o, []string{path})
+	})
+	if err != nil {
+		t.Fatalf("stalled run failed outright: %v", err)
+	}
+	if elapsed := time.Since(t0); elapsed > 10*time.Second {
+		t.Errorf("run took %v with a 50ms budget", elapsed)
+	}
+	if !strings.Contains(out, "deadline") || !strings.Contains(out, "served by rung uas") {
+		t.Errorf("report missing deadline degradation:\n%s", out)
+	}
+}
+
+// TestFallbackLadderHealthy: -fallback on a healthy input must not change
+// the result — the primary rung serves on the first attempt.
+func TestFallbackLadderHealthy(t *testing.T) {
+	path := writeKernel(t, "vvmul", 4)
+	o := opts("vliw4", "convergent", "report", true)
+	o.fallback = true
+	out, err := capture(t, func() error {
+		return run(o, []string{path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "served by rung convergent") {
+		t.Errorf("healthy fallback run not served by the primary rung:\n%s", out)
+	}
+	if strings.Count(out, "rung ") != 2 { // one attempt line + served line
+		t.Errorf("healthy run should have exactly one attempt:\n%s", out)
 	}
 }

@@ -7,7 +7,9 @@
 //	experiments -exp table2     # one experiment
 //	experiments -exp fig10 -sizes 100,250,500,1000,2000
 //
-// Experiments: table1, table2, fig4, fig6, fig7, fig8, fig9, fig10.
+// Experiments: table1, table2, fig4, fig6, fig7, fig8, fig9, fig10, theta,
+// resilience (the chaos sweep: which ladder rung serves under each
+// injected fault class).
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/exp"
@@ -24,17 +27,19 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment to run: all|table1|table2|fig4|fig6|fig7|fig8|fig9|fig10|theta")
+	which := flag.String("exp", "all", "experiment to run: all|table1|table2|fig4|fig6|fig7|fig8|fig9|fig10|theta|resilience")
 	sizes := flag.String("sizes", "100,250,500,1000,2000", "instruction counts for fig10")
+	kernels := flag.String("kernels", "vvmul,mxm", "kernels for the resilience sweep")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-attempt budget for the resilience sweep")
 	flag.Parse()
 
-	if err := run(*which, *sizes); err != nil {
+	if err := run(*which, *sizes, *kernels, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(which, sizesArg string) error {
+func run(which, sizesArg, kernelsArg string, timeout time.Duration) error {
 	want := func(name string) bool { return which == "all" || which == name }
 	any := false
 
@@ -84,6 +89,18 @@ func run(which, sizesArg string) error {
 			return err
 		}
 		fmt.Println(exp.RenderThetaSweep(rows))
+	}
+	if want("resilience") {
+		any = true
+		rows, err := exp.Resilience(
+			[]*machine.Model{machine.Raw(16), machine.Chorus(4)},
+			strings.Split(kernelsArg, ","),
+			timeout,
+		)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.RenderResilience(rows))
 	}
 	if want("fig10") {
 		any = true

@@ -4,6 +4,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 )
 
 func capture(t *testing.T, f func() error) (string, error) {
@@ -36,7 +37,7 @@ func capture(t *testing.T, f func() error) (string, error) {
 }
 
 func TestTable1(t *testing.T) {
-	out, err := capture(t, func() error { return run("table1", "100") })
+	out, err := capture(t, func() error { return run("table1", "100", "vvmul", time.Second) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestTable1(t *testing.T) {
 }
 
 func TestFig9(t *testing.T) {
-	out, err := capture(t, func() error { return run("fig9", "100") })
+	out, err := capture(t, func() error { return run("fig9", "100", "vvmul", time.Second) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestFig9(t *testing.T) {
 }
 
 func TestFig4(t *testing.T) {
-	out, err := capture(t, func() error { return run("fig4", "100") })
+	out, err := capture(t, func() error { return run("fig4", "100", "vvmul", time.Second) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestFig4(t *testing.T) {
 }
 
 func TestFig10SmallSizes(t *testing.T) {
-	out, err := capture(t, func() error { return run("fig10", "60,80") })
+	out, err := capture(t, func() error { return run("fig10", "60,80", "vvmul", time.Second) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,13 +79,13 @@ func TestFig10SmallSizes(t *testing.T) {
 }
 
 func TestErrors(t *testing.T) {
-	if _, err := capture(t, func() error { return run("figZZ", "100") }); err == nil {
+	if _, err := capture(t, func() error { return run("figZZ", "100", "vvmul", time.Second) }); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if _, err := capture(t, func() error { return run("fig10", "abc") }); err == nil {
+	if _, err := capture(t, func() error { return run("fig10", "abc", "vvmul", time.Second) }); err == nil {
 		t.Error("bad sizes accepted")
 	}
-	if _, err := capture(t, func() error { return run("fig10", "1") }); err == nil {
+	if _, err := capture(t, func() error { return run("fig10", "1", "vvmul", time.Second) }); err == nil {
 		t.Error("size 1 accepted")
 	}
 }

@@ -43,17 +43,26 @@ func run(kernelName string, randomN, width, clusters int, seed int64, format str
 		}
 		return nil
 	}
+	if clusters < 1 {
+		return fmt.Errorf("-clusters must be at least 1, got %d", clusters)
+	}
 	var g *ir.Graph
 	switch {
 	case kernelName != "" && randomN > 0:
 		return fmt.Errorf("-kernel and -random are mutually exclusive")
 	case kernelName != "":
-		k, ok := bench.ByName(kernelName)
-		if !ok {
-			return fmt.Errorf("unknown kernel %q (try -list)", kernelName)
+		k, err := bench.Get(kernelName)
+		if err != nil {
+			return err
 		}
 		g = k.Build(clusters)
 	case randomN > 0:
+		if randomN < 2 {
+			return fmt.Errorf("-random needs at least 2 instructions, got %d", randomN)
+		}
+		if width < 1 {
+			return fmt.Errorf("-width must be at least 1, got %d", width)
+		}
 		g = bench.RandomLayered(randomN, width, clusters, seed)
 	default:
 		return fmt.Errorf("need -kernel, -random or -list")

@@ -75,21 +75,41 @@ func TestListKernels(t *testing.T) {
 
 func TestErrors(t *testing.T) {
 	cases := []struct {
-		label  string
-		kernel string
-		n      int
-		format string
+		label    string
+		kernel   string
+		n        int
+		width    int
+		clusters int
+		format   string
 	}{
-		{"no input", "", 0, "ddg"},
-		{"both inputs", "mxm", 50, "ddg"},
-		{"unknown kernel", "frobnicate", 0, "ddg"},
-		{"bad format", "mxm", 0, "pdf"},
+		{"no input", "", 0, 8, 4, "ddg"},
+		{"both inputs", "mxm", 50, 8, 4, "ddg"},
+		{"unknown kernel", "frobnicate", 0, 8, 4, "ddg"},
+		{"bad format", "mxm", 0, 8, 4, "pdf"},
+		// These used to panic inside kernel.New / bench.RandomLayered;
+		// bad flag values must come back as errors, never crashes.
+		{"zero clusters", "mxm", 0, 8, 0, "ddg"},
+		{"negative clusters", "mxm", 0, 8, -3, "ddg"},
+		{"zero clusters random", "", 50, 8, 0, "ddg"},
+		{"zero width", "", 50, 0, 4, "ddg"},
+		{"one-instruction random", "", 1, 8, 4, "ddg"},
 	}
 	for _, c := range cases {
 		if _, err := capture(t, func() error {
-			return run(c.kernel, c.n, 8, 4, 1, c.format, false)
+			return run(c.kernel, c.n, c.width, c.clusters, 1, c.format, false)
 		}); err == nil {
 			t.Errorf("%s: no error", c.label)
 		}
+	}
+}
+
+// TestUnknownKernelNamesAlternatives: the error for a mistyped kernel should
+// tell the user what is available.
+func TestUnknownKernelNamesAlternatives(t *testing.T) {
+	_, err := capture(t, func() error {
+		return run("jacobbi", 0, 8, 4, 1, "ddg", false)
+	})
+	if err == nil || !strings.Contains(err.Error(), "jacobi") {
+		t.Errorf("error %v does not list available kernels", err)
 	}
 }

@@ -18,6 +18,7 @@ package bench
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/ir"
 	"repro/internal/kernel"
@@ -55,6 +56,17 @@ func register(k Kernel) {
 func ByName(name string) (Kernel, bool) {
 	k, ok := registry[name]
 	return k, ok
+}
+
+// Get returns a kernel by its paper name, or an error naming the available
+// kernels — the lookup for user-supplied names (command-line flags), where
+// a clean message beats a boolean.
+func Get(name string) (Kernel, error) {
+	k, ok := registry[name]
+	if !ok {
+		return Kernel{}, fmt.Errorf("bench: unknown kernel %q (available: %s)", name, strings.Join(Names(), ", "))
+	}
+	return k, nil
 }
 
 // Names returns all kernel names, sorted.

@@ -21,6 +21,9 @@ func RandomLayered(n, width, clusters int, seed int64) *ir.Graph {
 	if width < 1 {
 		width = 1
 	}
+	if clusters < 1 {
+		clusters = 1
+	}
 	rng := rand.New(rand.NewSource(seed))
 	g := ir.New(fmt.Sprintf("rand%d", n))
 	ops := []ir.Op{ir.Add, ir.Sub, ir.Mul, ir.Xor, ir.And, ir.Or, ir.Min, ir.Max}

@@ -4,6 +4,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -17,12 +18,32 @@ import (
 	"repro/internal/listsched"
 	"repro/internal/machine"
 	"repro/internal/passes"
+	"repro/internal/robust"
 	"repro/internal/schedule"
 	"repro/internal/sim"
 )
 
 // Seed fixes the convergent scheduler's noise pass across all experiments.
 const Seed = 2002
+
+// convergentSchedule runs the convergent scheduler through the resilient
+// driver's default degradation ladder, so a panicking or misbehaving
+// pipeline degrades to a baseline instead of aborting the whole experiment
+// run. It returns the name of the serving rung ("convergent" on the healthy
+// path) so rows can disclose any degradation.
+func convergentSchedule(g *ir.Graph, m *machine.Model) (*schedule.Schedule, string, error) {
+	s, rep, err := robust.Schedule(context.Background(), g, m, robust.Options{Seed: Seed})
+	if err != nil {
+		return nil, "", fmt.Errorf("exp: convergent %s on %s: %w", g.Name, m.Name, err)
+	}
+	return s, rep.Served, nil
+}
+
+// guarded wraps a baseline scheduler call with panic isolation: a crashing
+// baseline becomes a clean error, never a dead experiment process.
+func guarded(name string, fn func() (*schedule.Schedule, error)) (*schedule.Schedule, error) {
+	return robust.Guard(name, fn)
+}
 
 // singleClusterCycles schedules the kernel's 1-cluster build on the
 // matching 1-cluster machine with plain critical-path list scheduling; it
@@ -59,6 +80,9 @@ type Table2Row struct {
 	Benchmark  string
 	Base       [4]float64 // speedups at 2, 4, 8, 16 tiles
 	Convergent [4]float64
+	// Served names the ladder rung that produced each convergent column
+	// ("convergent" unless the pipeline degraded).
+	Served [4]string
 }
 
 // Tiles lists the tile counts of Table 2's columns.
@@ -76,7 +100,7 @@ func Table2() ([]Table2Row, error) {
 		for ti, tiles := range Tiles {
 			m := machine.Raw(tiles)
 			g := k.Build(tiles)
-			bs, err := rawcc.Schedule(g, m)
+			bs, err := guarded("rawcc", func() (*schedule.Schedule, error) { return rawcc.Schedule(g, m) })
 			if err != nil {
 				return nil, fmt.Errorf("exp: rawcc %s/%d: %w", k.Name, tiles, err)
 			}
@@ -85,8 +109,7 @@ func Table2() ([]Table2Row, error) {
 			}
 			row.Base[ti] = float64(one) / float64(bs.Length())
 
-			cg := k.Build(tiles)
-			cs, _, err := core.Schedule(cg, m, passes.RawSequence(), Seed)
+			cs, served, err := convergentSchedule(k.Build(tiles), m)
 			if err != nil {
 				return nil, fmt.Errorf("exp: convergent %s/%d: %w", k.Name, tiles, err)
 			}
@@ -94,6 +117,7 @@ func Table2() ([]Table2Row, error) {
 				return nil, err
 			}
 			row.Convergent[ti] = float64(one) / float64(cs.Length())
+			row.Served[ti] = served
 		}
 		rows = append(rows, row)
 	}
@@ -149,6 +173,8 @@ type Fig8Row struct {
 	PCC       float64
 	UAS       float64
 	Conv      float64
+	// Served names the ladder rung behind the Conv column.
+	Served string
 }
 
 // Fig8 reproduces Figure 8.
@@ -163,7 +189,7 @@ func Fig8() ([]Fig8Row, error) {
 		row := Fig8Row{Benchmark: k.Name}
 
 		g := k.Build(4)
-		ps, err := pcc.Schedule(g, m, pcc.Options{})
+		ps, err := guarded("pcc", func() (*schedule.Schedule, error) { return pcc.Schedule(g, m, pcc.Options{}) })
 		if err != nil {
 			return nil, fmt.Errorf("exp: pcc %s: %w", k.Name, err)
 		}
@@ -172,8 +198,8 @@ func Fig8() ([]Fig8Row, error) {
 		}
 		row.PCC = float64(one) / float64(ps.Length())
 
-		g = k.Build(4)
-		us, err := uas.Schedule(g, m)
+		ug := k.Build(4)
+		us, err := guarded("uas", func() (*schedule.Schedule, error) { return uas.Schedule(ug, m) })
 		if err != nil {
 			return nil, fmt.Errorf("exp: uas %s: %w", k.Name, err)
 		}
@@ -182,8 +208,7 @@ func Fig8() ([]Fig8Row, error) {
 		}
 		row.UAS = float64(one) / float64(us.Length())
 
-		g = k.Build(4)
-		cs, _, err := core.Schedule(g, m, passes.VliwSequence(), Seed)
+		cs, served, err := convergentSchedule(k.Build(4), m)
 		if err != nil {
 			return nil, fmt.Errorf("exp: convergent %s: %w", k.Name, err)
 		}
@@ -191,6 +216,7 @@ func Fig8() ([]Fig8Row, error) {
 			return nil, err
 		}
 		row.Conv = float64(one) / float64(cs.Length())
+		row.Served = served
 
 		rows = append(rows, row)
 	}
@@ -230,20 +256,25 @@ func Fig10(sizes []int) ([]Fig10Row, error) {
 		g := bench.RandomLayered(n, n/12+4, 4, Seed)
 		row := Fig10Row{Instrs: g.Len()}
 
+		// Guard adds no goroutine or clone, so the timings stay honest
+		// while a crashing scheduler still can't kill the study.
 		t0 := time.Now()
-		if _, err := pcc.Schedule(g, m, pcc.Options{}); err != nil {
+		if _, err := guarded("pcc", func() (*schedule.Schedule, error) { return pcc.Schedule(g, m, pcc.Options{}) }); err != nil {
 			return nil, fmt.Errorf("exp: fig10 pcc n=%d: %w", n, err)
 		}
 		row.PCCSec = time.Since(t0).Seconds()
 
 		t0 = time.Now()
-		if _, err := uas.Schedule(g, m); err != nil {
+		if _, err := guarded("uas", func() (*schedule.Schedule, error) { return uas.Schedule(g, m) }); err != nil {
 			return nil, fmt.Errorf("exp: fig10 uas n=%d: %w", n, err)
 		}
 		row.UASSec = time.Since(t0).Seconds()
 
 		t0 = time.Now()
-		if _, _, err := core.Schedule(g, m, passes.VliwSequence(), Seed); err != nil {
+		if _, err := guarded("convergent", func() (*schedule.Schedule, error) {
+			s, _, err := core.Schedule(g, m, passes.VliwSequence(), Seed)
+			return s, err
+		}); err != nil {
 			return nil, fmt.Errorf("exp: fig10 conv n=%d: %w", n, err)
 		}
 		row.ConvSec = time.Since(t0).Seconds()
@@ -316,7 +347,7 @@ func PCCThetaSweep(thetas []int) ([]ThetaRow, error) {
 		t0 := time.Now()
 		for _, k := range bench.VliwSuite() {
 			g := k.Build(4)
-			s, err := pcc.Schedule(g, m, pcc.Options{Theta: th})
+			s, err := guarded("pcc", func() (*schedule.Schedule, error) { return pcc.Schedule(g, m, pcc.Options{Theta: th}) })
 			if err != nil {
 				return nil, fmt.Errorf("exp: theta %d: %s: %w", th, k.Name, err)
 			}

@@ -27,17 +27,25 @@ func RenderTable1() string {
 	return b.String()
 }
 
-// RenderTable2 prints Table 2 with the measured speedups.
+// RenderTable2 prints Table 2 with the measured speedups. Convergent cells
+// produced by a fallback rung (not the primary convergent pipeline) are
+// marked with '*' and disclosed below the table.
 func RenderTable2(rows []Table2Row) string {
 	header := []string{"Benchmark/Tiles", "2", "4", "8", "16", "| 2", "4", "8", "16"}
 	var trows [][]string
+	var degraded []string
 	for _, r := range rows {
 		cells := []string{r.Benchmark}
 		for _, v := range r.Base {
 			cells = append(cells, fmt.Sprintf("%.2f", v))
 		}
-		for _, v := range r.Convergent {
-			cells = append(cells, fmt.Sprintf("%.2f", v))
+		for ti, v := range r.Convergent {
+			cell := fmt.Sprintf("%.2f", v)
+			if s := r.Served[ti]; s != "" && s != "convergent" {
+				cell += "*"
+				degraded = append(degraded, fmt.Sprintf("%s/%d tiles served by %s", r.Benchmark, Tiles[ti], s))
+			}
+			cells = append(cells, cell)
 		}
 		trows = append(trows, cells)
 	}
@@ -46,6 +54,9 @@ func RenderTable2(rows []Table2Row) string {
 	b.WriteString(textplot.Table(header, trows))
 	fmt.Fprintf(&b, "\ngeometric-mean improvement of convergent over base at 16 tiles: %+.1f%%\n",
 		100*GeoMeanImprovement(rows, 3))
+	for _, d := range degraded {
+		fmt.Fprintf(&b, "* %s (convergent pipeline degraded)\n", d)
+	}
 	return b.String()
 }
 
@@ -101,7 +112,33 @@ func RenderFig8(rows []Fig8Row) string {
 	b.WriteString(textplot.Bars(labels, []string{"PCC", "UAS", "Convergent"}, values, 50))
 	fmt.Fprintf(&b, "convergent vs UAS: %+.1f%%   convergent vs PCC: %+.1f%% (geometric mean)\n",
 		100*Fig8GeoMeanImprovement(rows, "uas"), 100*Fig8GeoMeanImprovement(rows, "pcc"))
+	for _, r := range rows {
+		if r.Served != "" && r.Served != "convergent" {
+			fmt.Fprintf(&b, "note: %s's convergent column served by fallback rung %s\n", r.Benchmark, r.Served)
+		}
+	}
 	return b.String()
+}
+
+// RenderResilience prints the resilience matrix: one line per injected
+// fault class, naming the rung that served and what the first failing rung
+// reported.
+func RenderResilience(rows []ResilienceRow) string {
+	var trows [][]string
+	for _, r := range rows {
+		served := r.Served
+		if served == "" {
+			served = "NONE (resilience bug)"
+		}
+		trows = append(trows, []string{
+			r.Machine, r.Kernel, r.Class, served,
+			fmt.Sprintf("%d", r.FailedRungs),
+			fmt.Sprintf("%.1f", r.Millis),
+			r.FirstError,
+		})
+	}
+	return "Resilience: serving rung per injected fault class (all schedules verified against reference execution)\n\n" +
+		textplot.Table([]string{"machine", "kernel", "fault", "served-by", "failed", "ms", "first failure"}, trows)
 }
 
 // RenderFig10 prints Figure 10 as a log-scale scatter plus the raw numbers.

@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/machine"
+)
+
+// TestResilienceSweep: every injected fault class must be survived — each
+// row names a serving rung — and the pipeline-poisoning classes must
+// demonstrably fall through to the uas baseline on the VLIW.
+func TestResilienceSweep(t *testing.T) {
+	rows, err := Resilience([]*machine.Model{machine.Chorus(4)}, []string{"vvmul"}, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(faultinject.Classes()); len(rows) != want {
+		t.Fatalf("%d rows, want one per chaos class (%d)", len(rows), want)
+	}
+	byClass := map[string]ResilienceRow{}
+	for _, r := range rows {
+		byClass[r.Class] = r
+		if r.Served == "" {
+			t.Errorf("%s/%s under %s: no rung served (%s)", r.Machine, r.Kernel, r.Class, r.FirstError)
+		}
+	}
+	pp := byClass[faultinject.ChaosPassPanic]
+	if pp.Served != "uas" || pp.FailedRungs != 2 {
+		t.Errorf("pass-panic served by %q after %d failures, want uas after 2", pp.Served, pp.FailedRungs)
+	}
+	if !strings.Contains(pp.FirstError, "panic") {
+		t.Errorf("pass-panic first error %q does not mention the panic", pp.FirstError)
+	}
+
+	out := RenderResilience(rows)
+	for _, want := range []string{"pass-panic", "served-by", "uas"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered matrix missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "NONE") {
+		t.Errorf("rendered matrix reports an unserved class:\n%s", out)
+	}
+}
+
+func TestResilienceUnknownKernel(t *testing.T) {
+	if _, err := Resilience([]*machine.Model{machine.Chorus(2)}, []string{"nonesuch"}, time.Second); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}

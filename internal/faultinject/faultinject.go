@@ -1,0 +1,314 @@
+// Package faultinject provides deterministic, seeded chaos for the
+// scheduling pipeline: mutators that corrupt schedules in every structural
+// way the legality gate must catch, graph mutators that lie to a scheduler
+// about dependences, a latency-lying machine model, and poisoned convergent
+// passes that panic, stall, or skew the preference map.
+//
+// Every mutator is driven by an explicit seed and nothing else, so a
+// failure found by the chaos suite replays exactly. The schedule-corruption
+// classes are constructed to be *guaranteed illegal* — each one provably
+// violates a specific clause of schedule.Validate — which is what lets the
+// property tests assert "no false accepts" without circular reasoning.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ir"
+	"repro/internal/schedule"
+)
+
+// Schedule-corruption classes. Each names the legality clause it violates.
+const (
+	// LatencyLie records a wrong result latency for one placement.
+	LatencyLie = "latency-lie"
+	// EarlyIssue issues a consumer before an operand arrives.
+	EarlyIssue = "early-issue"
+	// TimeSwap swaps the issue cycles of a producer and its consumer.
+	TimeSwap = "time-swap"
+	// FUConflict places two instructions on one functional unit slot.
+	FUConflict = "fu-conflict"
+	// NegativeStart issues an instruction at cycle -1.
+	NegativeStart = "negative-start"
+	// HomeViolation moves a preplaced instruction off its home cluster.
+	HomeViolation = "home-violation"
+	// MemEdgeViolation issues a memory successor before its predecessor
+	// completes.
+	MemEdgeViolation = "memedge-violation"
+	// DropComm removes a communication some consumer depends on.
+	DropComm = "drop-comm"
+	// CommTooEarly departs a communication before its value is ready.
+	CommTooEarly = "comm-too-early"
+	// PortOverflow injects duplicate sends that exceed the port budget.
+	PortOverflow = "port-overflow"
+)
+
+// ScheduleClasses lists every schedule-corruption class, in a stable order.
+func ScheduleClasses() []string {
+	return []string{
+		LatencyLie, EarlyIssue, TimeSwap, FUConflict, NegativeStart,
+		HomeViolation, MemEdgeViolation, DropComm, CommTooEarly, PortOverflow,
+	}
+}
+
+func cloneSchedule(s *schedule.Schedule) *schedule.Schedule {
+	return &schedule.Schedule{
+		Graph:      s.Graph,
+		Machine:    s.Machine,
+		Placements: append([]schedule.Placement(nil), s.Placements...),
+		Comms:      append([]schedule.Comm(nil), s.Comms...),
+	}
+}
+
+// MutateSchedule applies the named corruption class to a copy of the given
+// valid schedule and returns it with a description of the injected fault.
+// It reports ok=false when the class does not apply to this schedule (for
+// example DropComm on a schedule with no communications); the input is
+// never modified. The result is guaranteed to violate schedule.Validate.
+func MutateSchedule(s *schedule.Schedule, class string, seed int64) (*schedule.Schedule, string, bool) {
+	rng := rand.New(rand.NewSource(seed))
+	out := cloneSchedule(s)
+	n := len(out.Placements)
+	switch class {
+	case LatencyLie:
+		if n == 0 {
+			return nil, "", false
+		}
+		i := rng.Intn(n)
+		out.Placements[i].Latency++
+		return out, fmt.Sprintf("instr %d latency inflated to %d", i, out.Placements[i].Latency), true
+
+	case NegativeStart:
+		if n == 0 {
+			return nil, "", false
+		}
+		i := rng.Intn(n)
+		out.Placements[i].Start = -1
+		return out, fmt.Sprintf("instr %d issued at cycle -1", i), true
+
+	case EarlyIssue:
+		var cands []int
+		for i, in := range s.Graph.Instrs {
+			if len(in.Args) > 0 {
+				cands = append(cands, i)
+			}
+		}
+		if len(cands) == 0 {
+			return nil, "", false
+		}
+		i := cands[rng.Intn(len(cands))]
+		a := s.Graph.Instrs[i].Args[rng.Intn(len(s.Graph.Instrs[i].Args))]
+		// In a valid schedule the operand arrives at cycle >= 1 (its
+		// producer's latency is at least one), so arr-1 is a legal
+		// cycle number that is still before arrival.
+		arr := s.ArrivalOn(a, s.Placements[i].Cluster)
+		out.Placements[i].Start = arr - 1
+		return out, fmt.Sprintf("instr %d issued at %d, before operand %%%d arrives at %d", i, arr-1, a, arr), true
+
+	case TimeSwap:
+		type pair struct{ p, c int }
+		var cands []pair
+		for c, in := range s.Graph.Instrs {
+			for _, p := range in.Args {
+				cands = append(cands, pair{p, c})
+			}
+		}
+		if len(cands) == 0 {
+			return nil, "", false
+		}
+		pc := cands[rng.Intn(len(cands))]
+		// Validity forces the consumer to issue strictly after the
+		// producer, so swapping their cycles reorders the pair.
+		out.Placements[pc.p].Start, out.Placements[pc.c].Start =
+			out.Placements[pc.c].Start, out.Placements[pc.p].Start
+		return out, fmt.Sprintf("issue cycles of producer %d and consumer %d swapped", pc.p, pc.c), true
+
+	case FUConflict:
+		if n < 2 {
+			return nil, "", false
+		}
+		i := rng.Intn(n)
+		j := rng.Intn(n - 1)
+		if j >= i {
+			j++
+		}
+		out.Placements[j].Cluster = out.Placements[i].Cluster
+		out.Placements[j].FU = out.Placements[i].FU
+		out.Placements[j].Start = out.Placements[i].Start
+		return out, fmt.Sprintf("instr %d stacked onto instr %d's unit slot", j, i), true
+
+	case HomeViolation:
+		if s.Machine.NumClusters < 2 {
+			return nil, "", false
+		}
+		var cands []int
+		for i, in := range s.Graph.Instrs {
+			if in.Preplaced() {
+				cands = append(cands, i)
+			}
+		}
+		if len(cands) == 0 {
+			return nil, "", false
+		}
+		i := cands[rng.Intn(len(cands))]
+		out.Placements[i].Cluster = (s.Graph.Instrs[i].Home + 1) % s.Machine.NumClusters
+		return out, fmt.Sprintf("preplaced instr %d moved off home %d", i, s.Graph.Instrs[i].Home), true
+
+	case MemEdgeViolation:
+		edges := s.Graph.MemEdges()
+		if len(edges) == 0 {
+			return nil, "", false
+		}
+		e := edges[rng.Intn(len(edges))]
+		out.Placements[e[1]].Start = out.Placements[e[0]].Start
+		return out, fmt.Sprintf("memory successor %d issued with predecessor %d in flight", e[1], e[0]), true
+
+	case DropComm:
+		cands := loadBearingComms(s)
+		if len(cands) == 0 {
+			return nil, "", false
+		}
+		k := cands[rng.Intn(len(cands))]
+		c := out.Comms[k]
+		out.Comms = append(out.Comms[:k:k], out.Comms[k+1:]...)
+		return out, fmt.Sprintf("comm of value %d to cluster %d dropped", c.Value, c.To), true
+
+	case CommTooEarly:
+		if len(out.Comms) == 0 {
+			return nil, "", false
+		}
+		k := rng.Intn(len(out.Comms))
+		c := &out.Comms[k]
+		ready := out.Placements[c.Value].Ready()
+		c.Depart = ready - 1
+		c.Arrive = c.Depart + s.Machine.CommLatency(c.From, c.To)
+		return out, fmt.Sprintf("comm of value %d departs at %d, before ready at %d", c.Value, c.Depart, ready), true
+
+	case PortOverflow:
+		if len(out.Comms) == 0 {
+			return nil, "", false
+		}
+		k := rng.Intn(len(out.Comms))
+		c := out.Comms[k]
+		for extra := 0; extra < s.Machine.SendPorts; extra++ {
+			out.Comms = append(out.Comms, c)
+		}
+		return out, fmt.Sprintf("cluster %d sends %d duplicate words at cycle %d", c.From, s.Machine.SendPorts, c.Depart), true
+	}
+	return nil, "", false
+}
+
+// loadBearingComms returns the indices of communications whose removal
+// provably strands some consumer: a consumer on the destination cluster
+// reads the moved value, the producer lives elsewhere, and no other
+// communication delivers the value there by the consumer's issue cycle.
+func loadBearingComms(s *schedule.Schedule) []int {
+	var out []int
+	for k, c := range s.Comms {
+		if commIsLoadBearing(s, k, c) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func commIsLoadBearing(s *schedule.Schedule, k int, c schedule.Comm) bool {
+	if s.Graph.Instrs[c.Value].Op.IsConst() {
+		return false // constants broadcast as immediates
+	}
+	if s.Placements[c.Value].Cluster == c.To {
+		return false // value is local anyway
+	}
+	for i, p := range s.Placements {
+		if p.Cluster != c.To {
+			continue
+		}
+		for _, a := range s.Graph.Instrs[i].Args {
+			if a != c.Value {
+				continue
+			}
+			alt := -1
+			for k2, c2 := range s.Comms {
+				if k2 != k && c2.Value == a && c2.To == c.To && (alt < 0 || c2.Arrive < alt) {
+					alt = c2.Arrive
+				}
+			}
+			if alt < 0 || alt > p.Start {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DropMemEdge returns a copy of g with one memory-order edge (chosen by
+// seed) silently removed — the classic "scheduler believes two memory
+// operations commute" lie. It reports ok=false when g has no memory edges.
+func DropMemEdge(g *ir.Graph, seed int64) (*ir.Graph, bool) {
+	edges := g.MemEdges()
+	if len(edges) == 0 {
+		return nil, false
+	}
+	drop := rand.New(rand.NewSource(seed)).Intn(len(edges))
+	out := cloneStructure(g)
+	for k, e := range edges {
+		if k != drop {
+			out.AddMemEdge(e[0], e[1])
+		}
+	}
+	return out, true
+}
+
+// RewireArg returns a copy of g in which one instruction reads a different
+// (still topologically earlier) producer, scrambling a data dependence
+// while keeping the graph structurally valid. It reports ok=false when no
+// operand has an alternative producer available.
+func RewireArg(g *ir.Graph, seed int64) (*ir.Graph, bool) {
+	rng := rand.New(rand.NewSource(seed))
+	type operand struct{ instr, slot int }
+	var cands []operand
+	for i, in := range g.Instrs {
+		for slot, a := range in.Args {
+			if len(alternativeProducers(g, i, a)) > 0 {
+				cands = append(cands, operand{i, slot})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return nil, false
+	}
+	pick := cands[rng.Intn(len(cands))]
+	out := cloneStructure(g)
+	for _, e := range g.MemEdges() {
+		out.AddMemEdge(e[0], e[1])
+	}
+	in := out.Instrs[pick.instr]
+	alts := alternativeProducers(out, pick.instr, in.Args[pick.slot])
+	in.Args[pick.slot] = alts[rng.Intn(len(alts))]
+	return out, true
+}
+
+// alternativeProducers lists the producers j < i with a result, distinct
+// from cur.
+func alternativeProducers(g *ir.Graph, i, cur int) []int {
+	var alts []int
+	for j := 0; j < i; j++ {
+		if j != cur && g.Instrs[j].Op.HasResult() {
+			alts = append(alts, j)
+		}
+	}
+	return alts
+}
+
+// cloneStructure copies instructions (not memory edges) into a fresh,
+// unsealed graph.
+func cloneStructure(g *ir.Graph) *ir.Graph {
+	out := ir.New(g.Name)
+	for _, in := range g.Instrs {
+		cp := *in
+		cp.Args = append([]int(nil), in.Args...)
+		out.Instrs = append(out.Instrs, &cp)
+	}
+	return out
+}

@@ -2,6 +2,8 @@ package machine
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/ir"
 )
@@ -120,18 +122,30 @@ func SingleVLIW() *Model {
 }
 
 // Named returns the model for a command-line name such as "raw16" or
-// "vliw4".
+// "vliw4". It is the user-input path into the panicking constructors, so it
+// rejects degenerate counts (and trailing garbage a Sscanf would let
+// through) with an error instead.
 func Named(name string) (*Model, error) {
-	var n int
-	if _, err := fmt.Sscanf(name, "raw%d", &n); err == nil {
-		if _, _, merr := rawMesh(n); merr != nil {
-			return nil, merr
+	if rest, ok := strings.CutPrefix(name, "raw"); ok {
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return nil, fmt.Errorf("machine: bad tile count in %q (want rawN)", name)
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("machine: tile count must be positive in %q", name)
+		}
+		if _, _, err := rawMesh(n); err != nil {
+			return nil, err
 		}
 		return Raw(n), nil
 	}
-	if _, err := fmt.Sscanf(name, "vliw%d", &n); err == nil {
+	if rest, ok := strings.CutPrefix(name, "vliw"); ok {
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return nil, fmt.Errorf("machine: bad cluster count in %q (want vliwN)", name)
+		}
 		if n < 1 {
-			return nil, fmt.Errorf("machine: bad cluster count in %q", name)
+			return nil, fmt.Errorf("machine: cluster count must be positive in %q", name)
 		}
 		return Chorus(n), nil
 	}

@@ -116,6 +116,21 @@ func (m *Model) OpLatency(op ir.Op) int {
 // LatencyFunc adapts the model to ir.LatencyFunc.
 func (m *Model) LatencyFunc() ir.LatencyFunc { return m.OpLatency }
 
+// WithOpLatency returns a copy of the model whose latency for op is cycles
+// (at least 1). The receiver is unchanged; the latency table is an array,
+// so the copy is deep. Used by fault injection to build models that lie,
+// and available for what-if latency studies.
+func (m *Model) WithOpLatency(op ir.Op, cycles int) *Model {
+	if cycles < 1 {
+		cycles = 1
+	}
+	cp := *m
+	if op.Valid() {
+		cp.lat[op] = cycles
+	}
+	return &cp
+}
+
 // BankOwner returns the cluster that owns a memory bank. Banks are
 // interleaved across clusters, matching the congruence transformation the
 // paper's compilers apply.

@@ -192,6 +192,31 @@ func TestNamedLookups(t *testing.T) {
 	if m, err := Named("raw7"); err != nil || m.MeshW*m.MeshH != 7 {
 		t.Errorf("Named(raw7) = %v, %v", m, err)
 	}
+	// Degenerate counts must come back as errors, not reach the panicking
+	// constructors: Named is the user-input path into Raw/Chorus.
+	for _, name := range []string{"raw0", "raw-4", "vliw0", "vliw-2", "raw", "vliw", "rawx", "raw 4"} {
+		if _, err := Named(name); err == nil {
+			t.Errorf("Named(%q) accepted a degenerate machine", name)
+		}
+	}
+}
+
+func TestWithOpLatency(t *testing.T) {
+	m := Chorus(2)
+	was := m.OpLatency(ir.Mul)
+	liar := m.WithOpLatency(ir.Mul, was+5)
+	if liar.OpLatency(ir.Mul) != was+5 {
+		t.Errorf("copy latency %d, want %d", liar.OpLatency(ir.Mul), was+5)
+	}
+	if m.OpLatency(ir.Mul) != was {
+		t.Error("WithOpLatency modified the receiver")
+	}
+	if m.WithOpLatency(ir.Add, 0).OpLatency(ir.Add) != 1 {
+		t.Error("latency below 1 not clamped")
+	}
+	if m.WithOpLatency(ir.Op(999), 5) == nil {
+		t.Error("invalid op should still return a copy")
+	}
 }
 
 func TestValidateCatchesBadModels(t *testing.T) {

@@ -1,0 +1,129 @@
+package robust
+
+import (
+	"fmt"
+
+	"repro/internal/baseline/pcc"
+	"repro/internal/baseline/rawcc"
+	"repro/internal/baseline/uas"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/listsched"
+	"repro/internal/machine"
+	"repro/internal/passes"
+	"repro/internal/schedule"
+)
+
+// ConvergentRung wraps the convergent scheduler with the given pass
+// sequence and noise seed as a ladder rung.
+func ConvergentRung(name string, m *machine.Model, seq []core.Pass, seed int64) Rung {
+	return Rung{Name: name, Run: func(g *ir.Graph) (*schedule.Schedule, error) {
+		s, _, err := core.Schedule(g, m, seq, seed)
+		return s, err
+	}}
+}
+
+// TruncatedSequence returns the first half of a pass sequence (rounded up),
+// the degraded-mode sequence of the default ladder: fewer passes converge
+// less but each pass is an independent heuristic, so a prefix still yields
+// a complete preference map.
+func TruncatedSequence(seq []core.Pass) []core.Pass {
+	return seq[:(len(seq)+1)/2]
+}
+
+// BaselineRung returns the machine's strongest non-convergent scheduler:
+// the Rawcc-style space-time scheduler on machines with owned memory banks
+// (Raw), UAS on clustered VLIWs.
+func BaselineRung(m *machine.Model) Rung {
+	if m.RemoteMemPenalty < 0 {
+		return Rung{Name: "rawcc", Run: func(g *ir.Graph) (*schedule.Schedule, error) {
+			return rawcc.Schedule(g, m)
+		}}
+	}
+	return Rung{Name: "uas", Run: func(g *ir.Graph) (*schedule.Schedule, error) {
+		return uas.Schedule(g, m)
+	}}
+}
+
+// ListRung is the last-resort rung: critical-path list scheduling with the
+// trivial assignment (preplacement homes and bank owners honoured,
+// everything else on cluster 0). It exercises no heuristic machinery at
+// all, so it survives almost anything the richer schedulers choke on.
+func ListRung(m *machine.Model) Rung {
+	return Rung{Name: "list", Run: func(g *ir.Graph) (*schedule.Schedule, error) {
+		assign := make([]int, g.Len())
+		for i, in := range g.Instrs {
+			switch {
+			case in.Preplaced():
+				assign[i] = in.Home
+			case in.Op.IsMemory():
+				assign[i] = m.BankOwner(in.Bank)
+			}
+		}
+		return listsched.Run(g, m, listsched.Options{Assignment: assign})
+	}}
+}
+
+// DefaultLadder is the degradation ladder the driver walks when Options.
+// Ladder is nil:
+//
+//	convergent (full published sequence, seed)
+//	→ convergent (truncated sequence, fresh seed)
+//	→ rawcc or uas (machine-appropriate baseline)
+//	→ single-cluster-style list baseline
+//
+// The truncated rung reseeds the noise pass, so a seed-dependent failure in
+// the full sequence does not recur, matching the anytime-scheduling advice
+// of the combinatorial-scheduling literature: always have a cheaper legal
+// answer to fall back to.
+func DefaultLadder(m *machine.Model, seed int64) []Rung {
+	seq := passes.ForMachine(m.Name)
+	return []Rung{
+		ConvergentRung("convergent", m, seq, seed),
+		ConvergentRung("convergent-truncated", m, TruncatedSequence(seq), seed+1),
+		BaselineRung(m),
+		ListRung(m),
+	}
+}
+
+// RungFor returns the single rung for a scheduler name as accepted by
+// cmd/convsched: convergent, rawcc, uas, pcc or list.
+func RungFor(m *machine.Model, scheduler string, seed int64) (Rung, error) {
+	switch scheduler {
+	case "convergent":
+		return ConvergentRung("convergent", m, passes.ForMachine(m.Name), seed), nil
+	case "rawcc":
+		return Rung{Name: "rawcc", Run: func(g *ir.Graph) (*schedule.Schedule, error) {
+			return rawcc.Schedule(g, m)
+		}}, nil
+	case "uas":
+		return Rung{Name: "uas", Run: func(g *ir.Graph) (*schedule.Schedule, error) {
+			return uas.Schedule(g, m)
+		}}, nil
+	case "pcc":
+		return Rung{Name: "pcc", Run: func(g *ir.Graph) (*schedule.Schedule, error) {
+			return pcc.Schedule(g, m, pcc.Options{})
+		}}, nil
+	case "list":
+		return ListRung(m), nil
+	}
+	return Rung{}, fmt.Errorf("robust: unknown scheduler %q", scheduler)
+}
+
+// LadderFor builds the ladder whose primary rung is the named scheduler.
+// The convergent primary gets the full default ladder; any other primary
+// degrades straight to the list baseline (falling back from one baseline to
+// another would silently re-label the experiment being run).
+func LadderFor(m *machine.Model, scheduler string, seed int64) ([]Rung, error) {
+	if scheduler == "convergent" {
+		return DefaultLadder(m, seed), nil
+	}
+	primary, err := RungFor(m, scheduler, seed)
+	if err != nil {
+		return nil, err
+	}
+	if scheduler == "list" {
+		return []Rung{primary}, nil
+	}
+	return []Rung{primary, ListRung(m)}, nil
+}
