@@ -14,6 +14,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -22,11 +23,13 @@ import (
 	"repro/internal/baseline/uas"
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/exp"
 	"repro/internal/listsched"
 	"repro/internal/machine"
 	"repro/internal/passes"
 	"repro/internal/regalloc"
+	"repro/internal/robust"
 	"repro/internal/sim"
 )
 
@@ -525,5 +528,74 @@ func BenchmarkAblationIterative(b *testing.B) {
 			}
 			b.ReportMetric(ratioSum/float64(len(bench.RawSuite())), "len-ratio")
 		})
+	}
+}
+
+// engineJobs builds one scheduling job per benchmark kernel on the given
+// machine, the workload of the engine throughput benchmarks.
+func engineJobs(m *machine.Model) []engine.Job {
+	var jobs []engine.Job
+	for _, k := range bench.All() {
+		jobs = append(jobs, engine.Job{
+			ID:      k.Name,
+			Graph:   k.Build(m.NumClusters),
+			Machine: m,
+			Opts:    robust.Options{Seed: exp.Seed},
+		})
+	}
+	return jobs
+}
+
+// BenchmarkEngineSerial is the reference point for the engine benchmarks:
+// every kernel through the resilient driver, one at a time, no cache — the
+// shape experiment code had before the batch engine existed.
+func BenchmarkEngineSerial(b *testing.B) {
+	jobs := engineJobs(machine.Raw(16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, j := range jobs {
+			if _, _, err := robust.Schedule(context.Background(), j.Graph, j.Machine, j.Opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkEngineParallelCold batches all kernels through a fresh engine
+// each iteration: pure worker-pool speedup, no cache reuse. On a single-core
+// runner this matches EngineSerial; the gap appears with GOMAXPROCS > 1.
+func BenchmarkEngineParallelCold(b *testing.B) {
+	jobs := engineJobs(machine.Raw(16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := engine.New(0, 2*len(jobs))
+		for _, r := range e.Batch(context.Background(), jobs) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkEngineParallelWarm batches all kernels through a pre-warmed
+// engine: every schedule rehydrates from the content-addressed cache.
+func BenchmarkEngineParallelWarm(b *testing.B) {
+	jobs := engineJobs(machine.Raw(16))
+	e := engine.New(0, 2*len(jobs))
+	for _, r := range e.Batch(context.Background(), jobs) {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range e.Batch(context.Background(), jobs) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			if !r.CacheHit {
+				b.Fatalf("%s missed the warm cache", r.ID)
+			}
+		}
 	}
 }

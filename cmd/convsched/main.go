@@ -1,9 +1,10 @@
-// Command convsched schedules a dependence graph (.ddg) onto a spatial
-// machine with a chosen scheduler and reports the schedule.
+// Command convsched schedules dependence graphs (.ddg) onto a spatial
+// machine with a chosen scheduler and reports the schedules.
 //
 // Usage:
 //
 //	convsched -machine raw16 -scheduler convergent [-seed 2002] [-show schedule] graph.ddg
+//	convsched -machine raw16 [-j 8] a.ddg b.ddg dir-of-ddgs/
 //
 // Schedulers: convergent (the paper's), rawcc, uas, pcc, list (critical-path
 // list scheduling on cluster 0 homes only — a sanity baseline).
@@ -17,6 +18,13 @@
 // (convergent → truncated convergent → rawcc/uas → list) until a rung
 // serves; -timeout bounds each attempt; -chaos injects a named, seeded
 // fault class for resilience testing (-chaos-list enumerates them).
+//
+// With several inputs — multiple .ddg files and/or directories, which expand
+// to their *.ddg entries — the units are batch-scheduled over a worker pool
+// (-j) with a content-addressed schedule cache (-cache-size), so duplicate
+// and isomorphic units are scheduled once. Batch mode prints one stats line
+// per input plus a cache summary; -show other than stats and -chaos are
+// single-input features.
 package main
 
 import (
@@ -24,10 +32,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/faultinject"
 	"repro/internal/ir"
 	"repro/internal/irtext"
@@ -49,6 +59,8 @@ type options struct {
 	fallback  bool
 	chaos     string
 	chaosSeed int64
+	jobs      int
+	cacheSize int
 }
 
 func main() {
@@ -62,6 +74,8 @@ func main() {
 	flag.BoolVar(&o.fallback, "fallback", false, "degrade through the fallback ladder instead of failing")
 	flag.StringVar(&o.chaos, "chaos", "", "inject this fault class into the pipeline (implies -fallback)")
 	flag.Int64Var(&o.chaosSeed, "chaos-seed", 1, "seed for the injected fault")
+	flag.IntVar(&o.jobs, "j", 0, "worker-pool width for batch scheduling (0 = GOMAXPROCS)")
+	flag.IntVar(&o.cacheSize, "cache-size", 256, "schedule-cache entries for batch scheduling (0 disables)")
 	chaosList := flag.Bool("chaos-list", false, "list chaos classes and exit")
 	flag.Parse()
 
@@ -75,21 +89,36 @@ func main() {
 	}
 }
 
-// readGraph parses the .ddg input from the single optional file argument or
-// stdin.
-func readGraph(args []string) (*ir.Graph, error) {
-	switch len(args) {
-	case 0:
-		return irtext.Parse(os.Stdin)
-	case 1:
-		f, err := os.Open(args[0])
+// expandInputs resolves the positional arguments into .ddg file paths:
+// files stand for themselves, directories expand to their *.ddg entries in
+// name order. No arguments means stdin (single-input mode).
+func expandInputs(args []string) ([]string, error) {
+	var paths []string
+	for _, a := range args {
+		st, err := os.Stat(a)
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
-		return irtext.Parse(f)
+		if !st.IsDir() {
+			paths = append(paths, a)
+			continue
+		}
+		entries, err := os.ReadDir(a)
+		if err != nil {
+			return nil, err
+		}
+		found := 0
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".ddg") {
+				paths = append(paths, filepath.Join(a, e.Name()))
+				found++
+			}
+		}
+		if found == 0 {
+			return nil, fmt.Errorf("directory %s contains no .ddg files", a)
+		}
 	}
-	return nil, fmt.Errorf("want at most one input file, got %d", len(args))
+	return paths, nil
 }
 
 func run(o options, args []string) error {
@@ -97,7 +126,19 @@ func run(o options, args []string) error {
 	if err != nil {
 		return err
 	}
-	g, err := readGraph(args)
+	paths, err := expandInputs(args)
+	if err != nil {
+		return err
+	}
+	if len(paths) > 1 {
+		return runBatch(o, m, paths)
+	}
+	var g *ir.Graph
+	if len(paths) == 0 {
+		g, err = irtext.Parse(os.Stdin)
+	} else {
+		g, err = irtext.ParseFile(paths[0])
+	}
 	if err != nil {
 		return err
 	}
@@ -142,6 +183,93 @@ func run(o options, args []string) error {
 		fmt.Fprint(os.Stderr, rep)
 	}
 	return show(o, g, m, s, rep)
+}
+
+// runBatch schedules every input unit over the engine's worker pool with the
+// content-addressed schedule cache, printing one stats line per unit and a
+// cache summary. Failures are per-unit: a bad graph reports its error and
+// the rest of the batch completes.
+func runBatch(o options, m *machine.Model, paths []string) error {
+	if o.chaos != "" {
+		return fmt.Errorf("-chaos is a single-input feature")
+	}
+	if o.show != "stats" {
+		return fmt.Errorf("-show %s is a single-input feature; batch mode prints stats", o.show)
+	}
+
+	// The ladder is shared by every unit in the batch. Its cache identity
+	// only has to separate keys within this invocation (the cache dies with
+	// the process), so scheduler name, fallback mode and seed pin it; the
+	// machine's contribution is already in the key via its fingerprint. The
+	// convergent fallback ladder is the driver's default, which the engine
+	// identifies itself (robust.DefaultLadderID) when Ladder is nil.
+	var ladder []robust.Rung
+	var ladderID string
+	switch {
+	case o.fallback && o.scheduler == "convergent":
+		// Leave Ladder nil: robust walks DefaultLadder(m, seed).
+	case o.fallback:
+		l, err := robust.LadderFor(m, o.scheduler, o.seed)
+		if err != nil {
+			return err
+		}
+		ladder = l
+		ladderID = fmt.Sprintf("fallback:%s:seed=%d", o.scheduler, o.seed)
+	default:
+		r, err := robust.RungFor(m, o.scheduler, o.seed)
+		if err != nil {
+			return err
+		}
+		ladder = []robust.Rung{r}
+		ladderID = fmt.Sprintf("rung:%s:seed=%d", o.scheduler, o.seed)
+	}
+
+	jobs := make([]engine.Job, len(paths))
+	for i, p := range paths {
+		g, err := irtext.ParseFile(p)
+		if err != nil {
+			return err
+		}
+		jobs[i] = engine.Job{
+			ID:      p,
+			Graph:   g,
+			Machine: m,
+			Opts: robust.Options{
+				Timeout: o.timeout,
+				Verify:  o.verify,
+				Ladder:  ladder,
+				Seed:    o.seed,
+			},
+			LadderID: ladderID,
+		}
+	}
+
+	e := engine.New(o.jobs, o.cacheSize)
+	failed := 0
+	for _, r := range e.Batch(context.Background(), jobs) {
+		if r.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "convsched: %s: %v\n", r.ID, r.Err)
+			continue
+		}
+		tag := ""
+		switch {
+		case r.CacheHit:
+			tag = "  [cached]"
+		case r.Shared:
+			tag = "  [shared]"
+		}
+		fmt.Printf("%-32s %6d cycles %5d comms  served by %-12s %8s%s\n",
+			r.ID, r.Schedule.Length(), r.Schedule.CommCount(), r.Served,
+			r.Elapsed.Round(time.Millisecond), tag)
+	}
+	st := e.Stats()
+	fmt.Printf("batch: %d units on %s, %d workers; cache: %d hits, %d misses, %d shared, %d evictions\n",
+		len(jobs), m.Name, e.Workers(len(jobs)), st.Hits, st.Misses, st.Shared, st.Evictions)
+	if failed > 0 {
+		return fmt.Errorf("%d of %d units failed", failed, len(jobs))
+	}
+	return nil
 }
 
 // showTrace runs the convergent scheduler directly (the per-pass trace only

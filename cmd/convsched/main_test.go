@@ -96,6 +96,50 @@ func TestRunShowModes(t *testing.T) {
 	}
 }
 
+// chaosOpts is opts() plus a chaos class, which batch mode must reject.
+func chaosOpts(t *testing.T) options {
+	t.Helper()
+	o := opts("vliw4", "convergent", "stats", false)
+	o.chaos = faultinject.Classes()[0]
+	return o
+}
+
+// TestRunBatch drives the multi-input path: a file plus a directory expand
+// into units scheduled over the engine, with the duplicate served from cache.
+func TestRunBatch(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"vvmul", "fir"} {
+		k, _ := bench.ByName(name)
+		f, err := os.Create(filepath.Join(dir, name+".ddg"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := irtext.Print(f, k.Build(4)); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	path := writeKernel(t, "vvmul", 4)
+	o := opts("vliw4", "convergent", "stats", true)
+	o.cacheSize = 16
+	out, err := capture(t, func() error {
+		return run(o, []string{path, dir})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "batch: 3 units") {
+		t.Errorf("no batch summary:\n%s", out)
+	}
+	// The standalone vvmul.ddg and the directory's are the same graph.
+	if !strings.Contains(out, "[cached]") && !strings.Contains(out, "[shared]") {
+		t.Errorf("duplicate unit not served from cache:\n%s", out)
+	}
+	if !strings.Contains(out, "1 hits") {
+		t.Errorf("cache summary missing hit:\n%s", out)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	path := writeKernel(t, "vvmul", 4)
 	cases := []struct {
@@ -107,9 +151,11 @@ func TestRunErrors(t *testing.T) {
 		{"bad scheduler", opts("vliw4", "magic", "stats", false), []string{path}},
 		{"bad show", opts("vliw4", "convergent", "hologram", false), []string{path}},
 		{"missing file", opts("vliw4", "convergent", "stats", false), []string{"/nonexistent.ddg"}},
-		{"too many args", opts("vliw4", "convergent", "stats", false), []string{path, path}},
 		{"trace needs convergent", opts("vliw4", "uas", "trace", false), []string{path}},
 		{"degenerate machine", opts("vliw0", "convergent", "stats", false), []string{path}},
+		{"batch rejects -show", opts("vliw4", "convergent", "schedule", false), []string{path, path}},
+		{"batch rejects -chaos", chaosOpts(t), []string{path, path}},
+		{"empty directory", opts("vliw4", "convergent", "stats", false), []string{t.TempDir()}},
 	}
 	for _, c := range cases {
 		if _, err := capture(t, func() error {

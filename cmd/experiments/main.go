@@ -31,7 +31,9 @@ func main() {
 	sizes := flag.String("sizes", "100,250,500,1000,2000", "instruction counts for fig10")
 	kernels := flag.String("kernels", "vvmul,mxm", "kernels for the resilience sweep")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-attempt budget for the resilience sweep")
+	jobs := flag.Int("j", 0, "worker-pool width for the batch-scheduled convergent columns (0 = GOMAXPROCS)")
 	flag.Parse()
+	exp.Workers = *jobs
 
 	if err := run(*which, *sizes, *kernels, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/engine"
 	"repro/internal/machine"
 	"repro/internal/tune"
 )
@@ -30,15 +31,17 @@ func main() {
 	iters := flag.Int("iters", 60, "number of proposed edits")
 	seed := flag.Int64("seed", 2002, "search and noise seed")
 	start := flag.String("start", "", "comma-separated seed sequence (default: the machine's published sequence)")
+	jobs := flag.Int("j", 0, "worker-pool width for candidate evaluation (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache-size", 1024, "schedule-cache entries memoizing kernel-x-sequence evaluations (0 disables)")
 	flag.Parse()
 
-	if err := run(*machineName, *kernels, *iters, *seed, *start); err != nil {
+	if err := run(*machineName, *kernels, *iters, *seed, *start, *jobs, *cacheSize); err != nil {
 		fmt.Fprintln(os.Stderr, "tuneseq:", err)
 		os.Exit(1)
 	}
 }
 
-func run(machineName, kernels string, iters int, seed int64, start string) error {
+func run(machineName, kernels string, iters int, seed int64, start string, jobs, cacheSize int) error {
 	m, err := machine.Named(machineName)
 	if err != nil {
 		return err
@@ -58,6 +61,7 @@ func run(machineName, kernels string, iters int, seed int64, start string) error
 			startSeq = append(startSeq, strings.TrimSpace(l))
 		}
 	}
+	e := engine.New(jobs, cacheSize)
 	res, err := tune.Search(tune.Options{
 		Machine: m,
 		Kernels: ks,
@@ -65,6 +69,7 @@ func run(machineName, kernels string, iters int, seed int64, start string) error
 		Iters:   iters,
 		Seed:    seed,
 		Log:     func(s string) { fmt.Println(s) },
+		Engine:  e,
 	})
 	if err != nil {
 		return err
@@ -77,5 +82,8 @@ func run(machineName, kernels string, iters int, seed int64, start string) error
 	} else {
 		fmt.Printf("no improvement found in %d evaluations\n", res.Evaluations)
 	}
+	st := e.Stats()
+	fmt.Printf("schedule cache: %d hits, %d misses, %d evictions over %d kernel evaluations\n",
+		st.Hits, st.Misses, st.Evictions, st.Hits+st.Misses)
 	return nil
 }

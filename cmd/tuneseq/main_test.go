@@ -25,7 +25,7 @@ func capture(t *testing.T, f func() error) (string, error) {
 
 func TestRunSmallSearch(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("vliw4", "vvmul", 5, 3, "")
+		return run("vliw4", "vvmul", 5, 3, "", 0, 64)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -37,7 +37,7 @@ func TestRunSmallSearch(t *testing.T) {
 
 func TestRunCustomStart(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("vliw4", "vvmul", 2, 1, "INITTIME,NOISE,PLACE,EMPHCP")
+		return run("vliw4", "vvmul", 2, 1, "INITTIME,NOISE,PLACE,EMPHCP", 0, 64)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -48,13 +48,13 @@ func TestRunCustomStart(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if _, err := capture(t, func() error { return run("gpu1", "vvmul", 2, 1, "") }); err == nil {
+	if _, err := capture(t, func() error { return run("gpu1", "vvmul", 2, 1, "", 0, 64) }); err == nil {
 		t.Error("bad machine accepted")
 	}
-	if _, err := capture(t, func() error { return run("vliw4", "nope", 2, 1, "") }); err == nil {
+	if _, err := capture(t, func() error { return run("vliw4", "nope", 2, 1, "", 0, 64) }); err == nil {
 		t.Error("bad kernel accepted")
 	}
-	if _, err := capture(t, func() error { return run("vliw4", "vvmul", 2, 1, "FROB") }); err == nil {
+	if _, err := capture(t, func() error { return run("vliw4", "vvmul", 2, 1, "FROB", 0, 64) }); err == nil {
 		t.Error("bad start pass accepted")
 	}
 }

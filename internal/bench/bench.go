@@ -79,6 +79,17 @@ func Names() []string {
 	return out
 }
 
+// All returns every registered kernel, sorted by name — the full corpus for
+// batch-scheduling sweeps and the engine benchmarks.
+func All() []Kernel {
+	names := Names()
+	out := make([]Kernel, len(names))
+	for i, n := range names {
+		out[i] = registry[n]
+	}
+	return out
+}
+
 // RawSuite returns the nine benchmarks of Table 2 / Figure 6, in the
 // paper's row order.
 func RawSuite() []Kernel {

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SequenceID returns a stable textual identity of a pass sequence: the
+// concrete type and parameter values of every pass, in order. Two sequences
+// share an ID exactly when they run the same passes with the same knobs in
+// the same order, so the ID is a sound cache key for "which heuristics shaped
+// this schedule" (internal/engine keys memoized schedules on it, and
+// internal/tune uses it to deduplicate candidate evaluations).
+//
+// Passes are parameter structs (see internal/passes), so %T plus %+v renders
+// every exported and unexported field deterministically in declaration
+// order; a pass with hidden mutable state would need to be excluded from
+// caching, and none of the repository's passes have any.
+func SequenceID(seq []Pass) string {
+	var b strings.Builder
+	for i, p := range seq {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%T%+v", p, p)
+	}
+	return b.String()
+}

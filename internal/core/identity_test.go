@@ -1,0 +1,43 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/passes"
+)
+
+func TestSequenceIDDistinguishesSequences(t *testing.T) {
+	ids := map[string]string{}
+	add := func(label string, seq []core.Pass) {
+		id := core.SequenceID(seq)
+		if id == "" {
+			t.Fatalf("%s: empty id", label)
+		}
+		if prev, dup := ids[id]; dup {
+			t.Errorf("%s and %s share a sequence id", label, prev)
+		}
+		ids[id] = label
+	}
+	add("raw", passes.RawSequence())
+	add("vliw", passes.VliwSequence())
+	add("vliw-published", passes.PublishedVliwSequence())
+	add("raw-truncated", passes.RawSequence()[:5])
+
+	// Same passes, different parameters: the id must change.
+	add("comm-plain", []core.Pass{passes.Comm{}})
+	add("comm-grand", []core.Pass{passes.Comm{IncludeGrand: true}})
+	add("comm-slack", []core.Pass{passes.Comm{SlackWeight: 4}})
+
+	// Same passes, different order: the id must change.
+	add("a-then-b", []core.Pass{passes.Path{}, passes.Place{}})
+	add("b-then-a", []core.Pass{passes.Place{}, passes.Path{}})
+}
+
+func TestSequenceIDDeterministic(t *testing.T) {
+	a := core.SequenceID(passes.VliwSequence())
+	b := core.SequenceID(passes.VliwSequence())
+	if a != b {
+		t.Errorf("two builds of the same sequence disagree:\n%s\n%s", a, b)
+	}
+}

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/schedule"
+)
+
+// entry is one memoized scheduling result, stored in canonical instruction
+// order (see ir.Canonical) so it can be rehydrated onto any isomorphic graph.
+type entry struct {
+	// placements[rank] is the placement of the instruction with canonical
+	// position rank.
+	placements []schedule.Placement
+	// comms are the schedule's communications with Value remapped to
+	// canonical positions.
+	comms []schedule.Comm
+	// served names the ladder rung that produced the schedule.
+	served string
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts requests answered from the cache (including rehydrations
+	// onto isomorphic graphs).
+	Hits uint64
+	// Misses counts requests that had to compute a schedule.
+	Misses uint64
+	// Shared counts requests that neither hit nor computed: they joined an
+	// in-flight computation for the same key (singleflight collapse).
+	Shared uint64
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions uint64
+	// Collisions counts cache hits whose rehydrated schedule failed
+	// re-validation against the requesting graph — a canonical-hash
+	// collision or an order ambiguity — and were recomputed from scratch.
+	Collisions uint64
+	// Uncacheable counts requests that bypassed the cache (opaque custom
+	// ladders or verify memories without an identity).
+	Uncacheable uint64
+	// Size and Capacity describe the cache occupancy in entries.
+	Size, Capacity int
+}
+
+// cache is a mutex-guarded LRU over canonical schedule entries.
+type cache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List               // front = most recently used
+	items map[string]*list.Element // key -> element whose Value is *lruItem
+
+	hits, misses, shared, evictions, collisions, uncacheable uint64
+}
+
+type lruItem struct {
+	key string
+	ent entry
+}
+
+func newCache(capacity int) *cache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &cache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the entry for key, promoting it to most-recently-used. It does
+// not bump any counter: whether the lookup becomes a hit or a collision is
+// only known after rehydration, so the engine reports the outcome.
+func (c *cache) get(key string) (entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return entry{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruItem).ent, true
+}
+
+// put inserts or refreshes an entry, evicting the least-recently-used entry
+// when over capacity.
+func (c *cache) put(key string, ent entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruItem).ent = ent
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruItem{key: key, ent: ent})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*lruItem).key)
+		c.evictions++
+	}
+}
+
+func (c *cache) count(counter *uint64) {
+	c.mu.Lock()
+	*counter++
+	c.mu.Unlock()
+}
+
+func (c *cache) stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Shared:      c.shared,
+		Evictions:   c.evictions,
+		Collisions:  c.collisions,
+		Uncacheable: c.uncacheable,
+		Size:        c.ll.Len(),
+		Capacity:    c.cap,
+	}
+}

@@ -1,0 +1,128 @@
+package engine_test
+
+// Differential sweep: for every benchmark kernel on every target machine, the
+// engine's parallel cached path must produce exactly the schedule the serial
+// robust.Schedule path produces — same placements, same comms — and both must
+// simulate to the correct answer. A warm rerun must be served from the cache
+// and stay byte-identical.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/engine"
+	"repro/internal/machine"
+	"repro/internal/robust"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+)
+
+const diffSeed = 2002
+
+func targets() []*machine.Model {
+	return []*machine.Model{machine.Raw(4), machine.Raw(16), machine.Chorus(4)}
+}
+
+func sweepKernels(t *testing.T) []bench.Kernel {
+	ks := bench.All()
+	if testing.Short() {
+		// A small but structurally varied subset for -short runs.
+		var out []bench.Kernel
+		for _, k := range ks {
+			switch k.Name {
+			case "mxm", "sha", "vvmul":
+				out = append(out, k)
+			}
+		}
+		return out
+	}
+	return ks
+}
+
+func TestEngineMatchesSerialPath(t *testing.T) {
+	for _, m := range targets() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			kernels := sweepKernels(t)
+
+			// Serial reference: the plain robust driver, one kernel at a
+			// time, exactly as the experiment code ran before the engine.
+			serial := make(map[string]*robustResult, len(kernels))
+			for _, k := range kernels {
+				g := k.Build(m.NumClusters)
+				s, rep, err := robust.Schedule(context.Background(), g, m, robust.Options{Seed: diffSeed})
+				if err != nil {
+					t.Fatalf("serial %s: %v", k.Name, err)
+				}
+				serial[k.Name] = &robustResult{s: s, served: rep.Served}
+			}
+
+			// Parallel path: one batch through the engine.
+			e := engine.New(4, len(kernels)*2)
+			jobs := make([]engine.Job, len(kernels))
+			for i, k := range kernels {
+				jobs[i] = engine.Job{
+					ID:      k.Name,
+					Graph:   k.Build(m.NumClusters),
+					Machine: m,
+					Opts:    robust.Options{Seed: diffSeed},
+				}
+			}
+			cold := e.Batch(context.Background(), jobs)
+			for i, r := range cold {
+				k := kernels[i]
+				if r.Err != nil {
+					t.Fatalf("engine %s: %v", k.Name, r.Err)
+				}
+				want := serial[k.Name]
+				if r.Served != want.served {
+					t.Errorf("%s: engine served %q, serial served %q", k.Name, r.Served, want.served)
+				}
+				if !reflect.DeepEqual(r.Schedule.Placements, want.s.Placements) ||
+					!reflect.DeepEqual(r.Schedule.Comms, want.s.Comms) {
+					t.Errorf("%s: engine schedule differs from serial schedule", k.Name)
+				}
+				// Executable proof: the engine's schedule computes the right
+				// answer on the kernel's own semantics.
+				out, err := sim.Verify(r.Schedule, k.InitMemory(m.NumClusters))
+				if err != nil {
+					t.Errorf("%s: engine schedule fails simulation: %v", k.Name, err)
+					continue
+				}
+				if err := k.Check(out.Memory, m.NumClusters); err != nil {
+					t.Errorf("%s: engine schedule computes wrong answer: %v", k.Name, err)
+				}
+			}
+
+			// Warm rerun: every job must hit and stay byte-identical.
+			warm := e.Batch(context.Background(), jobs)
+			for i, r := range warm {
+				k := kernels[i]
+				if r.Err != nil {
+					t.Fatalf("warm %s: %v", k.Name, r.Err)
+				}
+				if !r.CacheHit {
+					t.Errorf("%s: warm rerun missed the cache", k.Name)
+				}
+				if !reflect.DeepEqual(r.Schedule.Placements, cold[i].Schedule.Placements) ||
+					!reflect.DeepEqual(r.Schedule.Comms, cold[i].Schedule.Comms) {
+					t.Errorf("%s: warm schedule differs from cold schedule", k.Name)
+				}
+				if r.Schedule.String() != cold[i].Schedule.String() {
+					t.Errorf("%s: warm schedule renders differently", k.Name)
+				}
+			}
+			st := e.Stats()
+			if st.Hits < uint64(len(kernels)) {
+				t.Errorf("stats after warm rerun: %+v, want >= %d hits", st, len(kernels))
+			}
+		})
+	}
+}
+
+type robustResult struct {
+	s      *schedule.Schedule
+	served string
+}

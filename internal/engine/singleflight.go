@@ -1,0 +1,46 @@
+package engine
+
+import "sync"
+
+// flightGroup collapses concurrent computations for the same key: the first
+// caller runs fn, everyone else arriving before it finishes blocks and
+// receives the same result. This is the standard singleflight pattern,
+// inlined here because the repository deliberately has no external
+// dependencies.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+type flight struct {
+	wg  sync.WaitGroup
+	ent entry
+	err error
+}
+
+// do runs fn once per concurrent set of callers with the same key. The
+// second return reports whether this caller shared another caller's flight
+// instead of running fn itself.
+func (g *flightGroup) do(key string, fn func() (entry, error)) (ent entry, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		f.wg.Wait()
+		return f.ent, f.err, true
+	}
+	f := &flight{}
+	f.wg.Add(1)
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.ent, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	f.wg.Done()
+	return f.ent, f.err, false
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/baseline/uas"
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/ir"
 	"repro/internal/listsched"
 	"repro/internal/machine"
@@ -26,17 +27,22 @@ import (
 // Seed fixes the convergent scheduler's noise pass across all experiments.
 const Seed = 2002
 
-// convergentSchedule runs the convergent scheduler through the resilient
-// driver's default degradation ladder, so a panicking or misbehaving
-// pipeline degrades to a baseline instead of aborting the whole experiment
-// run. It returns the name of the serving rung ("convergent" on the healthy
-// path) so rows can disclose any degradation.
-func convergentSchedule(g *ir.Graph, m *machine.Model) (*schedule.Schedule, string, error) {
-	s, rep, err := robust.Schedule(context.Background(), g, m, robust.Options{Seed: Seed})
-	if err != nil {
-		return nil, "", fmt.Errorf("exp: convergent %s on %s: %w", g.Name, m.Name, err)
-	}
-	return s, rep.Served, nil
+// Workers is the worker-pool width for the batch-scheduled convergent
+// columns of Table 2 and Figure 8 (0 means GOMAXPROCS). The reported
+// numbers are identical at every width — scheduling one kernel never
+// depends on another — so the knob only changes throughput.
+var Workers int
+
+// convergentBatch schedules the convergent column's units concurrently
+// through the batch engine; every unit still runs the resilient driver's
+// default degradation ladder, so a panicking or misbehaving pipeline
+// degrades to a baseline instead of aborting the whole experiment run.
+// Results come back in job order; each Result.Served names the serving
+// rung ("convergent" on the healthy path) so rows can disclose any
+// degradation.
+func convergentBatch(jobs []engine.Job) []engine.Result {
+	e := engine.New(Workers, 2*len(jobs))
+	return e.Batch(context.Background(), jobs)
 }
 
 // guarded wraps a baseline scheduler call with panic isolation: a crashing
@@ -89,9 +95,25 @@ type Table2Row struct {
 var Tiles = [4]int{2, 4, 8, 16}
 
 // Table2 reproduces Table 2 (and Figure 6, which plots its 16-tile column).
+// The convergent cells — the expensive column — are batch-scheduled over the
+// engine's worker pool; baselines and verification stay serial.
 func Table2() ([]Table2Row, error) {
+	suite := bench.RawSuite()
+	var jobs []engine.Job
+	for _, k := range suite {
+		for _, tiles := range Tiles {
+			jobs = append(jobs, engine.Job{
+				ID:      fmt.Sprintf("%s/%d", k.Name, tiles),
+				Graph:   k.Build(tiles),
+				Machine: machine.Raw(tiles),
+				Opts:    robust.Options{Seed: Seed},
+			})
+		}
+	}
+	conv := convergentBatch(jobs)
+
 	var rows []Table2Row
-	for _, k := range bench.RawSuite() {
+	for ki, k := range suite {
 		row := Table2Row{Benchmark: k.Name}
 		one, err := singleClusterCycles(k, machine.Raw(1))
 		if err != nil {
@@ -109,15 +131,15 @@ func Table2() ([]Table2Row, error) {
 			}
 			row.Base[ti] = float64(one) / float64(bs.Length())
 
-			cs, served, err := convergentSchedule(k.Build(tiles), m)
-			if err != nil {
-				return nil, fmt.Errorf("exp: convergent %s/%d: %w", k.Name, tiles, err)
+			cr := conv[ki*len(Tiles)+ti]
+			if cr.Err != nil {
+				return nil, fmt.Errorf("exp: convergent %s/%d: %w", k.Name, tiles, cr.Err)
 			}
-			if err := verifyKernel(cs, k, tiles); err != nil {
+			if err := verifyKernel(cr.Schedule, k, tiles); err != nil {
 				return nil, err
 			}
-			row.Convergent[ti] = float64(one) / float64(cs.Length())
-			row.Served[ti] = served
+			row.Convergent[ti] = float64(one) / float64(cr.Schedule.Length())
+			row.Served[ti] = cr.Served
 		}
 		rows = append(rows, row)
 	}
@@ -177,11 +199,24 @@ type Fig8Row struct {
 	Served string
 }
 
-// Fig8 reproduces Figure 8.
+// Fig8 reproduces Figure 8. As in Table2, the convergent column is
+// batch-scheduled over the engine's worker pool.
 func Fig8() ([]Fig8Row, error) {
 	m := machine.Chorus(4)
+	suite := bench.VliwSuite()
+	var jobs []engine.Job
+	for _, k := range suite {
+		jobs = append(jobs, engine.Job{
+			ID:      k.Name,
+			Graph:   k.Build(4),
+			Machine: m,
+			Opts:    robust.Options{Seed: Seed},
+		})
+	}
+	conv := convergentBatch(jobs)
+
 	var rows []Fig8Row
-	for _, k := range bench.VliwSuite() {
+	for ki, k := range suite {
 		one, err := singleClusterCycles(k, machine.SingleVLIW())
 		if err != nil {
 			return nil, err
@@ -208,15 +243,15 @@ func Fig8() ([]Fig8Row, error) {
 		}
 		row.UAS = float64(one) / float64(us.Length())
 
-		cs, served, err := convergentSchedule(k.Build(4), m)
-		if err != nil {
-			return nil, fmt.Errorf("exp: convergent %s: %w", k.Name, err)
+		cr := conv[ki]
+		if cr.Err != nil {
+			return nil, fmt.Errorf("exp: convergent %s: %w", k.Name, cr.Err)
 		}
-		if err := verifyKernel(cs, k, 4); err != nil {
+		if err := verifyKernel(cr.Schedule, k, 4); err != nil {
 			return nil, err
 		}
-		row.Conv = float64(one) / float64(cs.Length())
-		row.Served = served
+		row.Conv = float64(one) / float64(cr.Schedule.Length())
+		row.Served = cr.Served
 
 		rows = append(rows, row)
 	}

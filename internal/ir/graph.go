@@ -3,6 +3,7 @@ package ir
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Graph is a scheduling unit: a DAG of instructions connected by data
@@ -19,9 +20,10 @@ type Graph struct {
 
 	memEdges [][2]int // (from, to) ordering edges between memory ops
 
-	sealed bool
-	preds  [][]int // deduplicated data+memory predecessors
-	succs  [][]int // deduplicated data+memory successors
+	sealed   bool
+	sealOnce sync.Once
+	preds    [][]int // deduplicated data+memory predecessors
+	succs    [][]int // deduplicated data+memory successors
 }
 
 // New returns an empty graph with the given name.
@@ -109,13 +111,15 @@ func (g *Graph) AddMemEdge(from, to int) {
 // The returned slice is owned by the graph and must not be modified.
 func (g *Graph) MemEdges() [][2]int { return g.memEdges }
 
-// Seal freezes the graph and computes adjacency. It is idempotent, and every
-// analysis calls it implicitly, so explicit calls are only needed to catch
-// accidental later mutation early.
+// Seal freezes the graph and computes adjacency. It is idempotent and safe
+// to call from several goroutines at once (concurrent analyses of a shared
+// graph all start here), and every analysis calls it implicitly, so explicit
+// calls are only needed to catch accidental later mutation early.
 func (g *Graph) Seal() {
-	if g.sealed {
-		return
-	}
+	g.sealOnce.Do(g.seal)
+}
+
+func (g *Graph) seal() {
 	g.sealed = true
 	n := len(g.Instrs)
 	g.preds = make([][]int, n)

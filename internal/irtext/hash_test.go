@@ -1,0 +1,70 @@
+package irtext
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/ir"
+)
+
+// TestRoundTripPreservesCanonicalHash pins the property the schedule cache
+// relies on: a graph that goes to disk as .ddg text and comes back is the
+// same cache entry — even when the text was printed from a renumbered
+// isomorphic copy.
+func TestRoundTripPreservesCanonicalHash(t *testing.T) {
+	for _, name := range []string{"mxm", "sha", "fir"} {
+		k, ok := bench.ByName(name)
+		if !ok {
+			t.Fatalf("unknown kernel %s", name)
+		}
+		g := k.Build(4)
+		want := g.CanonicalHash()
+
+		rt, err := Parse(strings.NewReader(String(g)))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rt.CanonicalHash() != want {
+			t.Errorf("%s: canonical hash changed across Print/Parse round-trip", name)
+		}
+
+		perm := ir.RandomRenumbering(g, 7)
+		rg, err := ir.Renumber(g, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rrt, err := Parse(strings.NewReader(String(rg)))
+		if err != nil {
+			t.Fatalf("%s renumbered: %v", name, err)
+		}
+		if rrt.CanonicalHash() != want {
+			t.Errorf("%s: renumbered round-trip lost the canonical identity", name)
+		}
+	}
+}
+
+func TestParseFile(t *testing.T) {
+	k, _ := bench.ByName("vvmul")
+	g := k.Build(2)
+	g.Name = "" // force the file-name fallback
+	path := filepath.Join(t.TempDir(), "unit7.ddg")
+	if err := os.WriteFile(path, []byte(String(g)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "unit7" {
+		t.Errorf("anonymous graph named %q, want file-derived %q", got.Name, "unit7")
+	}
+	if got.CanonicalHash() != g.CanonicalHash() {
+		t.Error("ParseFile changed the graph's canonical hash")
+	}
+	if _, err := ParseFile(filepath.Join(t.TempDir(), "missing.ddg")); err == nil {
+		t.Error("missing file reported no error")
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -52,6 +54,25 @@ func String(g *ir.Graph) string {
 		panic(err)
 	}
 	return b.String()
+}
+
+// ParseFile reads a .ddg graph from a file. Graphs without a "graph" header
+// are named after the file's base name (minus the extension), so batch tools
+// can label results even for anonymous inputs.
+func ParseFile(path string) (*ir.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if g.Name == "" {
+		g.Name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	}
+	return g, nil
 }
 
 // Parse reads a .ddg graph. The returned graph is validated.

@@ -1,0 +1,40 @@
+package machine
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"repro/internal/ir"
+)
+
+// Fingerprint is a 256-bit content hash of everything about a model that can
+// influence a schedule: cluster count, functional units, mesh shape,
+// communication cost model, port budgets, the remote-memory rule, and the
+// full per-opcode latency table. Name is deliberately excluded — two models
+// that differ only in name schedule identically, and content-addressed
+// caches (internal/engine) should treat them as the same machine. Anything
+// that changes a single latency or parameter changes the fingerprint.
+func (m *Model) Fingerprint() [32]byte {
+	buf := make([]byte, 0, 16*(10+len(m.FUs))+8*ir.NumOps)
+	put := func(v int64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		buf = append(buf, b[:]...)
+	}
+	put(int64(m.NumClusters))
+	put(int64(len(m.FUs)))
+	for _, fu := range m.FUs {
+		put(int64(fu))
+	}
+	put(int64(m.MeshW))
+	put(int64(m.MeshH))
+	put(int64(m.CommBase))
+	put(int64(m.CommPerHop))
+	put(int64(m.SendPorts))
+	put(int64(m.RecvPorts))
+	put(int64(m.RemoteMemPenalty))
+	for op := 0; op < ir.NumOps; op++ {
+		put(int64(m.lat[op]))
+	}
+	return sha256.Sum256(buf)
+}

@@ -1,0 +1,47 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestFingerprintStableAndNameBlind(t *testing.T) {
+	a := Raw(16)
+	b := Raw(16)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("two identical models fingerprint differently")
+	}
+	renamed := *a
+	renamed.Name = "raw16-copy"
+	if renamed.Fingerprint() != a.Fingerprint() {
+		t.Error("renaming a model changed its fingerprint")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Chorus(4)
+	distinct := map[[32]byte]string{base.Fingerprint(): "base"}
+	check := func(label string, m *Model) {
+		fp := m.Fingerprint()
+		if prev, dup := distinct[fp]; dup {
+			t.Errorf("%s collides with %s", label, prev)
+		}
+		distinct[fp] = label
+	}
+	check("other-cluster-count", Chorus(8))
+	check("raw-of-same-size", Raw(4))
+	check("latency-change", base.WithOpLatency(ir.FMul, base.OpLatency(ir.FMul)+1))
+
+	cp := *base
+	cp.CommBase++
+	check("comm-base", &cp)
+
+	cp2 := *base
+	cp2.SendPorts++
+	check("send-ports", &cp2)
+
+	cp3 := *base
+	cp3.RemoteMemPenalty++
+	check("remote-mem-penalty", &cp3)
+}

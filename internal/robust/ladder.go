@@ -86,6 +86,21 @@ func DefaultLadder(m *machine.Model, seed int64) []Rung {
 	}
 }
 
+// DefaultLadderID returns a stable textual identity of the ladder that
+// DefaultLadder(m, seed) builds: the pass-sequence identities and seeds of
+// both convergent rungs plus the machine's baseline rung name. It is the
+// cache-key component internal/engine uses for default-ladder scheduling
+// requests, so it must change whenever DefaultLadder would walk different
+// schedulers — a new pass in the sequence, a different truncation, or a
+// different baseline all change the ID.
+func DefaultLadderID(m *machine.Model, seed int64) string {
+	seq := passes.ForMachine(m.Name)
+	return fmt.Sprintf("convergent[%s|seed=%d]>convergent-truncated[%s|seed=%d]>%s>list",
+		core.SequenceID(seq), seed,
+		core.SequenceID(TruncatedSequence(seq)), seed+1,
+		BaselineRung(m).Name)
+}
+
 // RungFor returns the single rung for a scheduler name as accepted by
 // cmd/convsched: convergent, rawcc, uas, pcc or list.
 func RungFor(m *machine.Model, scheduler string, seed int64) (Rung, error) {

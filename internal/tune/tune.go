@@ -13,13 +13,16 @@
 package tune
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/machine"
 	"repro/internal/passes"
+	"repro/internal/robust"
 )
 
 // Options configures a search.
@@ -41,6 +44,12 @@ type Options struct {
 	MinLen, MaxLen int
 	// Log, when non-nil, receives one line per accepted improvement.
 	Log func(string)
+	// Engine, when non-nil, evaluates candidates through the batch engine:
+	// the suite's kernels schedule concurrently and the content-addressed
+	// cache memoizes kernel-x-sequence evaluations across the search (hill
+	// climbing re-proposes equivalent sequences constantly). Costs are
+	// identical to the serial path.
+	Engine *engine.Engine
 }
 
 // Step records one accepted improvement.
@@ -91,13 +100,9 @@ func (o *Options) withDefaults() error {
 // Cost evaluates a sequence: the summed schedule length over the suite, or
 // an error if any label is unknown or any kernel fails to schedule.
 func Cost(m *machine.Model, kernels []bench.Kernel, labels []string, seed int64) (int, error) {
-	seq := make([]core.Pass, 0, len(labels))
-	for _, l := range labels {
-		p, ok := passes.Named(l)
-		if !ok {
-			return 0, fmt.Errorf("tune: unknown pass %q", l)
-		}
-		seq = append(seq, p)
+	seq, err := sequenceFor(labels)
+	if err != nil {
+		return 0, err
 	}
 	total := 0
 	for _, k := range kernels {
@@ -111,6 +116,51 @@ func Cost(m *machine.Model, kernels []bench.Kernel, labels []string, seed int64)
 	return total, nil
 }
 
+// CostWith evaluates a sequence through the batch engine. The single-rung
+// ladder has no fallback on purpose: a sequence that fails to schedule must
+// be an error, exactly as in Cost — silent degradation to a baseline would
+// score the fallback rung and re-label the candidate being searched.
+func CostWith(e *engine.Engine, m *machine.Model, kernels []bench.Kernel, labels []string, seed int64) (int, error) {
+	seq, err := sequenceFor(labels)
+	if err != nil {
+		return 0, err
+	}
+	jobs := make([]engine.Job, len(kernels))
+	for i, k := range kernels {
+		jobs[i] = engine.Job{
+			ID:      k.Name,
+			Graph:   k.Build(m.NumClusters),
+			Machine: m,
+			Opts: robust.Options{
+				Seed:   seed,
+				Ladder: []robust.Rung{robust.ConvergentRung("convergent", m, seq, seed)},
+			},
+			LadderID: "tune:" + core.SequenceID(seq),
+		}
+	}
+	total := 0
+	for _, r := range e.Batch(context.Background(), jobs) {
+		if r.Err != nil {
+			return 0, fmt.Errorf("tune: %s: %w", r.ID, r.Err)
+		}
+		total += r.Schedule.Length()
+	}
+	return total, nil
+}
+
+// sequenceFor resolves pass labels into the pass sequence they name.
+func sequenceFor(labels []string) ([]core.Pass, error) {
+	seq := make([]core.Pass, 0, len(labels))
+	for _, l := range labels {
+		p, ok := passes.Named(l)
+		if !ok {
+			return nil, fmt.Errorf("tune: unknown pass %q", l)
+		}
+		seq = append(seq, p)
+	}
+	return seq, nil
+}
+
 // Search runs the hill climb and returns the best sequence found.
 func Search(opt Options) (*Result, error) {
 	if err := opt.withDefaults(); err != nil {
@@ -118,9 +168,15 @@ func Search(opt Options) (*Result, error) {
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	labels := passes.AllLabels()
+	evalCost := func(labels []string) (int, error) {
+		if opt.Engine != nil {
+			return CostWith(opt.Engine, opt.Machine, opt.Kernels, labels, opt.Seed)
+		}
+		return Cost(opt.Machine, opt.Kernels, labels, opt.Seed)
+	}
 
 	cur := append([]string(nil), opt.Start...)
-	curCost, err := Cost(opt.Machine, opt.Kernels, cur, opt.Seed)
+	curCost, err := evalCost(cur)
 	if err != nil {
 		return nil, err
 	}
@@ -158,7 +214,7 @@ func Search(opt Options) (*Result, error) {
 
 	for it := 0; it < opt.Iters; it++ {
 		cand := propose()
-		cost, err := Cost(opt.Machine, opt.Kernels, cand, opt.Seed)
+		cost, err := evalCost(cand)
 		if err != nil {
 			// A sequence can be structurally fine yet fail to
 			// schedule only through a framework bug; surface it.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/engine"
 	"repro/internal/machine"
 )
 
@@ -124,5 +125,64 @@ func TestSearchLogsImprovements(t *testing.T) {
 	}
 	if len(lines) != len(res.Improvements) {
 		t.Errorf("logged %d lines for %d improvements", len(lines), len(res.Improvements))
+	}
+}
+
+func TestCostWithMatchesCost(t *testing.T) {
+	m := machine.Chorus(4)
+	ks := suite(t, "vvmul", "fir")
+	labels := []string{"INITTIME", "NOISE", "PLACE", "EMPHCP"}
+	want, err := Cost(m, ks, labels, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(2, 32)
+	got, err := CostWith(e, m, ks, labels, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("engine cost %d != serial cost %d", got, want)
+	}
+	// Re-evaluating the same sequence must come from the cache, unchanged.
+	again, err := CostWith(e, m, ks, labels, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != want {
+		t.Errorf("cached cost %d != serial cost %d", again, want)
+	}
+	if st := e.Stats(); st.Hits != uint64(len(ks)) {
+		t.Errorf("stats after re-evaluation: %+v, want %d hits", st, len(ks))
+	}
+	if _, err := CostWith(e, m, ks, []string{"WARP"}, 1); err == nil {
+		t.Error("unknown pass accepted")
+	}
+}
+
+func TestSearchWithEngineMatchesSerial(t *testing.T) {
+	m := machine.Chorus(4)
+	base := Options{
+		Machine: m,
+		Kernels: suite(t, "vvmul", "yuv"),
+		Iters:   10,
+		Seed:    3,
+	}
+	serial, err := Search(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withEngine := base
+	withEngine.Engine = engine.New(2, 256)
+	cached, err := Search(withEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.BestCost != cached.BestCost || serial.StartCost != cached.StartCost {
+		t.Errorf("engine search diverged: serial best %d start %d, engine best %d start %d",
+			serial.BestCost, serial.StartCost, cached.BestCost, cached.StartCost)
+	}
+	if strings.Join(serial.Best, ",") != strings.Join(cached.Best, ",") {
+		t.Errorf("best sequences diverged:\nserial: %v\nengine: %v", serial.Best, cached.Best)
 	}
 }
