@@ -25,6 +25,11 @@
 // and isomorphic units are scheduled once. Batch mode prints one stats line
 // per input plus a cache summary; -show other than stats and -chaos are
 // single-input features.
+//
+// With -serve-addr host:port the same inputs are scheduled by a running
+// schedd service (see cmd/schedd) instead of in-process: each unit is POSTed
+// to /schedule and the result printed in the batch format, with 429 sheds
+// retried per the server's Retry-After hint.
 package main
 
 import (
@@ -61,6 +66,7 @@ type options struct {
 	chaosSeed int64
 	jobs      int
 	cacheSize int
+	serveAddr string
 }
 
 func main() {
@@ -76,6 +82,7 @@ func main() {
 	flag.Int64Var(&o.chaosSeed, "chaos-seed", 1, "seed for the injected fault")
 	flag.IntVar(&o.jobs, "j", 0, "worker-pool width for batch scheduling (0 = GOMAXPROCS)")
 	flag.IntVar(&o.cacheSize, "cache-size", 256, "schedule-cache entries for batch scheduling (0 disables)")
+	flag.StringVar(&o.serveAddr, "serve-addr", "", "schedule via a running schedd at this address instead of locally")
 	chaosList := flag.Bool("chaos-list", false, "list chaos classes and exit")
 	flag.Parse()
 
@@ -129,6 +136,9 @@ func run(o options, args []string) error {
 	paths, err := expandInputs(args)
 	if err != nil {
 		return err
+	}
+	if o.serveAddr != "" {
+		return runRemote(o, paths)
 	}
 	if len(paths) > 1 {
 		return runBatch(o, m, paths)

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// remoteOpts is the default remote-mode flag set pointed at ts.
+func remoteOpts(ts *httptest.Server) options {
+	o := opts("vliw4", "convergent", "stats", true)
+	o.fallback = true
+	o.serveAddr = ts.URL
+	return o
+}
+
+// TestRunRemote drives convsched's client mode against an in-process schedd:
+// the batch output format, per-unit lines, and the cache tag on a repeat.
+func TestRunRemote(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{Seed: 2002}).Handler())
+	defer ts.Close()
+
+	a := writeKernel(t, "vvmul", 4)
+	b := writeKernel(t, "fir", 4)
+	out, err := capture(t, func() error {
+		return run(remoteOpts(ts), []string{a, b, a})
+	})
+	if err != nil {
+		t.Fatalf("remote run failed: %v\n%s", err, out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // three unit lines + summary
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), out)
+	}
+	for _, l := range lines[:3] {
+		if !strings.Contains(l, "cycles") || !strings.Contains(l, "served by") {
+			t.Errorf("unit line malformed: %q", l)
+		}
+	}
+	// The repeated unit is answered from the service's schedule cache.
+	if !strings.Contains(lines[2], "[cached]") {
+		t.Errorf("repeat unit not served from cache: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "remote: 3 units") {
+		t.Errorf("summary line: %q", lines[3])
+	}
+}
+
+// TestRunRemoteSheds: a rate-limited schedd sheds, the client retries per
+// Retry-After, and every unit is eventually served.
+func TestRunRemoteSheds(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{
+		Seed:       2002,
+		RatePerSec: 2,
+		Burst:      1,
+		CacheSize:  -1, // force real scheduling per request to hold tokens down
+	}).Handler())
+	defer ts.Close()
+
+	a := writeKernel(t, "vvmul", 4)
+	b := writeKernel(t, "fir", 4)
+	out, err := capture(t, func() error {
+		return run(remoteOpts(ts), []string{a, b, a})
+	})
+	if err != nil {
+		t.Fatalf("remote run under rate limit failed: %v\n%s", err, out)
+	}
+	if got := strings.Count(out, "served by"); got != 3 {
+		t.Errorf("%d of 3 units served:\n%s", got, out)
+	}
+}
+
+// TestRunRemoteErrors: remote mode rejects local-only flags and reports
+// structured per-unit failures from the service.
+func TestRunRemoteErrors(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{Seed: 2002}).Handler())
+	defer ts.Close()
+	a := writeKernel(t, "vvmul", 4)
+
+	o := remoteOpts(ts)
+	o.chaos = "pass-panic"
+	if _, err := capture(t, func() error { return run(o, []string{a}) }); err == nil {
+		t.Error("-chaos with -serve-addr should be rejected")
+	}
+
+	o = remoteOpts(ts)
+	o.show = "schedule"
+	if _, err := capture(t, func() error { return run(o, []string{a}) }); err == nil {
+		t.Error("-show schedule with -serve-addr should be rejected")
+	}
+
+	// A graph the machine cannot hold comes back as a structured error, and
+	// the run reports the unit failure without crashing.
+	o = remoteOpts(ts)
+	o.timeout = 2 * time.Second
+	bad := writeKernel(t, "vvmul", 8) // 8-cluster graph on vliw4
+	out, err := capture(t, func() error { return run(o, []string{bad}) })
+	if err == nil || !strings.Contains(err.Error(), "1 of 1 units failed") {
+		t.Errorf("bad unit: err=%v out=%s", err, out)
+	}
+}

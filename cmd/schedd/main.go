@@ -1,0 +1,154 @@
+// Command schedd runs the scheduling service: an HTTP daemon that accepts
+// dependence graphs in irtext form on POST /schedule and answers with
+// verified schedules computed through the resilient engine.
+//
+// Usage:
+//
+//	schedd -addr :8745 [-queue 64] [-rate 200] [-burst 400] [-timeout 2s]
+//	schedd -chaos pass-panic -chaos-seed 7        # resilience-testing mode
+//
+// The daemon is built for overload and partial failure, not just the happy
+// path: admission control sheds excess work with 429 + Retry-After, request
+// deadlines propagate into the scheduler and cancel doomed work, per-rung
+// circuit breakers stop paying for persistently failing schedulers, and
+// SIGTERM/SIGINT trigger a graceful drain — in-flight requests finish (up to
+// -drain), new work gets 503, and a final stats snapshot is logged before
+// exit.
+//
+// Endpoints:
+//
+//	POST /schedule?machine=raw16[&scheduler=convergent][&seed=N][&deadline=500ms]
+//	GET  /healthz   liveness  (200 while the process runs, even draining)
+//	GET  /readyz    readiness (503 when draining or the queue is full)
+//	GET  /stats     JSON counters: engine cache, admission, breakers
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/robust"
+	"repro/internal/server"
+)
+
+// options collects the daemon's flags.
+type options struct {
+	addr            string
+	queue           int
+	workers         int
+	rate            float64
+	burst           int
+	cacheSize       int
+	timeout         time.Duration
+	drain           time.Duration
+	seed            int64
+	chaos           string
+	chaosSeed       int64
+	stall           time.Duration
+	breakerFailures int
+	breakerCooldown time.Duration
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8745", "listen address")
+	flag.IntVar(&o.queue, "queue", 64, "max admitted-but-unfinished requests; beyond this, shed with 429")
+	flag.IntVar(&o.workers, "j", 0, "max concurrently scheduling requests (0 = queue bound)")
+	flag.Float64Var(&o.rate, "rate", 0, "token-bucket admission rate per second (0 = unlimited)")
+	flag.IntVar(&o.burst, "burst", 0, "token-bucket burst (0 = 2x rate)")
+	flag.IntVar(&o.cacheSize, "cache-size", 256, "schedule-cache entries (negative disables memoization)")
+	flag.DurationVar(&o.timeout, "timeout", 2*time.Second, "default per-attempt rung budget when the request sets no deadline")
+	flag.DurationVar(&o.drain, "drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+	flag.Int64Var(&o.seed, "seed", 2002, "default noise seed for the convergent scheduler")
+	flag.StringVar(&o.chaos, "chaos", "", "inject this fault class into every request's ladder (resilience testing)")
+	flag.Int64Var(&o.chaosSeed, "chaos-seed", 1, "seed for the injected fault")
+	flag.DurationVar(&o.stall, "stall", 0, "stall duration for time-based chaos classes")
+	flag.IntVar(&o.breakerFailures, "breaker-failures", 0, "consecutive rung failures before its breaker opens (0 = default)")
+	flag.DurationVar(&o.breakerCooldown, "breaker-cooldown", 0, "initial breaker cooldown before a half-open probe (0 = default)")
+	chaosList := flag.Bool("chaos-list", false, "list chaos classes and exit")
+	flag.Parse()
+
+	if *chaosList {
+		fmt.Println(strings.Join(faultinject.Classes(), "\n"))
+		return
+	}
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "schedd:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds the service, serves until a termination signal, then drains.
+func run(o options) error {
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	return serve(o, ln, sig, log.New(os.Stderr, "schedd: ", log.LstdFlags))
+}
+
+// serve runs the service on ln until stop delivers, then drains. Split from
+// run so tests can drive it with their own listener and stop channel.
+func serve(o options, ln net.Listener, stop <-chan os.Signal, logger *log.Logger) error {
+	cfg := server.Config{
+		Workers:        o.workers,
+		MaxQueue:       o.queue,
+		RatePerSec:     o.rate,
+		Burst:          o.burst,
+		CacheSize:      o.cacheSize,
+		DefaultTimeout: o.timeout,
+		Seed:           o.seed,
+		Breakers: robust.BreakerPolicy{
+			Failures: o.breakerFailures,
+			Cooldown: o.breakerCooldown,
+		},
+		Logf: logger.Printf,
+	}
+	if o.chaos != "" {
+		cfg.Chaos = &faultinject.Chaos{Class: o.chaos, Seed: o.chaosSeed, Stall: o.stall}
+		logger.Printf("chaos mode: injecting %s (seed %d) into every ladder", o.chaos, o.chaosSeed)
+	}
+	s := server.New(cfg)
+
+	hs := &http.Server{Handler: s.Handler()}
+	logger.Printf("listening on %s (queue %d, rate %.0f/s, timeout %s)",
+		ln.Addr(), o.queue, o.rate, o.timeout)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case got := <-stop:
+		logger.Printf("%s: draining (budget %s)", got, o.drain)
+	}
+
+	// Drain order matters: mark draining first so new requests get 503
+	// immediately, wait for in-flight work, then close the listener. The
+	// HTTP shutdown gets the same deadline as the drain.
+	ctx, cancel := context.WithTimeout(context.Background(), o.drain)
+	defer cancel()
+	drainErr := s.Drain(ctx)
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if drainErr != nil {
+		return fmt.Errorf("drain incomplete: %w", drainErr)
+	}
+	logger.Printf("drained cleanly")
+	return nil
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/irtext"
+)
+
+// bootServe starts serve on an ephemeral port and returns the base URL, the
+// stop channel, the exit channel and the captured log.
+func bootServe(t *testing.T, o options) (string, chan os.Signal, chan error, *bytes.Buffer) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logbuf bytes.Buffer
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- serve(o, ln, stop, log.New(&logbuf, "schedd: ", 0)) }()
+	base := "http://" + ln.Addr().String()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return base, stop, done, &logbuf
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("schedd never became healthy")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServeScheduleAndDrain boots the daemon loop with chaos active, serves a
+// request, then delivers SIGTERM and expects a clean drain with final stats.
+func TestServeScheduleAndDrain(t *testing.T) {
+	o := options{
+		queue:     8,
+		cacheSize: 256,
+		timeout:   2 * time.Second,
+		drain:     5 * time.Second,
+		seed:      2002,
+		chaos:     "pass-panic",
+		chaosSeed: 7,
+	}
+	base, stop, done, logbuf := bootServe(t, o)
+
+	k, ok := bench.ByName("vvmul")
+	if !ok {
+		t.Fatal("vvmul not registered")
+	}
+	ddg := irtext.String(k.Build(4))
+	resp, err := http.Post(base+"/schedule?machine=vliw4", "text/plain", strings.NewReader(ddg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule request: %d: %s", resp.StatusCode, body)
+	}
+	var sched struct {
+		Cycles   int  `json:"cycles"`
+		Degraded bool `json:"degraded"`
+	}
+	if err := json.Unmarshal(body, &sched); err != nil || sched.Cycles == 0 {
+		t.Fatalf("schedule body: %v: %s", err, body)
+	}
+	if !sched.Degraded {
+		t.Error("pass-panic chaos should force a degraded serve")
+	}
+
+	resp, err = http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("admission")) {
+		t.Fatalf("/stats: %d: %s", resp.StatusCode, body)
+	}
+
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited with %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not exit after SIGTERM")
+	}
+	logs := logbuf.String()
+	for _, want := range []string{"chaos mode", "final stats", "drained cleanly"} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("log missing %q:\n%s", want, logs)
+		}
+	}
+}

@@ -39,6 +39,10 @@ type Stats struct {
 	// Uncacheable counts requests that bypassed the cache (opaque custom
 	// ladders or verify memories without an identity).
 	Uncacheable uint64
+	// Detached counts singleflight waiters that gave up (their context
+	// ended) before the flight's leader finished; the leader's result was
+	// still delivered to surviving waiters.
+	Detached uint64
 	// Size and Capacity describe the cache occupancy in entries.
 	Size, Capacity int
 }
@@ -50,7 +54,7 @@ type cache struct {
 	ll    *list.List               // front = most recently used
 	items map[string]*list.Element // key -> element whose Value is *lruItem
 
-	hits, misses, shared, evictions, collisions, uncacheable uint64
+	hits, misses, shared, evictions, collisions, uncacheable, detached uint64
 }
 
 type lruItem struct {
@@ -114,6 +118,7 @@ func (c *cache) stats() Stats {
 		Evictions:   c.evictions,
 		Collisions:  c.collisions,
 		Uncacheable: c.uncacheable,
+		Detached:    c.detached,
 		Size:        c.ll.Len(),
 		Capacity:    c.cap,
 	}

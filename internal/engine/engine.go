@@ -197,7 +197,7 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 
 	var mine *schedule.Schedule
 	var myRep *robust.Report
-	ent, err, shared := e.sf.do(key, func() (entry, error) {
+	ent, err, shared, detached := e.sf.do(ctx, key, func() (entry, error) {
 		e.cache.count(&e.cache.misses)
 		s, rep, err := robust.Schedule(ctx, job.Graph, job.Machine, job.Opts)
 		myRep = rep
@@ -206,10 +206,20 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 		}
 		mine = s
 		ent := canonicalize(s, rep.Served, canon)
-		e.cache.put(key, ent)
+		// A result produced while a circuit breaker skipped a rung is
+		// load-dependent, not content-determined: it is shared with the
+		// flight's waiters but never memoized.
+		if !rep.Skipped() {
+			e.cache.put(key, ent)
+		}
 		return ent, nil
 	})
 	switch {
+	case detached:
+		// This caller was a waiter whose context ended before the leader
+		// finished; the leader's result is preserved for the others.
+		e.cache.count(&e.cache.detached)
+		res.Err, res.Shared = err, true
 	case !shared:
 		res.Schedule, res.Report, res.Err = mine, myRep, err
 		if myRep != nil {

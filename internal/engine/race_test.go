@@ -115,6 +115,61 @@ func TestConcurrentOverlappingKeys(t *testing.T) {
 	}
 }
 
+// TestStatsSnapshotDuringBatch hammers Stats from several goroutines while a
+// batch runs, meant for -race: every read must be one consistent
+// mutex-guarded snapshot, and monotone counters must never step backwards
+// across successive snapshots.
+func TestStatsSnapshotDuringBatch(t *testing.T) {
+	m := machine.Chorus(4)
+	var jobs []Job
+	for _, name := range []string{"vvmul", "fir", "yuv"} {
+		k, _ := bench.ByName(name)
+		for i := 0; i < 4; i++ {
+			jobs = append(jobs, Job{
+				ID:      fmt.Sprintf("%s/%d", name, i),
+				Graph:   k.Build(m.NumClusters),
+				Machine: m,
+				Opts:    robust.Options{Seed: 2002},
+			})
+		}
+	}
+	e := New(4, 16)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var prev Stats
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := e.Stats()
+				if st.Hits < prev.Hits || st.Misses < prev.Misses ||
+					st.Shared < prev.Shared || st.Detached < prev.Detached {
+					t.Errorf("counters stepped backwards: %+v then %+v", prev, st)
+					return
+				}
+				prev = st
+			}
+		}()
+	}
+	for _, r := range e.Batch(context.Background(), jobs) {
+		if r.Err != nil {
+			t.Error(r.Err)
+		}
+	}
+	close(stop)
+	readers.Wait()
+	st := e.Stats()
+	if st.Hits+st.Shared+st.Misses != uint64(len(jobs)) {
+		t.Errorf("hits(%d)+shared(%d)+misses(%d) != %d jobs", st.Hits, st.Shared, st.Misses, len(jobs))
+	}
+}
+
 // TestConcurrentBatches drives whole Batch calls from several goroutines at
 // once against one shared engine — the production shape when multiple
 // experiment tables share a process.

@@ -1,38 +1,53 @@
 package engine
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // flightGroup collapses concurrent computations for the same key: the first
 // caller runs fn, everyone else arriving before it finishes blocks and
 // receives the same result. This is the standard singleflight pattern,
 // inlined here because the repository deliberately has no external
-// dependencies.
+// dependencies — extended with context-aware waiting: a waiter whose context
+// ends detaches and returns the context error, while the leader keeps
+// computing and every surviving waiter still receives the leader's result.
 type flightGroup struct {
 	mu sync.Mutex
 	m  map[string]*flight
 }
 
 type flight struct {
-	wg  sync.WaitGroup
-	ent entry
-	err error
+	done chan struct{} // closed when ent/err are final
+	ent  entry
+	err  error
 }
 
-// do runs fn once per concurrent set of callers with the same key. The
-// second return reports whether this caller shared another caller's flight
-// instead of running fn itself.
-func (g *flightGroup) do(key string, fn func() (entry, error)) (ent entry, err error, shared bool) {
+// do runs fn once per concurrent set of callers with the same key. shared
+// reports whether this caller joined another caller's flight instead of
+// running fn itself; detached reports that the caller was a waiter whose ctx
+// ended first — it received ctx.Err() and the flight's eventual result was
+// not lost, the leader still publishes it to the remaining waiters.
+//
+// The leader is deliberately not interrupted by its own ctx here: fn itself
+// is context-aware (it threads ctx into the resilient driver), so
+// cancellation surfaces as fn's error, and the flight always completes and
+// unblocks every waiter.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (entry, error)) (ent entry, err error, shared, detached bool) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = make(map[string]*flight)
 	}
 	if f, ok := g.m[key]; ok {
 		g.mu.Unlock()
-		f.wg.Wait()
-		return f.ent, f.err, true
+		select {
+		case <-f.done:
+			return f.ent, f.err, true, false
+		case <-ctx.Done():
+			return entry{}, ctx.Err(), true, true
+		}
 	}
-	f := &flight{}
-	f.wg.Add(1)
+	f := &flight{done: make(chan struct{})}
 	g.m[key] = f
 	g.mu.Unlock()
 
@@ -41,6 +56,6 @@ func (g *flightGroup) do(key string, fn func() (entry, error)) (ent entry, err e
 	g.mu.Lock()
 	delete(g.m, key)
 	g.mu.Unlock()
-	f.wg.Done()
-	return f.ent, f.err, false
+	close(f.done)
+	return f.ent, f.err, false, false
 }

@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/robust"
+	"repro/internal/schedule"
+)
+
+// TestSingleflightWaiterDetaches is the regression test for the singleflight
+// leak: a waiter that gives up (its context ends) must detach promptly with
+// the context error, while the leader's eventual result still reaches every
+// surviving waiter and the cache.
+func TestSingleflightWaiterDetaches(t *testing.T) {
+	m := machine.Chorus(4)
+	k, _ := bench.ByName("vvmul")
+	g := k.Build(4)
+
+	started := make(chan struct{}) // closed when the leader's rung begins
+	release := make(chan struct{}) // closed to let the rung finish
+	var startOnce sync.Once
+	list := robust.ListRung(m)
+	slow := robust.Rung{Name: "slow-list", Run: func(gr *ir.Graph) (*schedule.Schedule, error) {
+		startOnce.Do(func() { close(started) })
+		<-release
+		return list.Run(gr)
+	}}
+	job := Job{
+		ID:       "unit",
+		Graph:    g,
+		Machine:  m,
+		Opts:     robust.Options{Ladder: []robust.Rung{slow}},
+		LadderID: "sf-test:slow-list",
+	}
+
+	e := New(4, 8)
+	type res struct{ r Result }
+	leaderCh := make(chan res, 1)
+	go func() { leaderCh <- res{e.Schedule(context.Background(), job)} }()
+	<-started // the flight for the key now exists and is blocked
+
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	defer cancelWaiter()
+	waiterCh := make(chan res, 1)
+	go func() { waiterCh <- res{e.Schedule(waiterCtx, job)} }()
+
+	survivorCh := make(chan res, 1)
+	go func() { survivorCh <- res{e.Schedule(context.Background(), job)} }()
+
+	// Give both waiters time to join the flight, then abandon one.
+	time.Sleep(100 * time.Millisecond)
+	cancelWaiter()
+
+	var waiter Result
+	select {
+	case w := <-waiterCh:
+		waiter = w.r
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter never detached from the flight (leak)")
+	}
+	if !errors.Is(waiter.Err, context.Canceled) {
+		t.Fatalf("detached waiter error = %v, want context.Canceled", waiter.Err)
+	}
+	if waiter.Schedule != nil {
+		t.Fatal("detached waiter received a schedule")
+	}
+
+	// Only now does the leader finish; the survivor must still get the
+	// result the detached waiter walked away from.
+	close(release)
+	leader := (<-leaderCh).r
+	survivor := (<-survivorCh).r
+	if leader.Err != nil {
+		t.Fatalf("leader failed: %v", leader.Err)
+	}
+	if survivor.Err != nil {
+		t.Fatalf("surviving waiter failed: %v", survivor.Err)
+	}
+	if !survivor.Shared && !survivor.CacheHit {
+		t.Errorf("survivor neither shared the flight nor hit the cache: %+v", survivor)
+	}
+	if err := survivor.Schedule.Validate(); err != nil {
+		t.Errorf("survivor schedule invalid: %v", err)
+	}
+
+	st := e.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (one leader)", st.Misses)
+	}
+	if st.Detached != 1 {
+		t.Errorf("detached = %d, want 1 (the cancelled waiter)", st.Detached)
+	}
+	// A later identical request is a plain cache hit: the result survived.
+	again := e.Schedule(context.Background(), job)
+	if again.Err != nil || !again.CacheHit {
+		t.Errorf("post-flight request: err=%v cacheHit=%v, want a clean hit", again.Err, again.CacheHit)
+	}
+}
+
+// TestBreakerSkippedResultNotMemoized: a schedule computed while a circuit
+// breaker skipped a rung is served but must not enter the cache — the next
+// request (breaker closed again) must recompute at full quality.
+func TestBreakerSkippedResultNotMemoized(t *testing.T) {
+	m := machine.Chorus(4)
+	k, _ := bench.ByName("fir")
+	g := k.Build(4)
+
+	br := robust.NewBreakerSet(robust.BreakerPolicy{Failures: 1, Cooldown: time.Hour})
+	fail := robust.Rung{Name: "primary", Run: func(gr *ir.Graph) (*schedule.Schedule, error) {
+		return nil, errors.New("injected failure")
+	}}
+	job := Job{
+		ID:      "unit",
+		Graph:   g,
+		Machine: m,
+		Opts: robust.Options{
+			Ladder:       []robust.Rung{fail, robust.ListRung(m)},
+			Breakers:     br,
+			BreakerScope: "test",
+		},
+		LadderID: "breaker-test:fail-list",
+	}
+
+	e := New(1, 8)
+	// First request trips the primary's breaker (Failures: 1) and serves
+	// from the list rung; nothing was skipped yet, so it may be cached.
+	first := e.Schedule(context.Background(), job)
+	if first.Err != nil {
+		t.Fatalf("first request: %v", first.Err)
+	}
+	if first.Report == nil || first.Report.Skipped() {
+		t.Fatalf("first request should have attempted the primary: %+v", first.Report)
+	}
+
+	// Second request with a fresh engine cache state: use a distinct engine
+	// so the first result is not already memoized, then check the skipped
+	// result is not stored.
+	e2 := New(1, 8)
+	second := e2.Schedule(context.Background(), job)
+	if second.Err != nil {
+		t.Fatalf("second request: %v", second.Err)
+	}
+	if second.Report == nil || !second.Report.Skipped() {
+		t.Fatalf("second request should have been breaker-skipped: report %+v", second.Report)
+	}
+	st := e2.Stats()
+	if st.Size != 0 {
+		t.Errorf("breaker-skipped result was memoized (cache size %d)", st.Size)
+	}
+	third := e2.Schedule(context.Background(), job)
+	if third.CacheHit {
+		t.Error("third request hit the cache; skipped results must not be served from it")
+	}
+}

@@ -1,0 +1,159 @@
+package robust_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/robust"
+	"repro/internal/schedule"
+)
+
+// countingLadder returns a single-rung ladder that counts invocations.
+func countingLadder(m *machine.Model, ran *atomic.Int64) []robust.Rung {
+	list := robust.ListRung(m)
+	return []robust.Rung{{
+		Name: "counted",
+		Run: func(g *ir.Graph) (*schedule.Schedule, error) {
+			ran.Add(1)
+			return list.Run(g)
+		},
+	}}
+}
+
+// TestExpiredContextRunsNoRung: a context that is already over must produce
+// a deadline SchedError immediately, without any rung running — not even
+// being spawned and abandoned.
+func TestExpiredContextRunsNoRung(t *testing.T) {
+	k := mustKernel(t, "vvmul")
+	m := machine.Chorus(4)
+	g := k.Build(4)
+
+	for name, ctx := range map[string]context.Context{
+		"deadline-exceeded": func() context.Context {
+			ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+			t.Cleanup(cancel)
+			return ctx
+		}(),
+		"cancelled": func() context.Context {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			return ctx
+		}(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			var ran atomic.Int64
+			s, rep, err := robust.Schedule(ctx, g, m, robust.Options{
+				Ladder: countingLadder(m, &ran),
+			})
+			if s != nil {
+				t.Fatal("expired context produced a schedule")
+			}
+			if err == nil {
+				t.Fatal("expired context produced no error")
+			}
+			var serr *robust.SchedError
+			if !errors.As(err, &serr) {
+				t.Fatalf("error %v (%T) is not a *SchedError", err, err)
+			}
+			if serr.Stage != robust.StageDeadline {
+				t.Errorf("stage = %s, want %s", serr.Stage, robust.StageDeadline)
+			}
+			if !errors.Is(err, ctx.Err()) {
+				t.Errorf("error %v does not wrap the context error %v", err, ctx.Err())
+			}
+			if n := ran.Load(); n != 0 {
+				t.Errorf("rung ran %d times under an expired context", n)
+			}
+			if len(rep.Attempts) != 0 {
+				t.Errorf("report records %d attempts, want none", len(rep.Attempts))
+			}
+		})
+	}
+}
+
+// TestExpiredContextWithDefaultLadder: same contract via the default ladder
+// (the path a service request takes), and it must return fast — at memory
+// speed, not scheduler speed.
+func TestExpiredContextWithDefaultLadder(t *testing.T) {
+	k := mustKernel(t, "fir")
+	m := machine.Raw(4)
+	g := k.Build(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	t0 := time.Now()
+	_, _, err := robust.Schedule(ctx, g, m, robust.Options{Seed: 2002, Verify: true})
+	if d := time.Since(t0); d > 100*time.Millisecond {
+		t.Errorf("expired-context rejection took %v, want immediate", d)
+	}
+	var serr *robust.SchedError
+	if !errors.As(err, &serr) || serr.Stage != robust.StageDeadline {
+		t.Fatalf("err = %v, want a deadline SchedError", err)
+	}
+}
+
+// TestBreakerSkipsPersistentlyFailingRung: after enough consecutive
+// failures the failing rung is skipped (StageBreaker attempt, no budget
+// paid) and the ladder falls through to the next rung immediately.
+func TestBreakerSkipsPersistentlyFailingRung(t *testing.T) {
+	k := mustKernel(t, "vvmul")
+	m := machine.Chorus(4)
+	g := k.Build(4)
+
+	var primaryRuns atomic.Int64
+	ladder := func() []robust.Rung {
+		return []robust.Rung{
+			{Name: "flaky", Run: func(gr *ir.Graph) (*schedule.Schedule, error) {
+				primaryRuns.Add(1)
+				panic("injected: flaky rung down")
+			}},
+			robust.ListRung(m),
+		}
+	}
+	br := robust.NewBreakerSet(robust.BreakerPolicy{Failures: 2, Cooldown: time.Minute})
+	opts := robust.Options{Ladder: ladder(), Breakers: br, BreakerScope: "mach"}
+
+	// First two requests pay for the flaky rung and trip its breaker.
+	for i := 0; i < 2; i++ {
+		s, rep, err := robust.Schedule(context.Background(), g, m, opts)
+		if err != nil {
+			t.Fatalf("request %d: %v\n%s", i, err, rep)
+		}
+		if s == nil || rep.Served != "list" {
+			t.Fatalf("request %d served by %q, want list", i, rep.Served)
+		}
+	}
+	if n := primaryRuns.Load(); n != 2 {
+		t.Fatalf("flaky rung ran %d times, want 2", n)
+	}
+
+	// Third request: breaker open, flaky rung is skipped without running.
+	s, rep, err := robust.Schedule(context.Background(), g, m, opts)
+	if err != nil {
+		t.Fatalf("breaker-skip request: %v\n%s", err, rep)
+	}
+	if n := primaryRuns.Load(); n != 2 {
+		t.Fatalf("flaky rung ran again (%d) despite an open breaker", n)
+	}
+	if rep.Served != "list" {
+		t.Fatalf("served by %q, want list", rep.Served)
+	}
+	if len(rep.Attempts) != 2 || rep.Attempts[0].Err == nil ||
+		rep.Attempts[0].Err.Stage != robust.StageBreaker {
+		t.Fatalf("first attempt = %+v, want a StageBreaker skip\n%s", rep.Attempts[0], rep)
+	}
+	if !rep.Skipped() {
+		t.Error("report with a breaker skip does not say Skipped()")
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("served schedule invalid: %v", err)
+	}
+	// The skip must be free: no measurable duration was charged.
+	if d := rep.Attempts[0].Duration; d > time.Millisecond {
+		t.Errorf("breaker skip charged %v of budget", d)
+	}
+}

@@ -47,6 +47,10 @@ const (
 	// StageVerify means simulation of the candidate diverged from
 	// sequential reference execution.
 	StageVerify Stage = "verify"
+	// StageBreaker means the rung was skipped without running because its
+	// circuit breaker was open (see Options.Breakers). The rung paid no
+	// time budget.
+	StageBreaker Stage = "breaker"
 )
 
 // SchedError is the structured failure of one scheduling attempt.
@@ -65,9 +69,11 @@ type SchedError struct {
 
 // Error renders the failure with its rung and stage.
 func (e *SchedError) Error() string {
-	switch e.Stage {
-	case StagePanic:
+	switch {
+	case e.Stage == StagePanic:
 		return fmt.Sprintf("robust: rung %s panicked: %v", e.Rung, e.PanicValue)
+	case e.Rung == "":
+		return fmt.Sprintf("robust: failed at %s before any rung ran: %v", e.Stage, e.Err)
 	default:
 		return fmt.Sprintf("robust: rung %s failed at %s: %v", e.Rung, e.Stage, e.Err)
 	}
@@ -105,6 +111,17 @@ type Options struct {
 	Ladder []Rung
 	// Seed seeds the convergent rungs of the default ladder.
 	Seed int64
+	// Breakers, when non-nil, guards every rung with a circuit breaker: a
+	// rung whose breaker is open is skipped without paying its time budget
+	// (the attempt is recorded with StageBreaker), and every attempted
+	// rung's outcome feeds its breaker. Attempts abandoned because the
+	// caller's context ended are not charged against the rung.
+	Breakers *BreakerSet
+	// BreakerScope partitions the breaker population — a served scheduler
+	// uses the target machine's fingerprint so a rung failing on one
+	// machine shape is not skipped on another. Empty means one breaker per
+	// rung name.
+	BreakerScope string
 }
 
 // Attempt records one rung's outcome.
@@ -136,6 +153,18 @@ func (r *Report) Failed() []*SchedError {
 		}
 	}
 	return out
+}
+
+// Skipped reports whether any rung was bypassed by an open circuit breaker.
+// A skipped report is load-dependent, not content-determined, so schedule
+// caches (internal/engine) must not memoize its result.
+func (r *Report) Skipped() bool {
+	for _, a := range r.Attempts {
+		if a.Err != nil && a.Err.Stage == StageBreaker {
+			return true
+		}
+	}
+	return false
 }
 
 // String renders the report one attempt per line.
@@ -266,15 +295,46 @@ func Schedule(ctx context.Context, g *ir.Graph, m *machine.Model, opt Options) (
 	if len(ladder) == 0 {
 		return nil, rep, fmt.Errorf("robust: empty ladder")
 	}
+	// A context that is already over gets a deadline SchedError without any
+	// rung running: no clone, no goroutine, no budget. This is what lets a
+	// server shed a queue of expired requests at memory speed.
+	if err := ctx.Err(); err != nil {
+		serr := &SchedError{Stage: StageDeadline, Err: err}
+		return nil, rep, serr
+	}
 	g.Seal()
 	var last *SchedError
 	for _, r := range ladder {
+		if ctx.Err() != nil {
+			break
+		}
+		key := breakerKey(r.Name, opt.BreakerScope)
+		if opt.Breakers != nil && !opt.Breakers.Allow(key) {
+			serr := &SchedError{Rung: r.Name, Stage: StageBreaker,
+				Err: fmt.Errorf("circuit open for %q, rung skipped", key)}
+			rep.Attempts = append(rep.Attempts, Attempt{Rung: r.Name, Err: serr})
+			last = serr
+			continue
+		}
 		t0 := time.Now()
 		cand, serr := attempt(ctx, r, g, opt.Timeout)
 		if serr == nil {
 			cand, serr = gate(r.Name, cand, g, m, opt)
 		}
 		rep.Attempts = append(rep.Attempts, Attempt{Rung: r.Name, Duration: time.Since(t0), Err: serr})
+		if opt.Breakers != nil {
+			switch {
+			case serr == nil:
+				opt.Breakers.Record(key, true)
+			case ctx.Err() != nil:
+				// The caller's deadline ended the attempt; that says
+				// nothing about the rung, so hand back any probe slot
+				// without charging a failure.
+				opt.Breakers.Cancel(key)
+			default:
+				opt.Breakers.Record(key, false)
+			}
+		}
 		if serr == nil {
 			rep.Served = r.Name
 			return cand, rep, nil
@@ -298,6 +358,11 @@ func Schedule(ctx context.Context, g *ir.Graph, m *machine.Model, opt Options) (
 			cand, serr = gate(r.Name, cand, g, m, opt)
 		}
 		rep.Attempts = append(rep.Attempts, Attempt{Rung: r.Name, Duration: time.Since(t0), Err: serr})
+		// The rescue attempt bypasses Allow — it is the serve-at-any-cost
+		// path — but its outcome still teaches the breaker.
+		if opt.Breakers != nil && (serr == nil || ctx.Err() == nil) {
+			opt.Breakers.Record(breakerKey(r.Name, opt.BreakerScope), serr == nil)
+		}
 		if serr == nil {
 			rep.Served = r.Name
 			return cand, rep, nil

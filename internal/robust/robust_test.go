@@ -328,8 +328,10 @@ func TestCancelledContextStopsLadder(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Errorf("error %v does not wrap context.Canceled", err)
 	}
-	if len(rep.Attempts) != 1 {
-		t.Errorf("%d attempts after cancellation, want 1 (ladder must stop)", len(rep.Attempts))
+	// Since the deadline-propagation hardening, an already-cancelled
+	// context is rejected up front: no rung runs, not even once.
+	if len(rep.Attempts) != 0 {
+		t.Errorf("%d attempts after cancellation, want 0 (no rung may run)", len(rep.Attempts))
 	}
 }
 

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// tokenBucket is a classic token-bucket rate limiter: tokens refill at Rate
+// per second up to Burst, and each admitted request spends one. It reports
+// how long a rejected caller should wait before retrying, which becomes the
+// Retry-After header of a 429.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 disables the limiter
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	b := &tokenBucket{rate: rate, burst: float64(burst), now: now}
+	b.tokens = b.burst
+	b.last = now()
+	return b
+}
+
+// take spends one token if available; otherwise it reports how long until
+// one accrues.
+func (b *tokenBucket) take() (ok bool, retryAfter time.Duration) {
+	if b == nil || b.rate <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.tokens = math.Min(b.burst, b.tokens+b.rate*now.Sub(b.last).Seconds())
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}
+
+// admission bounds how much work the server holds at once: a token bucket
+// smooths the arrival rate, and a bounded queue caps requests that are
+// admitted but not yet finished (waiting + running). Anything beyond either
+// bound is shed explicitly with 429 + Retry-After instead of growing an
+// unbounded backlog, so overload degrades service quality, never process
+// health.
+type admission struct {
+	bucket *tokenBucket
+	queue  chan struct{} // one slot per admitted-but-unfinished request
+	work   chan struct{} // one slot per actively scheduling request
+
+	mu         sync.Mutex
+	accepted   uint64 // requests admitted past both bounds
+	shedQueue  uint64 // rejected: queue full
+	shedRate   uint64 // rejected: token bucket empty
+	timeouts   uint64 // admitted but expired before or during scheduling
+	completed  uint64 // finished with a schedule
+	failed     uint64 // finished with a scheduling error
+	totalWait  time.Duration
+	totalTotal time.Duration
+	maxTotal   time.Duration
+}
+
+func newAdmission(maxQueue, workers int, rate float64, burst int, now func() time.Time) *admission {
+	if maxQueue < 1 {
+		maxQueue = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > maxQueue {
+		workers = maxQueue
+	}
+	return &admission{
+		bucket: newTokenBucket(rate, burst, now),
+		queue:  make(chan struct{}, maxQueue),
+		work:   make(chan struct{}, workers),
+	}
+}
+
+// depth is how many admitted requests are currently held (waiting + running).
+func (a *admission) depth() int { return len(a.queue) }
+
+// capacity is the queue bound.
+func (a *admission) capacity() int { return cap(a.queue) }
+
+// admit applies the rate limiter and the queue bound without blocking. On
+// rejection it returns the Retry-After hint; on admission the caller owns a
+// queue slot and must call release.
+func (a *admission) admit() (ok bool, retryAfter time.Duration) {
+	if ok, retry := a.bucket.take(); !ok {
+		a.count(&a.shedRate)
+		return false, retry
+	}
+	select {
+	case a.queue <- struct{}{}:
+		a.count(&a.accepted)
+		return true, 0
+	default:
+		a.count(&a.shedQueue)
+		// The queue is full of in-flight work; suggest retrying after a
+		// typical request's span rather than immediately.
+		return false, time.Second
+	}
+}
+
+// release frees the queue slot taken by admit.
+func (a *admission) release() { <-a.queue }
+
+// acquireWorker blocks until a worker slot frees or done closes. It returns
+// false when done won.
+func (a *admission) acquireWorker(done <-chan struct{}) bool {
+	select {
+	case a.work <- struct{}{}:
+		return true
+	case <-done:
+		return false
+	}
+}
+
+// releaseWorker frees the slot taken by acquireWorker.
+func (a *admission) releaseWorker() { <-a.work }
+
+func (a *admission) count(c *uint64) {
+	a.mu.Lock()
+	*c++
+	a.mu.Unlock()
+}
+
+// observe records one finished request's wait-for-worker and total spans.
+func (a *admission) observe(wait, total time.Duration, failed bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if failed {
+		a.failed++
+	} else {
+		a.completed++
+	}
+	a.totalWait += wait
+	a.totalTotal += total
+	if total > a.maxTotal {
+		a.maxTotal = total
+	}
+}
+
+// AdmissionStats is a point-in-time snapshot of the admission counters.
+type AdmissionStats struct {
+	// Accepted counts requests admitted past rate limiter and queue bound.
+	Accepted uint64 `json:"accepted"`
+	// ShedQueue and ShedRate count 429s by cause.
+	ShedQueue uint64 `json:"shedQueue"`
+	ShedRate  uint64 `json:"shedRate"`
+	// Timeouts counts admitted requests that hit their deadline.
+	Timeouts uint64 `json:"timeouts"`
+	// Completed and Failed count finished requests by outcome.
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	// QueueDepth and QueueCapacity describe the bounded queue right now.
+	QueueDepth    int `json:"queueDepth"`
+	QueueCapacity int `json:"queueCapacity"`
+	// MeanWaitMs is the mean time admitted requests spent waiting for a
+	// worker slot; MeanTotalMs and MaxTotalMs cover admission to response.
+	MeanWaitMs  float64 `json:"meanWaitMs"`
+	MeanTotalMs float64 `json:"meanTotalMs"`
+	MaxTotalMs  float64 `json:"maxTotalMs"`
+}
+
+func (a *admission) stats() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := AdmissionStats{
+		Accepted:      a.accepted,
+		ShedQueue:     a.shedQueue,
+		ShedRate:      a.shedRate,
+		Timeouts:      a.timeouts,
+		Completed:     a.completed,
+		Failed:        a.failed,
+		QueueDepth:    len(a.queue),
+		QueueCapacity: cap(a.queue),
+	}
+	if n := a.completed + a.failed; n > 0 {
+		st.MeanWaitMs = float64(a.totalWait.Milliseconds()) / float64(n)
+		st.MeanTotalMs = float64(a.totalTotal.Milliseconds()) / float64(n)
+	}
+	st.MaxTotalMs = float64(a.maxTotal.Milliseconds())
+	return st
+}

@@ -1,0 +1,650 @@
+// Package server is the hardened scheduling service behind cmd/schedd: an
+// HTTP/JSON daemon that accepts dependence-graph units in irtext (.ddg) form
+// and returns verified schedules computed by the batch engine
+// (internal/engine) over the resilient driver (internal/robust).
+//
+// The robustness layer is the point of the package:
+//
+//   - Admission control: a token bucket smooths arrivals and a bounded queue
+//     caps admitted-but-unfinished work; anything beyond either bound is shed
+//     with 429 + Retry-After, so overload degrades instead of collapsing.
+//   - Deadline propagation: the request context (plus an optional per-request
+//     deadline) travels end-to-end — queued requests stop waiting, in-flight
+//     ladder rungs are abandoned, and singleflight waiters detach — and an
+//     already-expired deadline is rejected before any scheduler runs.
+//   - Per-rung circuit breakers: each ladder rung is guarded per machine
+//     fingerprint (robust.BreakerSet), so a rung persistently failing for a
+//     machine shape is skipped without paying its time budget each request.
+//   - Graceful drain: StartDrain stops admitting new work (503), Drain waits
+//     for in-flight requests up to a deadline, and the final stats snapshot
+//     is flushed through Config.Logf.
+//   - Panic containment: a recovery middleware converts any handler crash
+//     into a structured JSON error, so no 500 is ever a raw panic.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/faultinject"
+	"repro/internal/irtext"
+	"repro/internal/machine"
+	"repro/internal/robust"
+)
+
+// Config configures a Server. The zero value of every field selects a
+// sensible production default.
+type Config struct {
+	// Workers caps concurrently scheduling requests. Default GOMAXPROCS
+	// (via engine semantics: 0 lets newAdmission clamp to MaxQueue).
+	Workers int
+	// MaxQueue caps admitted-but-unfinished requests (waiting + running).
+	// Default 64.
+	MaxQueue int
+	// RatePerSec is the token-bucket refill rate; 0 disables rate limiting.
+	RatePerSec float64
+	// Burst is the token-bucket size. Default 2×RatePerSec (min 1).
+	Burst int
+	// CacheSize is the engine's schedule-cache bound. Default 256; negative
+	// disables memoization.
+	CacheSize int
+	// DefaultTimeout is the per-attempt rung budget when the request does
+	// not set one. Default 2s.
+	DefaultTimeout time.Duration
+	// MaxBodyBytes caps the request body. Default 1 MiB.
+	MaxBodyBytes int64
+	// Breakers overrides the per-rung breaker policy. Zero means defaults.
+	Breakers robust.BreakerPolicy
+	// Chaos, when non-nil, injects the configured fault class into every
+	// request's ladder — the resilience-testing mode behind schedd -chaos.
+	Chaos *faultinject.Chaos
+	// Seed is the default noise seed when the request does not set one.
+	Seed int64
+	// Logf receives operational log lines (drain progress, flushed stats).
+	// Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Server is the scheduling service. Create one with New; its Handler is safe
+// for concurrent use.
+type Server struct {
+	cfg      Config
+	engine   *engine.Engine
+	breakers *robust.BreakerSet
+	adm      *admission
+	mux      *http.ServeMux
+	start    time.Time
+
+	draining atomic.Bool
+	inflight inflightGauge
+	panics   atomic.Uint64
+
+	mu       sync.Mutex
+	machines map[string]machineEntry // name -> model + breaker scope
+}
+
+type machineEntry struct {
+	model *machine.Model
+	scope string
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = cfg.MaxQueue
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = int(math.Max(1, 2*cfg.RatePerSec))
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 256
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 2 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		cfg:      cfg,
+		engine:   engine.New(0, cfg.CacheSize),
+		breakers: robust.NewBreakerSet(cfg.Breakers),
+		adm:      newAdmission(cfg.MaxQueue, cfg.Workers, cfg.RatePerSec, cfg.Burst, time.Now),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		machines: make(map[string]machineEntry),
+	}
+	s.mux.HandleFunc("/schedule", s.handleSchedule)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the service's HTTP handler, wrapped in the panic-recovery
+// middleware.
+func (s *Server) Handler() http.Handler { return s.recoverer(s.mux) }
+
+// inflightGauge counts requests currently inside handleSchedule so a drain
+// can wait for them. sync.WaitGroup is the wrong tool here: it forbids Add
+// concurrent with Wait once the counter can touch zero, and that is exactly
+// our traffic pattern — requests keep arriving during a drain just to be
+// told 503. The zero value is ready to use.
+type inflightGauge struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+func (g *inflightGauge) enter() {
+	g.mu.Lock()
+	if g.cond == nil {
+		g.cond = sync.NewCond(&g.mu)
+	}
+	g.n++
+	g.mu.Unlock()
+}
+
+func (g *inflightGauge) exit() {
+	g.mu.Lock()
+	g.n--
+	if g.n == 0 {
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// waitZero blocks until no request is in flight. A request entering after
+// the gauge hits zero is the drain-flag check's problem, not ours.
+func (g *inflightGauge) waitZero() {
+	g.mu.Lock()
+	if g.cond == nil {
+		g.cond = sync.NewCond(&g.mu)
+	}
+	for g.n > 0 {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// errorJSON is the structured error body every non-200 carries.
+type errorJSON struct {
+	// Kind classifies the failure: bad-request, shed, draining, deadline,
+	// sched-failed, panic.
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+	// Rung and Stage carry the resilient driver's failure site for
+	// sched-failed and deadline errors.
+	Rung  string `json:"rung,omitempty"`
+	Stage string `json:"stage,omitempty"`
+	// Attempts is the driver's per-rung report, when one exists.
+	Attempts []attemptJSON `json:"attempts,omitempty"`
+}
+
+type errorBody struct {
+	Error errorJSON `json:"error"`
+}
+
+// attemptJSON is one ladder attempt in a response.
+type attemptJSON struct {
+	Rung  string  `json:"rung"`
+	Ms    float64 `json:"ms"`
+	Stage string  `json:"stage,omitempty"`
+	Error string  `json:"error,omitempty"`
+}
+
+// placementJSON is one instruction's placement in a 200 body.
+type placementJSON struct {
+	Cluster int `json:"cluster"`
+	FU      int `json:"fu"`
+	Start   int `json:"start"`
+	Latency int `json:"latency"`
+}
+
+// commJSON is one inter-cluster value move in a 200 body.
+type commJSON struct {
+	Value  int `json:"value"`
+	From   int `json:"from"`
+	To     int `json:"to"`
+	Depart int `json:"depart"`
+	Arrive int `json:"arrive"`
+}
+
+// scheduleResponse is the 200 body: enough to reconstruct and re-validate
+// the full schedule client-side (placements are indexed by instruction id).
+type scheduleResponse struct {
+	Graph      string          `json:"graph"`
+	Machine    string          `json:"machine"`
+	Served     string          `json:"served"`
+	Cycles     int             `json:"cycles"`
+	Comms      int             `json:"comms"`
+	Placements []placementJSON `json:"placements"`
+	CommList   []commJSON      `json:"commList,omitempty"`
+	CacheHit   bool            `json:"cacheHit,omitempty"`
+	Shared     bool            `json:"shared,omitempty"`
+	Degraded   bool            `json:"degraded,omitempty"`
+	Attempts   []attemptJSON   `json:"attempts,omitempty"`
+	ElapsedMs  float64         `json:"elapsedMs"`
+}
+
+// StatsResponse is the /stats body and the snapshot flushed on drain.
+type StatsResponse struct {
+	UptimeSec float64              `json:"uptimeSec"`
+	Draining  bool                 `json:"draining"`
+	Panics    uint64               `json:"panics"`
+	Engine    engine.Stats         `json:"engine"`
+	Admission AdmissionStats       `json:"admission"`
+	Breakers  []robust.BreakerStat `json:"breakers"`
+}
+
+// StatsSnapshot returns the service counters as served by /stats.
+func (s *Server) StatsSnapshot() StatsResponse {
+	return StatsResponse{
+		UptimeSec: time.Since(s.start).Seconds(),
+		Draining:  s.draining.Load(),
+		Panics:    s.panics.Load(),
+		Engine:    s.engine.Stats(),
+		Admission: s.adm.stats(),
+		Breakers:  s.breakers.Snapshot(),
+	}
+}
+
+// writeJSON writes v with status code; encoding problems fall back to a
+// plain 500 (they indicate a server bug, not a request problem).
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, e errorJSON) {
+	writeJSON(w, code, errorBody{Error: e})
+}
+
+// recoverer converts a panicking handler into a structured 500 so that no
+// response is ever a raw panic trace. Panics below the handler (inside a
+// scheduler) are already contained by internal/robust; this is the last
+// line of defense for the service's own code.
+func (s *Server) recoverer(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tw := &trackingWriter{ResponseWriter: w}
+		defer func() {
+			if v := recover(); v != nil {
+				s.panics.Add(1)
+				s.cfg.Logf("schedd: panic serving %s: %v\n%s", r.URL.Path, v, debug.Stack())
+				if !tw.wrote {
+					writeError(tw, http.StatusInternalServerError, errorJSON{
+						Kind:    "panic",
+						Message: fmt.Sprintf("internal panic: %v", v),
+					})
+				}
+			}
+		}()
+		next.ServeHTTP(tw, r)
+	})
+}
+
+// trackingWriter remembers whether a response has started, so the recovery
+// middleware knows if it may still write a structured error.
+type trackingWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (t *trackingWriter) WriteHeader(code int) {
+	t.wrote = true
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *trackingWriter) Write(p []byte) (int, error) {
+	t.wrote = true
+	return t.ResponseWriter.Write(p)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Liveness: the process is up, even while draining.
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case s.adm.depth() >= s.adm.capacity():
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "queue full", http.StatusServiceUnavailable)
+	default:
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ready")
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsSnapshot())
+}
+
+// machineFor resolves and caches a machine model and its breaker scope (the
+// fingerprint, hex-encoded) by name.
+func (s *Server) machineFor(name string) (machineEntry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ent, ok := s.machines[name]; ok {
+		return ent, nil
+	}
+	m, err := machine.Named(name)
+	if err != nil {
+		return machineEntry{}, err
+	}
+	fp := m.Fingerprint()
+	ent := machineEntry{model: m, scope: fmt.Sprintf("%x", fp[:8])}
+	s.machines[name] = ent
+	return ent, nil
+}
+
+// scheduleRequest is everything parsed out of one /schedule call.
+type scheduleRequest struct {
+	mach      machineEntry
+	scheduler string
+	seed      int64
+	verify    bool
+	fallback  bool
+	timeout   time.Duration // per-attempt rung budget
+	deadline  time.Duration // whole-request budget (0 = client's own)
+}
+
+// parseRequest validates the query parameters of a /schedule call.
+func (s *Server) parseRequest(r *http.Request) (scheduleRequest, error) {
+	q := r.URL.Query()
+	req := scheduleRequest{
+		scheduler: "convergent",
+		seed:      s.cfg.Seed,
+		verify:    true,
+		fallback:  true,
+		timeout:   s.cfg.DefaultTimeout,
+	}
+	name := q.Get("machine")
+	if name == "" {
+		name = "raw16"
+	}
+	ent, err := s.machineFor(name)
+	if err != nil {
+		return req, err
+	}
+	req.mach = ent
+	if v := q.Get("scheduler"); v != "" {
+		req.scheduler = v
+	}
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return req, fmt.Errorf("bad seed %q: %w", v, err)
+		}
+		req.seed = seed
+	}
+	parseBool := func(key string, into *bool) error {
+		if v := q.Get(key); v != "" {
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				return fmt.Errorf("bad %s %q: %w", key, v, err)
+			}
+			*into = b
+		}
+		return nil
+	}
+	if err := parseBool("verify", &req.verify); err != nil {
+		return req, err
+	}
+	if err := parseBool("fallback", &req.fallback); err != nil {
+		return req, err
+	}
+	if v := q.Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			return req, fmt.Errorf("bad timeout %q", v)
+		}
+		req.timeout = d
+	}
+	deadline := q.Get("deadline")
+	if deadline == "" {
+		deadline = r.Header.Get("X-Schedd-Deadline")
+	}
+	if deadline != "" {
+		d, err := time.ParseDuration(deadline)
+		if err != nil || d <= 0 {
+			return req, fmt.Errorf("bad deadline %q", deadline)
+		}
+		req.deadline = d
+	}
+	return req, nil
+}
+
+// ladderFor builds the request's ladder and its cache identity, mirroring
+// cmd/convsched. Under Config.Chaos every request gets the chaos-poisoned
+// default ladder — the resilience mode.
+func (s *Server) ladderFor(req scheduleRequest) (ladder []robust.Rung, ladderID string, err error) {
+	if s.cfg.Chaos != nil {
+		if ladder, err = s.cfg.Chaos.Ladder(req.mach.model, req.seed); err != nil {
+			return nil, "", err
+		}
+		return ladder, fmt.Sprintf("chaos:%s:%d:seed=%d", s.cfg.Chaos.Class, s.cfg.Chaos.Seed, req.seed), nil
+	}
+	switch {
+	case req.fallback && req.scheduler == "convergent":
+		// Nil ladder: the driver walks DefaultLadder and the engine derives
+		// the cache identity itself.
+		return nil, "", nil
+	case req.fallback:
+		l, err := robust.LadderFor(req.mach.model, req.scheduler, req.seed)
+		if err != nil {
+			return nil, "", err
+		}
+		return l, fmt.Sprintf("fallback:%s:seed=%d", req.scheduler, req.seed), nil
+	default:
+		r, err := robust.RungFor(req.mach.model, req.scheduler, req.seed)
+		if err != nil {
+			return nil, "", err
+		}
+		return []robust.Rung{r}, fmt.Sprintf("rung:%s:seed=%d", req.scheduler, req.seed), nil
+	}
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errorJSON{
+			Kind: "bad-request", Message: "POST a .ddg body to /schedule",
+		})
+		return
+	}
+	// Count ourselves in-flight before re-checking the drain flag: either
+	// the drain sees us and waits, or we see the drain and bail.
+	s.inflight.enter()
+	defer s.inflight.exit()
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, errorJSON{
+			Kind: "draining", Message: "server is draining; retry against another instance",
+		})
+		return
+	}
+
+	// Admission: rate limit, then the bounded queue. Shed explicitly.
+	ok, retry := s.adm.admit()
+	if !ok {
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retry.Seconds()))))
+		writeError(w, http.StatusTooManyRequests, errorJSON{
+			Kind: "shed", Message: "overloaded, request shed by admission control",
+		})
+		return
+	}
+	defer s.adm.release()
+	t0 := time.Now()
+
+	req, err := s.parseRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errorJSON{Kind: "bad-request", Message: err.Error()})
+		return
+	}
+	g, err := irtext.Parse(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errorJSON{Kind: "bad-request", Message: err.Error()})
+		return
+	}
+	if g.Name == "" {
+		g.Name = "anonymous"
+	}
+
+	// Deadline propagation: the request context already ends when the
+	// client disconnects; an explicit deadline tightens it. Everything
+	// below — queue wait, ladder rungs, singleflight waits — sees this ctx.
+	ctx := r.Context()
+	if req.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, req.deadline)
+		defer cancel()
+	}
+
+	if !s.adm.acquireWorker(ctx.Done()) {
+		s.adm.count(&s.adm.timeouts)
+		writeError(w, http.StatusGatewayTimeout, errorJSON{
+			Kind:    "deadline",
+			Message: fmt.Sprintf("deadline expired waiting for a worker slot: %v", ctx.Err()),
+		})
+		return
+	}
+	wait := time.Since(t0)
+	defer s.adm.releaseWorker()
+
+	ladder, ladderID, err := s.ladderFor(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errorJSON{Kind: "bad-request", Message: err.Error()})
+		return
+	}
+	res := s.engine.Schedule(ctx, engine.Job{
+		ID:      g.Name,
+		Graph:   g,
+		Machine: req.mach.model,
+		Opts: robust.Options{
+			Timeout:      req.timeout,
+			Verify:       req.verify,
+			Ladder:       ladder,
+			Seed:         req.seed,
+			Breakers:     s.breakers,
+			BreakerScope: req.mach.scope,
+		},
+		LadderID: ladderID,
+	})
+	total := time.Since(t0)
+	s.adm.observe(wait, total, res.Err != nil)
+
+	if res.Err != nil {
+		s.writeScheduleError(w, ctx, res)
+		return
+	}
+	writeJSON(w, http.StatusOK, buildResponse(req.mach.model.Name, g.Name, res, total))
+}
+
+// writeScheduleError maps an engine failure onto a status code and a
+// structured body.
+func (s *Server) writeScheduleError(w http.ResponseWriter, ctx context.Context, res engine.Result) {
+	e := errorJSON{Kind: "sched-failed", Message: res.Err.Error()}
+	var serr *robust.SchedError
+	if errors.As(res.Err, &serr) {
+		e.Rung, e.Stage = serr.Rung, string(serr.Stage)
+	}
+	if res.Report != nil {
+		e.Attempts = attemptsJSON(res.Report)
+	}
+	code := http.StatusInternalServerError
+	if ctx.Err() != nil || (serr != nil && serr.Stage == robust.StageDeadline) {
+		s.adm.count(&s.adm.timeouts)
+		e.Kind = "deadline"
+		code = http.StatusGatewayTimeout
+	}
+	writeError(w, code, e)
+}
+
+func attemptsJSON(rep *robust.Report) []attemptJSON {
+	out := make([]attemptJSON, 0, len(rep.Attempts))
+	for _, a := range rep.Attempts {
+		aj := attemptJSON{Rung: a.Rung, Ms: float64(a.Duration.Microseconds()) / 1000}
+		if a.Err != nil {
+			aj.Stage = string(a.Err.Stage)
+			aj.Error = a.Err.Error()
+		}
+		out = append(out, aj)
+	}
+	return out
+}
+
+func buildResponse(machineName, graphName string, res engine.Result, total time.Duration) scheduleResponse {
+	resp := scheduleResponse{
+		Graph:     graphName,
+		Machine:   machineName,
+		Served:    res.Served,
+		Cycles:    res.Schedule.Length(),
+		Comms:     res.Schedule.CommCount(),
+		CacheHit:  res.CacheHit,
+		Shared:    res.Shared,
+		ElapsedMs: float64(total.Microseconds()) / 1000,
+	}
+	resp.Placements = make([]placementJSON, len(res.Schedule.Placements))
+	for i, p := range res.Schedule.Placements {
+		resp.Placements[i] = placementJSON{Cluster: p.Cluster, FU: p.FU, Start: p.Start, Latency: p.Latency}
+	}
+	for _, c := range res.Schedule.Comms {
+		resp.CommList = append(resp.CommList, commJSON{Value: c.Value, From: c.From, To: c.To, Depart: c.Depart, Arrive: c.Arrive})
+	}
+	if res.Report != nil {
+		resp.Attempts = attemptsJSON(res.Report)
+		resp.Degraded = len(res.Report.Failed()) > 0
+	}
+	return resp
+}
+
+// StartDrain flips the server into draining mode: /readyz goes 503 and new
+// /schedule requests are rejected. Idempotent.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Drain performs the graceful-shutdown sequence: stop admitting, wait for
+// every in-flight request to finish (bounded by ctx), and flush a final
+// stats snapshot through Config.Logf. It returns ctx's error if in-flight
+// work outlived the drain deadline.
+func (s *Server) Drain(ctx context.Context) error {
+	s.StartDrain()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.waitZero()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = fmt.Errorf("schedd: drain deadline expired with requests still in flight: %w", ctx.Err())
+	}
+	snap, merr := json.Marshal(s.StatsSnapshot())
+	if merr == nil {
+		s.cfg.Logf("schedd: final stats %s", snap)
+	}
+	return err
+}
