@@ -26,6 +26,11 @@
 // per input plus a cache summary; -show other than stats and -chaos are
 // single-input features.
 //
+// With -store-dir the batch cache persists across invocations: recovered
+// schedules are replayed through the legality gate at startup (corrupt or
+// stale records are dropped, never served) and this run's schedules are
+// appended on the way out, so re-running a large batch is mostly warm hits.
+//
 // With -serve-addr host:port the same inputs are scheduled by a running
 // schedd service (see cmd/schedd) instead of in-process: each unit is POSTed
 // to /schedule and the result printed in the batch format, with 429 sheds
@@ -67,6 +72,7 @@ type options struct {
 	jobs      int
 	cacheSize int
 	serveAddr string
+	storeDir  string
 }
 
 func main() {
@@ -83,6 +89,7 @@ func main() {
 	flag.IntVar(&o.jobs, "j", 0, "worker-pool width for batch scheduling (0 = GOMAXPROCS)")
 	flag.IntVar(&o.cacheSize, "cache-size", 256, "schedule-cache entries for batch scheduling (0 disables)")
 	flag.StringVar(&o.serveAddr, "serve-addr", "", "schedule via a running schedd at this address instead of locally")
+	flag.StringVar(&o.storeDir, "store-dir", "", "persist the batch schedule cache in this directory and warm-start from it")
 	chaosList := flag.Bool("chaos-list", false, "list chaos classes and exit")
 	flag.Parse()
 
@@ -136,6 +143,23 @@ func run(o options, args []string) error {
 	paths, err := expandInputs(args)
 	if err != nil {
 		return err
+	}
+	if o.storeDir != "" {
+		// The store memoizes batch results across invocations; the other
+		// modes have no cache to persist.
+		if o.serveAddr != "" {
+			return fmt.Errorf("-store-dir is local; with -serve-addr, persistence belongs to the schedd (its -store-dir)")
+		}
+		if len(paths) <= 1 {
+			return fmt.Errorf("-store-dir is a batch-mode feature; give several inputs")
+		}
+		if o.cacheSize <= 0 {
+			return fmt.Errorf("-store-dir requires a positive -cache-size, got %d", o.cacheSize)
+		}
+		parent := filepath.Dir(filepath.Clean(o.storeDir))
+		if st, err := os.Stat(parent); err != nil || !st.IsDir() {
+			return fmt.Errorf("-store-dir parent %s does not exist", parent)
+		}
 	}
 	if o.serveAddr != "" {
 		return runRemote(o, paths)
@@ -255,6 +279,24 @@ func runBatch(o options, m *machine.Model, paths []string) error {
 	}
 
 	e := engine.New(o.jobs, o.cacheSize)
+	if o.storeDir != "" {
+		// Cross-run memoization: recover last run's schedules through the
+		// legality gate before scheduling, persist this run's on the way out.
+		if err := e.AttachStore(engine.PersistConfig{Dir: o.storeDir}); err != nil {
+			return fmt.Errorf("store %s: %w", o.storeDir, err)
+		}
+		rs, err := e.RecoverStore()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "convsched: store recovery: %v (continuing with partial warm cache)\n", err)
+		}
+		fmt.Fprintf(os.Stderr, "convsched: store %s: replayed %d, dropped %d corrupt, %d illegal, %d skewed (%d torn tails)\n",
+			o.storeDir, rs.Replayed, rs.DroppedCorrupt, rs.DroppedIllegal, rs.DroppedSkewed, rs.TruncatedTails)
+		defer func() {
+			if err := e.CloseStore(); err != nil {
+				fmt.Fprintf(os.Stderr, "convsched: store close: %v\n", err)
+			}
+		}()
+	}
 	failed := 0
 	for _, r := range e.Batch(context.Background(), jobs) {
 		if r.Err != nil {
@@ -273,9 +315,23 @@ func runBatch(o options, m *machine.Model, paths []string) error {
 			r.ID, r.Schedule.Length(), r.Schedule.CommCount(), r.Served,
 			r.Elapsed.Round(time.Millisecond), tag)
 	}
+	if o.storeDir != "" {
+		// Flush before the summary so the store line reports what actually
+		// reached the WAL; CloseStore (deferred) syncs the rest.
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := e.FlushStore(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "convsched: store flush: %v\n", err)
+		}
+		cancel()
+	}
 	st := e.Stats()
 	fmt.Printf("batch: %d units on %s, %d workers; cache: %d hits, %d misses, %d shared, %d evictions\n",
 		len(jobs), m.Name, e.Workers(len(jobs)), st.Hits, st.Misses, st.Shared, st.Evictions)
+	if o.storeDir != "" {
+		p := st.Persist
+		fmt.Printf("store: %d recovered, %d flushed, %d dropped (queue full), %d live entries\n",
+			p.Recovery.Replayed, p.Flushed, p.Backpressure, p.Store.LiveEntries)
+	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d units failed", failed, len(jobs))
 	}

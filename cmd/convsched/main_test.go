@@ -262,3 +262,67 @@ func TestFallbackLadderHealthy(t *testing.T) {
 		t.Errorf("healthy run should have exactly one attempt:\n%s", out)
 	}
 }
+
+// TestBatchStoreCrossRunReuse runs the same batch twice against one
+// -store-dir: the second invocation must recover the first run's schedules
+// and serve them as warm hits.
+func TestBatchStoreCrossRunReuse(t *testing.T) {
+	inputs := t.TempDir()
+	for _, name := range []string{"vvmul", "fir"} {
+		k, _ := bench.ByName(name)
+		f, err := os.Create(filepath.Join(inputs, name+".ddg"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := irtext.Print(f, k.Build(4)); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	o := opts("vliw4", "convergent", "stats", true)
+	o.cacheSize = 16
+	o.storeDir = filepath.Join(t.TempDir(), "store")
+
+	out, err := capture(t, func() error { return run(o, []string{inputs}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "store: 0 recovered, 2 flushed") {
+		t.Errorf("first run store summary wrong:\n%s", out)
+	}
+
+	out, err = capture(t, func() error { return run(o, []string{inputs}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "store: 2 recovered") {
+		t.Errorf("second run recovered nothing:\n%s", out)
+	}
+	if !strings.Contains(out, "2 hits") {
+		t.Errorf("second run not served warm:\n%s", out)
+	}
+}
+
+func TestStoreFlagErrors(t *testing.T) {
+	path := writeKernel(t, "vvmul", 4)
+	dir := filepath.Dir(path)
+	base := opts("vliw4", "convergent", "stats", true)
+	base.cacheSize = 16
+	cases := []struct {
+		name string
+		mut  func(*options)
+		args []string
+	}{
+		{"single input", func(o *options) { o.storeDir = t.TempDir() }, []string{path}},
+		{"with serve-addr", func(o *options) { o.storeDir = t.TempDir(); o.serveAddr = "127.0.0.1:1" }, []string{path, dir}},
+		{"cache disabled", func(o *options) { o.storeDir = t.TempDir(); o.cacheSize = 0 }, []string{path, dir}},
+		{"missing parent", func(o *options) { o.storeDir = filepath.Join(t.TempDir(), "no", "such", "store") }, []string{path, dir}},
+	}
+	for _, c := range cases {
+		o := base
+		c.mut(&o)
+		if _, err := capture(t, func() error { return run(o, c.args) }); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	schedd -addr :8745 [-queue 64] [-rate 200] [-burst 400] [-timeout 2s]
+//	schedd -store-dir /var/lib/schedd             # crash-safe warm restarts
 //	schedd -chaos pass-panic -chaos-seed 7        # resilience-testing mode
 //
 // The daemon is built for overload and partial failure, not just the happy
@@ -15,11 +16,18 @@
 // -drain), new work gets 503, and a final stats snapshot is logged before
 // exit.
 //
+// With -store-dir the schedule cache is backed by a crash-safe persistent
+// store (internal/store): accepted schedules are mirrored to a CRC-framed
+// WAL behind the serving path, and a restarted daemon replays them through
+// the legality gate to come up with a warm cache. /readyz answers 503
+// "starting" until the replay completes; recovery counters appear in
+// /stats under engine.Persist.
+//
 // Endpoints:
 //
 //	POST /schedule?machine=raw16[&scheduler=convergent][&seed=N][&deadline=500ms]
 //	GET  /healthz   liveness  (200 while the process runs, even draining)
-//	GET  /readyz    readiness (503 when draining or the queue is full)
+//	GET  /readyz    readiness (503 while starting, draining, or queue-full)
 //	GET  /stats     JSON counters: engine cache, admission, breakers
 package main
 
@@ -33,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -58,6 +67,12 @@ type options struct {
 	stall           time.Duration
 	breakerFailures int
 	breakerCooldown time.Duration
+
+	storeDir           string
+	storeEntries       int
+	storeSnapshotEvery int
+	storeQueue         int
+	storeNoSync        bool
 }
 
 func main() {
@@ -76,6 +91,11 @@ func main() {
 	flag.DurationVar(&o.stall, "stall", 0, "stall duration for time-based chaos classes")
 	flag.IntVar(&o.breakerFailures, "breaker-failures", 0, "consecutive rung failures before its breaker opens (0 = default)")
 	flag.DurationVar(&o.breakerCooldown, "breaker-cooldown", 0, "initial breaker cooldown before a half-open probe (0 = default)")
+	flag.StringVar(&o.storeDir, "store-dir", "", "persist the schedule cache in this directory and warm-restart from it")
+	flag.IntVar(&o.storeEntries, "store-entries", 8192, "max entries retained in the persistent store")
+	flag.IntVar(&o.storeSnapshotEvery, "store-snapshot-every", 1024, "WAL appends between snapshot compactions")
+	flag.IntVar(&o.storeQueue, "store-queue", 256, "write-behind flush queue length (full queue drops entries, counted)")
+	flag.BoolVar(&o.storeNoSync, "store-nosync", false, "skip store fsyncs (crash-unsafe; benchmarking only)")
 	chaosList := flag.Bool("chaos-list", false, "list chaos classes and exit")
 	flag.Parse()
 
@@ -89,8 +109,39 @@ func main() {
 	}
 }
 
+// validateStoreFlags rejects store configurations that could only fail
+// later, before the listener is up: non-positive sizes, a store directory
+// whose parent does not exist (a typo, not a fresh deployment), and a store
+// without memoization to persist. A second daemon on the same -store-dir is
+// caught at open time by the store's lockfile.
+func validateStoreFlags(o options) error {
+	if o.storeDir == "" {
+		return nil
+	}
+	if o.cacheSize < 0 {
+		return errors.New("-store-dir requires memoization; it cannot be combined with a negative -cache-size")
+	}
+	if o.storeEntries <= 0 {
+		return fmt.Errorf("-store-entries must be positive, got %d", o.storeEntries)
+	}
+	if o.storeSnapshotEvery <= 0 {
+		return fmt.Errorf("-store-snapshot-every must be positive, got %d", o.storeSnapshotEvery)
+	}
+	if o.storeQueue <= 0 {
+		return fmt.Errorf("-store-queue must be positive, got %d", o.storeQueue)
+	}
+	parent := filepath.Dir(filepath.Clean(o.storeDir))
+	if st, err := os.Stat(parent); err != nil || !st.IsDir() {
+		return fmt.Errorf("-store-dir parent %s does not exist", parent)
+	}
+	return nil
+}
+
 // run builds the service, serves until a termination signal, then drains.
 func run(o options) error {
+	if err := validateStoreFlags(o); err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
@@ -115,13 +166,28 @@ func serve(o options, ln net.Listener, stop <-chan os.Signal, logger *log.Logger
 			Failures: o.breakerFailures,
 			Cooldown: o.breakerCooldown,
 		},
-		Logf: logger.Printf,
+		StoreDir:           o.storeDir,
+		StoreQueueLen:      o.storeQueue,
+		StoreSnapshotEvery: o.storeSnapshotEvery,
+		StoreMaxEntries:    o.storeEntries,
+		StoreNoFsync:       o.storeNoSync,
+		Logf:               logger.Printf,
 	}
 	if o.chaos != "" {
 		cfg.Chaos = &faultinject.Chaos{Class: o.chaos, Seed: o.chaosSeed, Stall: o.stall}
 		logger.Printf("chaos mode: injecting %s (seed %d) into every ladder", o.chaos, o.chaosSeed)
 	}
 	s := server.New(cfg)
+	// Open before announcing the listener: a held lockfile (another daemon on
+	// the same -store-dir) or an unusable directory is a refusal to start,
+	// while the recovery replay itself runs behind /readyz.
+	if err := s.OpenStore(); err != nil {
+		return fmt.Errorf("store %s: %w", o.storeDir, err)
+	}
+	if o.storeDir != "" {
+		logger.Printf("persistent store at %s (entries %d, snapshot every %d); recovering",
+			o.storeDir, o.storeEntries, o.storeSnapshotEvery)
+	}
 
 	hs := &http.Server{Handler: s.Handler()}
 	logger.Printf("listening on %s (queue %d, rate %.0f/s, timeout %s)",

@@ -112,3 +112,144 @@ func TestServeScheduleAndDrain(t *testing.T) {
 		}
 	}
 }
+
+func TestValidateStoreFlags(t *testing.T) {
+	dir := t.TempDir()
+	good := options{storeDir: dir, storeEntries: 8192, storeSnapshotEvery: 1024, storeQueue: 256, cacheSize: 256}
+	if err := validateStoreFlags(good); err != nil {
+		t.Fatalf("valid store flags rejected: %v", err)
+	}
+	if err := validateStoreFlags(options{}); err != nil {
+		t.Fatalf("no-store options rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*options)
+	}{
+		{"negative cache", func(o *options) { o.cacheSize = -1 }},
+		{"zero entries", func(o *options) { o.storeEntries = 0 }},
+		{"negative entries", func(o *options) { o.storeEntries = -4 }},
+		{"zero snapshot interval", func(o *options) { o.storeSnapshotEvery = 0 }},
+		{"zero queue", func(o *options) { o.storeQueue = 0 }},
+		{"missing parent", func(o *options) { o.storeDir = dir + "/no/such/parent/store" }},
+	}
+	for _, c := range cases {
+		o := good
+		c.mut(&o)
+		if err := validateStoreFlags(o); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// TestStoreDuplicateDirRefused: a second daemon on the same -store-dir must
+// refuse to start (lockfile), leaving the first untouched.
+func TestStoreDuplicateDirRefused(t *testing.T) {
+	dir := t.TempDir()
+	o := options{
+		queue: 8, cacheSize: 256, timeout: 2 * time.Second, drain: 5 * time.Second,
+		seed: 2002, storeDir: dir, storeEntries: 64, storeSnapshotEvery: 16, storeQueue: 16,
+		storeNoSync: true,
+	}
+	base, stop, done, _ := bootServe(t, o)
+
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logbuf bytes.Buffer
+	err = serve(o, ln2, make(chan os.Signal, 1), log.New(&logbuf, "schedd: ", 0))
+	ln2.Close()
+	if err == nil || !strings.Contains(err.Error(), "in use") {
+		t.Fatalf("second daemon on %s started (err %v)", dir, err)
+	}
+
+	// The first daemon is unharmed and still ready.
+	resp, rerr := http.Get(base + "/readyz")
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first daemon lost readiness: %d", resp.StatusCode)
+	}
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited with %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not exit after SIGTERM")
+	}
+}
+
+// TestServeStoreWarmRestart drives the daemon loop end to end: populate,
+// SIGTERM (drain flushes the store), boot a successor on the same directory,
+// and require a warm hit.
+func TestServeStoreWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	o := options{
+		queue: 8, cacheSize: 256, timeout: 2 * time.Second, drain: 5 * time.Second,
+		seed: 2002, storeDir: dir, storeEntries: 64, storeSnapshotEvery: 16, storeQueue: 16,
+		storeNoSync: true,
+	}
+	k, ok := bench.ByName("vvmul")
+	if !ok {
+		t.Fatal("vvmul not registered")
+	}
+	ddg := irtext.String(k.Build(4))
+
+	base, stop, done, _ := bootServe(t, o)
+	resp, err := http.Post(base+"/schedule?machine=raw4", "text/plain", strings.NewReader(ddg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("populate: %d", resp.StatusCode)
+	}
+	stop <- syscall.SIGTERM
+	if err := <-done; err != nil {
+		t.Fatalf("first daemon: %v", err)
+	}
+
+	base2, stop2, done2, logbuf := bootServe(t, o)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, err := http.Get(base2 + "/readyz")
+		if err == nil {
+			r.Body.Close()
+			if r.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("restarted daemon never became ready")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, err = http.Post(base2+"/schedule?machine=raw4", "text/plain", strings.NewReader(ddg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var sched struct {
+		CacheHit bool `json:"cacheHit"`
+	}
+	if err := json.Unmarshal(body, &sched); err != nil {
+		t.Fatalf("schedule body: %v: %s", err, body)
+	}
+	if !sched.CacheHit {
+		t.Errorf("restarted daemon missed the cache: %s", body)
+	}
+	if !strings.Contains(logbuf.String(), "store recovery: replayed=1") {
+		t.Errorf("recovery line missing from logs:\n%s", logbuf.String())
+	}
+	stop2 <- syscall.SIGTERM
+	if err := <-done2; err != nil {
+		t.Fatalf("second daemon: %v", err)
+	}
+}

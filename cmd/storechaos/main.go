@@ -1,0 +1,56 @@
+// Command storechaos corrupts a recorded schedule-store directory the way
+// crashes and bit rot do, deterministically under a seed. It exists for
+// crash-recovery testing: populate a store (schedd -store-dir or convsched
+// -store-dir), kill the writer, run storechaos against the directory, and
+// the restarted process must come up ready and serve only legal schedules.
+//
+// Usage:
+//
+//	storechaos -dir /var/lib/schedd -class disk-bitflip [-seed 1]
+//	storechaos -list
+//
+// Classes: disk-torn-write (shear the WAL tail), disk-truncate (cut a WAL at
+// a random offset), disk-bitflip (flip one bit in a WAL or snapshot),
+// disk-stale-snapshot (delete the newest snapshot). The online-only classes
+// (disk-enospc, disk-fsync-fail) are listed but refused here; they inject at
+// the store's filesystem seam instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/faultinject"
+)
+
+func main() {
+	dir := flag.String("dir", "", "store directory to corrupt")
+	class := flag.String("class", "", "disk chaos class to apply (see -list)")
+	seed := flag.Int64("seed", 1, "seed for offset and bit choices")
+	list := flag.Bool("list", false, "list disk chaos classes and exit")
+	flag.Parse()
+
+	if err := run(*dir, *class, *seed, *list, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "storechaos:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir, class string, seed int64, list bool, out io.Writer) error {
+	if list {
+		fmt.Fprintln(out, strings.Join(faultinject.DiskClasses(), "\n"))
+		return nil
+	}
+	if dir == "" || class == "" {
+		return fmt.Errorf("-dir and -class are required (see -list)")
+	}
+	desc, err := faultinject.CorruptStore(dir, class, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, desc)
+	return nil
+}

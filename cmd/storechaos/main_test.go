@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/schedule"
+	"repro/internal/store"
+)
+
+func TestListPrintsEveryClass(t *testing.T) {
+	var out bytes.Buffer
+	if err := run("", "", 0, true, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range faultinject.DiskClasses() {
+		if !strings.Contains(out.String(), c) {
+			t.Errorf("-list output missing %s:\n%s", c, out.String())
+		}
+	}
+}
+
+func TestRequiredFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run("", "", 0, false, &out); err == nil {
+		t.Fatal("missing -dir/-class accepted")
+	}
+	if err := run(t.TempDir(), "disk-nonsense", 0, false, &out); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+func TestCorruptsARecordedStore(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(store.Options{Dir: dir, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Recover(nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		key := make([]byte, 32)
+		copy(key, fmt.Sprintf("key-%026d", i))
+		if err := s.Append(&store.Record{
+			Key: key, Machine: "raw4", Graph: []byte("g"),
+			Placements: []schedule.Placement{{Start: i, Latency: 1}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run(dir, faultinject.DiskBitFlip, 7, false, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "flipped bit") {
+		t.Fatalf("no corruption report:\n%s", out.String())
+	}
+}

@@ -45,6 +45,11 @@ type Stats struct {
 	Detached uint64
 	// Size and Capacity describe the cache occupancy in entries.
 	Size, Capacity int
+	// Persist carries the persistent-store counters (write-behind flush
+	// queue, recovery outcome, store IO) when a store is attached; see
+	// engine.PersistStats. It is captured in the same Stats call as the
+	// cache counters so one snapshot describes one moment.
+	Persist PersistStats
 }
 
 // cache is a mutex-guarded LRU over canonical schedule entries.
@@ -108,6 +113,9 @@ func (c *cache) count(counter *uint64) {
 	c.mu.Unlock()
 }
 
+// stats snapshots every counter and the occupancy under one lock
+// acquisition, so the returned numbers are mutually consistent — a reader
+// never sees, say, an eviction that its hit/miss counters predate.
 func (c *cache) stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -95,6 +95,10 @@ type Engine struct {
 	workers int
 	cache   *cache
 	sf      flightGroup
+	// persist, when non-nil, mirrors accepted cache entries into a
+	// crash-safe store (see persist.go). Set by AttachStore before the
+	// engine is used concurrently.
+	persist *persister
 }
 
 // New returns an engine with the given worker-pool width and cache bound.
@@ -104,12 +108,20 @@ func New(workers, cacheEntries int) *Engine {
 	return &Engine{workers: workers, cache: newCache(cacheEntries)}
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the engine counters. The cache counters are
+// captured atomically — one lock acquisition covers every counter plus the
+// occupancy — so hits, misses, and evictions in one snapshot are mutually
+// consistent; the persistence counters (flush queue depth included) are
+// captured in the same call under the persister's lock.
 func (e *Engine) Stats() Stats {
 	if e.cache == nil {
 		return Stats{}
 	}
-	return e.cache.stats()
+	st := e.cache.stats()
+	if e.persist != nil {
+		st.Persist = e.persist.stats()
+	}
+	return st
 }
 
 // Workers returns the worker-pool width a batch of n jobs would use.
@@ -208,9 +220,10 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 		ent := canonicalize(s, rep.Served, canon)
 		// A result produced while a circuit breaker skipped a rung is
 		// load-dependent, not content-determined: it is shared with the
-		// flight's waiters but never memoized.
+		// flight's waiters but never memoized (nor persisted).
 		if !rep.Skipped() {
 			e.cache.put(key, ent)
+			e.enqueuePersist(key, ent, job.Graph, job.Machine)
 		}
 		return ent, nil
 	})

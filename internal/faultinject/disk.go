@@ -1,0 +1,282 @@
+package faultinject
+
+// Disk chaos for the persistent schedule store (internal/store): an
+// io-level fault-injecting filesystem for online failures (torn writes,
+// silent bit flips, ENOSPC, fsync refusal) and an offline corruptor that
+// mangles a recorded store directory the way crashes and bit rot do
+// (truncation, torn tails, flipped bits, stale snapshots). Both are seeded
+// and deterministic, like every other injector in this package.
+
+import (
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+
+	"repro/internal/store"
+)
+
+// Disk chaos classes.
+const (
+	// DiskTornWrite makes one WAL append write only half its bytes (online)
+	// or shears a few bytes off a recorded WAL's tail (offline) — the
+	// classic crash-mid-append.
+	DiskTornWrite = "disk-torn-write"
+	// DiskTruncate cuts a recorded data file at a random offset (offline).
+	DiskTruncate = "disk-truncate"
+	// DiskBitFlip flips one bit: silently during a write (online) or in a
+	// recorded file (offline). CRC framing must catch it at recovery.
+	DiskBitFlip = "disk-bitflip"
+	// DiskENOSPC makes every write fail with ENOSPC after a budget of
+	// successful ones (online).
+	DiskENOSPC = "disk-enospc"
+	// DiskFsyncFail makes every fsync fail (online): written data may
+	// survive, but durability can never be confirmed.
+	DiskFsyncFail = "disk-fsync-fail"
+	// DiskStaleSnapshot deletes the newest snapshot so recovery must fall
+	// back to an older snapshot beside a divergent WAL (offline).
+	DiskStaleSnapshot = "disk-stale-snapshot"
+)
+
+// DiskClasses lists every disk chaos class, in a stable order.
+func DiskClasses() []string {
+	return []string{
+		DiskTornWrite, DiskTruncate, DiskBitFlip,
+		DiskENOSPC, DiskFsyncFail, DiskStaleSnapshot,
+	}
+}
+
+// OfflineDiskClasses lists the classes CorruptStore can apply to a recorded
+// store directory (the rest only exist as live IO faults).
+func OfflineDiskClasses() []string {
+	return []string{DiskTornWrite, DiskTruncate, DiskBitFlip, DiskStaleSnapshot}
+}
+
+// DiskChaos is a store.FS that injects one fault class into the data-file
+// IO of the store it is given to. The zero After means the fault arms after
+// 4 successful writes; Seed drives every random choice.
+type DiskChaos struct {
+	// Inner is the wrapped filesystem; nil means the real one.
+	Inner store.FS
+	// Class is the fault class, one of DiskClasses.
+	Class string
+	// Seed drives offsets and bit choices deterministically.
+	Seed int64
+	// After is how many data-file writes succeed before the fault fires.
+	After int
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	writes int
+	fired  bool
+}
+
+func (d *DiskChaos) inner() store.FS {
+	if d.Inner == nil {
+		return store.OSFS{}
+	}
+	return d.Inner
+}
+
+func (d *DiskChaos) threshold() int {
+	if d.After > 0 {
+		return d.After
+	}
+	return 4
+}
+
+func (d *DiskChaos) rand() *rand.Rand {
+	if d.rng == nil {
+		d.rng = rand.New(rand.NewSource(d.Seed))
+	}
+	return d.rng
+}
+
+// OpenFile wraps writable data files with the fault; reads and the lockfile
+// pass through untouched.
+func (d *DiskChaos) OpenFile(name string, flag int, perm fs.FileMode) (store.File, error) {
+	f, err := d.inner().OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	if flag&(os.O_WRONLY|os.O_RDWR) == 0 {
+		return f, nil
+	}
+	return &chaosFile{File: f, d: d}, nil
+}
+
+// Rename passes through.
+func (d *DiskChaos) Rename(oldpath, newpath string) error { return d.inner().Rename(oldpath, newpath) }
+
+// Remove passes through.
+func (d *DiskChaos) Remove(name string) error { return d.inner().Remove(name) }
+
+// ReadDir passes through.
+func (d *DiskChaos) ReadDir(name string) ([]fs.DirEntry, error) { return d.inner().ReadDir(name) }
+
+// MkdirAll passes through.
+func (d *DiskChaos) MkdirAll(name string, perm fs.FileMode) error {
+	return d.inner().MkdirAll(name, perm)
+}
+
+// SyncDir refuses under DiskFsyncFail, else passes through.
+func (d *DiskChaos) SyncDir(name string) error {
+	if d.Class == DiskFsyncFail {
+		return fmt.Errorf("faultinject: injected directory fsync failure")
+	}
+	return d.inner().SyncDir(name)
+}
+
+// chaosFile applies the online fault classes to one writable file.
+type chaosFile struct {
+	store.File
+	d *DiskChaos
+}
+
+func (c *chaosFile) Write(p []byte) (int, error) {
+	d := c.d
+	d.mu.Lock()
+	d.writes++
+	due := d.writes > d.threshold()
+	switch d.Class {
+	case DiskTornWrite:
+		// One-shot: the fault is a single crash-shaped event.
+		if due && !d.fired {
+			d.fired = true
+			n := len(p) / 2
+			d.mu.Unlock()
+			if n > 0 {
+				c.File.Write(p[:n])
+			}
+			return n, fmt.Errorf("faultinject: injected torn write after %d bytes", n)
+		}
+	case DiskENOSPC:
+		if due {
+			d.mu.Unlock()
+			return 0, syscall.ENOSPC
+		}
+	case DiskBitFlip:
+		// One-shot silent corruption: the write "succeeds" with one bit
+		// flipped somewhere in the payload.
+		if due && !d.fired && len(p) > 0 {
+			d.fired = true
+			rng := d.rand()
+			off, bit := rng.Intn(len(p)), uint(rng.Intn(8))
+			d.mu.Unlock()
+			q := make([]byte, len(p))
+			copy(q, p)
+			q[off] ^= 1 << bit
+			return c.File.Write(q)
+		}
+	}
+	d.mu.Unlock()
+	return c.File.Write(p)
+}
+
+func (c *chaosFile) Sync() error {
+	if c.d.Class == DiskFsyncFail {
+		return fmt.Errorf("faultinject: injected fsync failure")
+	}
+	return c.File.Sync()
+}
+
+// CorruptStore applies one offline disk chaos class to a recorded store
+// directory, deterministically under seed, and describes what it did. It is
+// the tool behind cmd/storechaos and the crash-recovery suites: corrupt a
+// store a SIGKILLed daemon left behind, restart, and the daemon must come
+// up ready and serve only legal schedules.
+func CorruptStore(dir, class string, seed int64) (string, error) {
+	rng := rand.New(rand.NewSource(seed))
+	wals, snaps, err := storeDataFiles(dir)
+	if err != nil {
+		return "", err
+	}
+	switch class {
+	case DiskTornWrite, DiskTruncate:
+		if len(wals) == 0 {
+			return "", fmt.Errorf("faultinject: no WAL in %s to corrupt", dir)
+		}
+		name := wals[len(wals)-1]
+		path := filepath.Join(dir, name)
+		st, err := os.Stat(path)
+		if err != nil {
+			return "", err
+		}
+		size := st.Size()
+		var cut int64
+		if class == DiskTornWrite {
+			// Shear a small tail off, as a crash mid-append would.
+			cut = size - (1 + rng.Int63n(32))
+		} else {
+			cut = rng.Int63n(size + 1)
+		}
+		if cut < 0 {
+			cut = 0
+		}
+		if err := os.Truncate(path, cut); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s: truncated %s from %d to %d bytes", class, name, size, cut), nil
+	case DiskBitFlip:
+		files := append(append([]string{}, wals...), snaps...)
+		if len(files) == 0 {
+			return "", fmt.Errorf("faultinject: no data files in %s to corrupt", dir)
+		}
+		name := files[rng.Intn(len(files))]
+		path := filepath.Join(dir, name)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return "", err
+		}
+		if len(b) == 0 {
+			return fmt.Sprintf("%s: %s is empty, nothing to flip", class, name), nil
+		}
+		off, bit := rng.Intn(len(b)), uint(rng.Intn(8))
+		b[off] ^= 1 << bit
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s: flipped bit %d of byte %d in %s", class, bit, off, name), nil
+	case DiskStaleSnapshot:
+		if len(snaps) == 0 {
+			// No snapshot to stale: shear the WAL instead so the class
+			// still perturbs something on lightly-loaded stores.
+			return CorruptStore(dir, DiskTornWrite, seed)
+		}
+		name := snaps[len(snaps)-1]
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s: removed newest snapshot %s (WAL left divergent)", class, name), nil
+	case DiskENOSPC, DiskFsyncFail:
+		return "", fmt.Errorf("faultinject: %s is an online-only class (use DiskChaos as the store FS)", class)
+	default:
+		return "", fmt.Errorf("faultinject: unknown disk chaos class %q", class)
+	}
+}
+
+// storeDataFiles lists a store directory's WAL and snapshot files in
+// generation order (oldest first).
+func storeDataFiles(dir string) (wals, snaps []string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			wals = append(wals, name)
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
+			snaps = append(snaps, name)
+		}
+	}
+	sort.Strings(wals)
+	sort.Strings(snaps)
+	return wals, snaps, nil
+}

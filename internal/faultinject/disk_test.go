@@ -1,0 +1,195 @@
+package faultinject
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/schedule"
+	"repro/internal/store"
+)
+
+// recordedStore populates a store directory with n tiny records and closes
+// it, so the offline corruptors have something real to mangle.
+func recordedStore(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := store.Open(store.Options{Dir: dir, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Recover(nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		key := make([]byte, 32)
+		copy(key, fmt.Sprintf("key-%026d", i))
+		rec := &store.Record{
+			Key: key, Machine: "raw4", Served: "list",
+			Graph:      []byte(fmt.Sprintf("unit g%d\n", i)),
+			Placements: []schedule.Placement{{Cluster: 0, Start: i, Latency: 1}},
+		}
+		if err := s.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestCorruptStoreOfflineClasses applies every offline class to a recorded
+// store and requires (a) a descriptive report and (b) that recovery over the
+// damage still succeeds — counters move, nothing panics or errors.
+func TestCorruptStoreOfflineClasses(t *testing.T) {
+	for _, class := range OfflineDiskClasses() {
+		t.Run(class, func(t *testing.T) {
+			dir := recordedStore(t, 4)
+			desc, err := CorruptStore(dir, class, 7)
+			if err != nil {
+				t.Fatalf("CorruptStore: %v", err)
+			}
+			if desc == "" {
+				t.Fatal("empty corruption report")
+			}
+			s, err := store.Open(store.Options{Dir: dir, NoFsync: true})
+			if err != nil {
+				t.Fatalf("reopen after %s: %v", class, err)
+			}
+			defer s.Close()
+			rs, err := s.Recover(nil)
+			if err != nil {
+				t.Fatalf("recovery after %s: %v", class, err)
+			}
+			if rs.Replayed > 4 {
+				t.Fatalf("recovered %d records from 4 written", rs.Replayed)
+			}
+		})
+	}
+}
+
+func TestCorruptStoreRefusals(t *testing.T) {
+	dir := recordedStore(t, 1)
+	for _, class := range []string{DiskENOSPC, DiskFsyncFail} {
+		if _, err := CorruptStore(dir, class, 1); err == nil {
+			t.Errorf("online-only class %s accepted offline", class)
+		}
+	}
+	if _, err := CorruptStore(dir, "disk-nonsense", 1); err == nil {
+		t.Error("unknown class accepted")
+	}
+	if _, err := CorruptStore(t.TempDir(), DiskTruncate, 1); err == nil {
+		t.Error("empty directory accepted for truncation")
+	}
+}
+
+// TestDiskChaosOnline drives a live store through each online fault class:
+// appends may fail, counters must move, and nothing may panic.
+func TestDiskChaosOnline(t *testing.T) {
+	for _, class := range []string{DiskTornWrite, DiskENOSPC, DiskBitFlip, DiskFsyncFail} {
+		t.Run(class, func(t *testing.T) {
+			chaos := &DiskChaos{Class: class, Seed: 3, After: 2}
+			s, err := store.Open(store.Options{Dir: t.TempDir(), FS: chaos})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			if _, err := s.Recover(nil); err != nil {
+				t.Fatal(err)
+			}
+			failures := 0
+			for i := 0; i < 8; i++ {
+				key := make([]byte, 32)
+				key[0] = byte(i + 1)
+				if err := s.Append(&store.Record{Key: key, Machine: "raw4", Graph: []byte("g")}); err != nil {
+					failures++
+				}
+			}
+			s.Sync()
+			st := s.Stats()
+			switch class {
+			case DiskTornWrite:
+				if failures == 0 || st.AppendErrors == 0 {
+					t.Errorf("torn write never surfaced: failures=%d stats=%+v", failures, st)
+				}
+			case DiskENOSPC:
+				if failures == 0 {
+					t.Error("ENOSPC never surfaced")
+				}
+			case DiskFsyncFail:
+				if st.SyncErrors == 0 {
+					t.Errorf("fsync failures never counted: %+v", st)
+				}
+			case DiskBitFlip:
+				// Silent by design: the damage only shows at recovery.
+				if failures != 0 {
+					t.Errorf("bit flip should be silent, got %d failures", failures)
+				}
+			}
+		})
+	}
+}
+
+// TestDiskChaosBitFlipCaughtAtRecovery completes the silent-corruption
+// story: a bit flipped during a write is invisible to Append but must be
+// caught by the CRC at replay.
+func TestDiskChaosBitFlipCaughtAtRecovery(t *testing.T) {
+	dir := t.TempDir()
+	chaos := &DiskChaos{Class: DiskBitFlip, Seed: 5, After: 0}
+	s, err := store.Open(store.Options{Dir: dir, NoFsync: true, FS: chaos})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Recover(nil); err != nil {
+		t.Fatal(err)
+	}
+	// After defaults to 4 writes: header + 3 appends pass, one later append
+	// is silently mangled.
+	for i := 0; i < 6; i++ {
+		key := make([]byte, 32)
+		key[0] = byte(i + 1)
+		if err := s.Append(&store.Record{Key: key, Machine: "raw4", Graph: []byte("g")}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := store.Open(store.Options{Dir: dir, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rs, err := s2.Recover(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.DroppedCorrupt+rs.TruncatedTails == 0 {
+		t.Fatalf("flipped bit slid through recovery: %+v", rs)
+	}
+	if rs.Replayed >= 6 {
+		t.Fatalf("all records replayed despite corruption: %+v", rs)
+	}
+}
+
+func TestDiskClassesListed(t *testing.T) {
+	all := DiskClasses()
+	if len(all) != 6 {
+		t.Fatalf("DiskClasses lists %d classes, want 6", len(all))
+	}
+	offline := map[string]bool{}
+	for _, c := range OfflineDiskClasses() {
+		offline[c] = true
+	}
+	dir := recordedStore(t, 2)
+	for _, c := range all {
+		_, err := CorruptStore(dir, c, 1)
+		if offline[c] && err != nil {
+			t.Errorf("offline class %s refused: %v", c, err)
+		}
+		if !offline[c] && err == nil {
+			t.Errorf("online class %s accepted offline", c)
+		}
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/irtext"
 	"repro/internal/machine"
 	"repro/internal/robust"
+	"repro/internal/store"
 )
 
 // Config configures a Server. The zero value of every field selects a
@@ -68,6 +69,21 @@ type Config struct {
 	// Chaos, when non-nil, injects the configured fault class into every
 	// request's ladder — the resilience-testing mode behind schedd -chaos.
 	Chaos *faultinject.Chaos
+	// StoreDir, when non-empty, backs the engine's schedule cache with the
+	// crash-safe persistent store (internal/store) rooted there. The server
+	// reports not-ready on /readyz until the store's recovery replay has
+	// completed (see OpenStore).
+	StoreDir string
+	// StoreFS overrides the store's filesystem seam (fault injection); nil
+	// means the real filesystem.
+	StoreFS store.FS
+	// StoreQueueLen bounds the write-behind flush queue. Default 256.
+	StoreQueueLen int
+	// StoreSnapshotEvery and StoreMaxEntries pass through to store.Options.
+	StoreSnapshotEvery int
+	StoreMaxEntries    int
+	// StoreNoFsync skips fsyncs (crash-unsafe; tests and benchmarks).
+	StoreNoFsync bool
 	// Seed is the default noise seed when the request does not set one.
 	Seed int64
 	// Logf receives operational log lines (drain progress, flushed stats).
@@ -88,6 +104,13 @@ type Server struct {
 	draining atomic.Bool
 	inflight inflightGauge
 	panics   atomic.Uint64
+
+	// ready gates /readyz on startup completion: a server with no store is
+	// ready immediately, one with a store only after recovery replay ends.
+	// recoveryDone closes when the recovery goroutine finishes (or at New
+	// when there is nothing to recover) so Drain can wait for it.
+	ready        atomic.Bool
+	recoveryDone chan struct{}
 
 	mu       sync.Mutex
 	machines map[string]machineEntry // name -> model + breaker scope
@@ -122,13 +145,19 @@ func New(cfg Config) *Server {
 		cfg.Logf = func(string, ...any) {}
 	}
 	s := &Server{
-		cfg:      cfg,
-		engine:   engine.New(0, cfg.CacheSize),
-		breakers: robust.NewBreakerSet(cfg.Breakers),
-		adm:      newAdmission(cfg.MaxQueue, cfg.Workers, cfg.RatePerSec, cfg.Burst, time.Now),
-		mux:      http.NewServeMux(),
-		start:    time.Now(),
-		machines: make(map[string]machineEntry),
+		cfg:          cfg,
+		engine:       engine.New(0, cfg.CacheSize),
+		breakers:     robust.NewBreakerSet(cfg.Breakers),
+		adm:          newAdmission(cfg.MaxQueue, cfg.Workers, cfg.RatePerSec, cfg.Burst, time.Now),
+		mux:          http.NewServeMux(),
+		start:        time.Now(),
+		machines:     make(map[string]machineEntry),
+		recoveryDone: make(chan struct{}),
+	}
+	if cfg.StoreDir == "" {
+		// Nothing to replay: ready the moment the listener is up.
+		s.ready.Store(true)
+		close(s.recoveryDone)
 	}
 	s.mux.HandleFunc("/schedule", s.handleSchedule)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -140,6 +169,44 @@ func New(cfg Config) *Server {
 // Handler returns the service's HTTP handler, wrapped in the panic-recovery
 // middleware.
 func (s *Server) Handler() http.Handler { return s.recoverer(s.mux) }
+
+// OpenStore attaches the persistent schedule store configured by
+// Config.StoreDir and starts recovery replay in the background. Fatal
+// problems — an unreachable directory, another live daemon holding the
+// lockfile — surface synchronously so the caller can refuse to start;
+// replay itself (possibly thousands of records through the legality gate)
+// runs async, with /readyz answering 503 until it completes. No-op when no
+// store is configured.
+func (s *Server) OpenStore() error {
+	if s.cfg.StoreDir == "" {
+		return nil
+	}
+	err := s.engine.AttachStore(engine.PersistConfig{
+		Dir:           s.cfg.StoreDir,
+		FS:            s.cfg.StoreFS,
+		QueueLen:      s.cfg.StoreQueueLen,
+		SnapshotEvery: s.cfg.StoreSnapshotEvery,
+		MaxEntries:    s.cfg.StoreMaxEntries,
+		NoFsync:       s.cfg.StoreNoFsync,
+		Logf:          s.cfg.Logf,
+	})
+	if err != nil {
+		return err
+	}
+	go func() {
+		defer close(s.recoveryDone)
+		rs, rerr := s.engine.RecoverStore()
+		if rerr != nil {
+			// A failed replay is not fatal: the store re-opened a fresh WAL
+			// and whatever passed the gate is already serving warm.
+			s.cfg.Logf("schedd: store recovery error (serving with partial warm cache): %v", rerr)
+		}
+		s.cfg.Logf("schedd: store recovery: replayed=%d droppedCorrupt=%d droppedIllegal=%d droppedSkewed=%d truncatedTails=%d skippedFiles=%d snapshotGen=%d",
+			rs.Replayed, rs.DroppedCorrupt, rs.DroppedIllegal, rs.DroppedSkewed, rs.TruncatedTails, rs.SkippedFiles, rs.SnapshotGen)
+		s.ready.Store(true)
+	}()
+	return nil
+}
 
 // inflightGauge counts requests currently inside handleSchedule so a drain
 // can wait for them. sync.WaitGroup is the wrong tool here: it forbids Add
@@ -246,6 +313,7 @@ type scheduleResponse struct {
 // StatsResponse is the /stats body and the snapshot flushed on drain.
 type StatsResponse struct {
 	UptimeSec float64              `json:"uptimeSec"`
+	Ready     bool                 `json:"ready"`
 	Draining  bool                 `json:"draining"`
 	Panics    uint64               `json:"panics"`
 	Engine    engine.Stats         `json:"engine"`
@@ -257,6 +325,7 @@ type StatsResponse struct {
 func (s *Server) StatsSnapshot() StatsResponse {
 	return StatsResponse{
 		UptimeSec: time.Since(s.start).Seconds(),
+		Ready:     s.ready.Load(),
 		Draining:  s.draining.Load(),
 		Panics:    s.panics.Load(),
 		Engine:    s.engine.Stats(),
@@ -327,6 +396,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	switch {
+	case !s.ready.Load():
+		// Startup incomplete — today that means store recovery replay is
+		// still running. Readiness is the general gate: any future slow
+		// startup work holds it the same way.
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "starting", http.StatusServiceUnavailable)
 	case s.draining.Load():
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "draining", http.StatusServiceUnavailable)
@@ -626,9 +701,10 @@ func buildResponse(machineName, graphName string, res engine.Result, total time.
 func (s *Server) StartDrain() { s.draining.Store(true) }
 
 // Drain performs the graceful-shutdown sequence: stop admitting, wait for
-// every in-flight request to finish (bounded by ctx), and flush a final
-// stats snapshot through Config.Logf. It returns ctx's error if in-flight
-// work outlived the drain deadline.
+// every in-flight request to finish (bounded by ctx), flush and close the
+// persistent store so computed schedules survive the restart, and flush a
+// final stats snapshot through Config.Logf. It returns ctx's error if
+// in-flight work outlived the drain deadline.
 func (s *Server) Drain(ctx context.Context) error {
 	s.StartDrain()
 	done := make(chan struct{})
@@ -641,6 +717,23 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-done:
 	case <-ctx.Done():
 		err = fmt.Errorf("schedd: drain deadline expired with requests still in flight: %w", ctx.Err())
+	}
+	if s.cfg.StoreDir != "" {
+		// A drain during startup must not close the store out from under the
+		// recovery replay; wait for it (bounded by the drain deadline).
+		select {
+		case <-s.recoveryDone:
+			if ferr := s.engine.FlushStore(ctx); ferr != nil {
+				s.cfg.Logf("schedd: store flush on drain: %v", ferr)
+			}
+			if cerr := s.engine.CloseStore(); cerr != nil {
+				s.cfg.Logf("schedd: store close on drain: %v", cerr)
+			} else {
+				s.cfg.Logf("schedd: store flushed and closed")
+			}
+		case <-ctx.Done():
+			s.cfg.Logf("schedd: drain deadline expired before store recovery finished; store left unflushed")
+		}
 	}
 	snap, merr := json.Marshal(s.StatsSnapshot())
 	if merr == nil {

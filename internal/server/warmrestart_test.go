@@ -1,0 +1,300 @@
+package server
+
+// Warm-restart and crash-recovery tests: a schedd with a -store-dir must
+// gate /readyz on recovery replay, come back from a clean restart serving
+// warm hits byte-identical to the cold run, and come back from a SIGKILL
+// over a chaos-corrupted store ready and serving only legal schedules.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"io/fs"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/faultinject"
+	"repro/internal/store"
+)
+
+// storeServer builds a Server persisted in dir, opens its store, and waits
+// for readiness unless wait is false.
+func storeServer(t *testing.T, dir string, wait bool) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{StoreDir: dir, StoreNoFsync: true, Logf: t.Logf})
+	if err := s.OpenStore(); err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	if wait {
+		waitReady(t, ts)
+	}
+	return s, ts
+}
+
+func waitReady(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("server never became ready")
+}
+
+func statsOf(t *testing.T, ts *httptest.Server) StatsResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// blockingFS delays the first data-file open until released, so a test can
+// observe the not-ready window of an otherwise instant recovery.
+type blockingFS struct {
+	store.OSFS
+	release chan struct{}
+	hit     chan struct{}
+}
+
+func (b *blockingFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	select {
+	case <-b.hit:
+	default:
+		close(b.hit)
+		<-b.release
+	}
+	return b.OSFS.ReadDir(name)
+}
+
+// TestReadyzGatesOnRecovery holds recovery open and asserts /readyz says 503
+// "starting" (with liveness still 200) until the replay completes.
+func TestReadyzGatesOnRecovery(t *testing.T) {
+	bfs := &blockingFS{release: make(chan struct{}), hit: make(chan struct{})}
+	s := New(Config{StoreDir: t.TempDir(), StoreNoFsync: true, StoreFS: bfs, Logf: t.Logf})
+	if err := s.OpenStore(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	<-bfs.hit // recovery is inside the blocked ReadDir now
+
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during recovery = %d, want 503", resp.StatusCode)
+	}
+	if got := strings.TrimSpace(string(body)); got != "starting" {
+		t.Fatalf("/readyz body = %q, want starting", got)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("not-ready response carries no Retry-After")
+	}
+	// Liveness is unaffected by startup.
+	live, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, live.Body)
+	live.Body.Close()
+	if live.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz during recovery = %d, want 200", live.StatusCode)
+	}
+	if st := statsOf(t, ts); st.Ready {
+		t.Error("stats say ready during recovery")
+	}
+
+	close(bfs.release)
+	waitReady(t, ts)
+	if st := statsOf(t, ts); !st.Ready || !st.Engine.Persist.Recovered {
+		t.Errorf("post-recovery stats: ready=%v recovered=%v", st.Ready, st.Engine.Persist.Recovered)
+	}
+}
+
+// TestWarmRestartServesIdenticalSchedules drains a populated daemon, brings
+// a new one up on the same directory, and requires byte-identical schedules
+// served from the warm cache.
+func TestWarmRestartServesIdenticalSchedules(t *testing.T) {
+	dir := t.TempDir()
+	ddg := ddgFor(t, "vvmul", 4)
+
+	s1, ts1 := storeServer(t, dir, true)
+	code, body := post(t, ts1, "machine=raw4", ddg)
+	if code != http.StatusOK {
+		t.Fatalf("cold schedule: %d\n%s", code, body)
+	}
+	cold, _ := decodeSchedule(t, body, ddg, "raw4")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s1.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	ts1.Close()
+
+	_, ts2 := storeServer(t, dir, true)
+	if st := statsOf(t, ts2); st.Engine.Persist.Recovery.Replayed == 0 {
+		t.Fatalf("nothing replayed after drain: %+v", st.Engine.Persist.Recovery)
+	}
+	code, body = post(t, ts2, "machine=raw4", ddg)
+	if code != http.StatusOK {
+		t.Fatalf("warm schedule: %d\n%s", code, body)
+	}
+	warm, resp := decodeSchedule(t, body, ddg, "raw4")
+	if !resp.CacheHit {
+		t.Error("restarted server missed the cache on a persisted unit")
+	}
+	if warm.String() != cold.String() {
+		t.Error("warm schedule differs from the one served before restart")
+	}
+}
+
+// TestCrashRecoveryUnderDiskChaos is the end-to-end proof: populate, crash
+// without flushing (SIGKILL stand-in), corrupt the store with every offline
+// chaos class, restart — the daemon must become ready and every response
+// must validate client-side. Recovery stats must appear in /stats.
+func TestCrashRecoveryUnderDiskChaos(t *testing.T) {
+	units := []string{"vvmul", "sha", "fir"}
+	for _, class := range faultinject.OfflineDiskClasses() {
+		t.Run(class, func(t *testing.T) {
+			dir := t.TempDir()
+			s1, ts1 := storeServer(t, dir, true)
+			for _, u := range units {
+				code, body := post(t, ts1, "machine=raw4", ddgFor(t, u, 4))
+				if code != http.StatusOK {
+					t.Fatalf("populate %s: %d\n%s", u, code, body)
+				}
+			}
+			// Push everything to the OS, then die without closing cleanly.
+			fctx, fcancel := context.WithTimeout(context.Background(), 10*time.Second)
+			if err := s1.engine.FlushStore(fctx); err != nil {
+				t.Fatalf("flush: %v", err)
+			}
+			fcancel()
+			s1.engine.CrashStore()
+			ts1.Close()
+
+			desc, err := faultinject.CorruptStore(dir, class, 1)
+			if err != nil {
+				t.Fatalf("CorruptStore: %v", err)
+			}
+			t.Logf("corruption: %s", desc)
+
+			_, ts2 := storeServer(t, dir, true)
+			st := statsOf(t, ts2)
+			if !st.Engine.Persist.Recovered {
+				t.Fatal("restarted server never recovered")
+			}
+			rs := st.Engine.Persist.Recovery
+			t.Logf("recovery: %+v", rs)
+			for _, u := range units {
+				ddg := ddgFor(t, u, 4)
+				code, body := post(t, ts2, "machine=raw4", ddg)
+				if code != http.StatusOK {
+					t.Fatalf("%s after recovery: %d\n%s", u, code, body)
+				}
+				decodeSchedule(t, body, ddg, "raw4") // client-side legality gate
+			}
+		})
+	}
+}
+
+// TestOnlineDiskChaosLeavesServingIntact runs a daemon whose store IO is
+// failing (ENOSPC after a few writes) and requires scheduling to keep
+// working — persistence degrades to counters, never to 500s.
+func TestOnlineDiskChaosLeavesServingIntact(t *testing.T) {
+	chaos := &faultinject.DiskChaos{Class: faultinject.DiskENOSPC, After: 1}
+	s := New(Config{StoreDir: t.TempDir(), StoreNoFsync: true, StoreFS: chaos, Logf: t.Logf})
+	if err := s.OpenStore(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	waitReady(t, ts)
+
+	for _, u := range []string{"vvmul", "sha", "fir"} {
+		ddg := ddgFor(t, u, 4)
+		code, body := post(t, ts, "machine=raw4", ddg)
+		if code != http.StatusOK {
+			t.Fatalf("%s under disk chaos: %d\n%s", u, code, body)
+		}
+		decodeSchedule(t, body, ddg, "raw4")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.engine.FlushStore(ctx); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	st := statsOf(t, ts)
+	if st.Engine.Persist.FlushErrors == 0 && st.Engine.Persist.Store.AppendErrors == 0 {
+		t.Errorf("ENOSPC never surfaced in counters: %+v", st.Engine.Persist)
+	}
+}
+
+// TestSecondInstanceRefused: two daemons on one store directory must not
+// coexist; the second OpenStore fails on the lockfile.
+func TestSecondInstanceRefused(t *testing.T) {
+	dir := t.TempDir()
+	storeServer(t, dir, true)
+	s2 := New(Config{StoreDir: dir, StoreNoFsync: true, Logf: t.Logf})
+	if err := s2.OpenStore(); err == nil {
+		t.Fatal("second OpenStore on a held lockfile succeeded")
+	}
+}
+
+// TestDrainFlushesStore: a drained server leaves a store a successor can
+// replay, and logs that it flushed.
+func TestDrainFlushesStore(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := storeServer(t, dir, true)
+	ddg := ddgFor(t, "vvmul", 4)
+	if code, body := post(t, ts, "machine=raw4", ddg); code != http.StatusOK {
+		t.Fatalf("schedule: %d\n%s", code, body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+
+	// Replay the directory directly: the drained entry must be there.
+	e := engine.New(1, 16)
+	if err := e.AttachStore(engine.PersistConfig{Dir: dir, NoFsync: true}); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := e.RecoverStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.CloseStore()
+	if rs.Replayed == 0 {
+		t.Fatalf("drain left nothing replayable: %+v", rs)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatal(err)
+	}
+}

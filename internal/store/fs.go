@@ -1,0 +1,68 @@
+package store
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// FS is the filesystem seam the store does all data-file IO through. The
+// production implementation is OSFS; internal/faultinject wraps it with a
+// disk chaos layer (torn writes, ENOSPC, silent bit flips, fsync failures)
+// so crash-recovery behaviour can be exercised without a real power cut.
+//
+// The lockfile that fences concurrent instances deliberately bypasses this
+// seam: the lock protects the directory itself, and chaos that targets the
+// lock would test the test harness, not the store.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// ReadDir lists the directory.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// MkdirAll creates the directory and any missing parents.
+	MkdirAll(name string, perm fs.FileMode) error
+	// SyncDir fsyncs the directory itself, making renames durable.
+	SyncDir(name string) error
+}
+
+// File is the open-file surface the store needs.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// OpenFile opens name on the real filesystem.
+func (OSFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// Rename renames on the real filesystem.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove deletes on the real filesystem.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// ReadDir lists on the real filesystem.
+func (OSFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+// MkdirAll creates directories on the real filesystem.
+func (OSFS) MkdirAll(name string, perm fs.FileMode) error { return os.MkdirAll(name, perm) }
+
+// SyncDir fsyncs a directory on the real filesystem.
+func (OSFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
