@@ -18,6 +18,9 @@
 // (convergent → truncated convergent → rawcc/uas → list) until a rung
 // serves; -timeout bounds each attempt; -chaos injects a named, seeded
 // fault class for resilience testing (-chaos-list enumerates them).
+// -trace out.json writes the request's observability trace (per-pass
+// preference-map deltas, ladder attempts) as JSON; tracing never changes
+// the schedule produced.
 //
 // With several inputs — multiple .ddg files and/or directories, which expand
 // to their *.ddg entries — the units are batch-scheduled over a worker pool
@@ -39,6 +42,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -52,6 +56,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/irtext"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/passes"
 	"repro/internal/robust"
 	"repro/internal/schedule"
@@ -73,6 +78,7 @@ type options struct {
 	cacheSize int
 	serveAddr string
 	storeDir  string
+	traceOut  string
 }
 
 func main() {
@@ -90,6 +96,7 @@ func main() {
 	flag.IntVar(&o.cacheSize, "cache-size", 256, "schedule-cache entries for batch scheduling (0 disables)")
 	flag.StringVar(&o.serveAddr, "serve-addr", "", "schedule via a running schedd at this address instead of locally")
 	flag.StringVar(&o.storeDir, "store-dir", "", "persist the batch schedule cache in this directory and warm-start from it")
+	flag.StringVar(&o.traceOut, "trace", "", "write the scheduling trace (per-pass weight deltas, ladder attempts) as JSON to this file")
 	chaosList := flag.Bool("chaos-list", false, "list chaos classes and exit")
 	flag.Parse()
 
@@ -161,6 +168,9 @@ func run(o options, args []string) error {
 			return fmt.Errorf("-store-dir parent %s does not exist", parent)
 		}
 	}
+	if o.traceOut != "" && (o.serveAddr != "" || len(paths) > 1) {
+		return fmt.Errorf("-trace is a single-input local feature (schedd serves traces via ?trace=1)")
+	}
 	if o.serveAddr != "" {
 		return runRemote(o, paths)
 	}
@@ -203,11 +213,24 @@ func run(o options, args []string) error {
 		ladder = []robust.Rung{r}
 	}
 
-	s, rep, err := robust.Schedule(context.Background(), g, m, robust.Options{
+	ctx := context.Background()
+	var tr *obs.Trace
+	if o.traceOut != "" {
+		tr = obs.NewTrace(g.Name, m.Name)
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	s, rep, err := robust.Schedule(ctx, g, m, robust.Options{
 		Timeout: o.timeout,
 		Verify:  o.verify,
 		Ladder:  ladder,
 	})
+	// The trace is written even when every rung failed: the recorded pass
+	// deltas and attempts are exactly what explains the failure.
+	if tr != nil {
+		if werr := writeTraceFile(o.traceOut, tr); werr != nil {
+			fmt.Fprintf(os.Stderr, "convsched: %v\n", werr)
+		}
+	}
 	if err != nil {
 		return fmt.Errorf("%w\n%s", err, rep)
 	}
@@ -334,6 +357,18 @@ func runBatch(o options, m *machine.Model, paths []string) error {
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d units failed", failed, len(jobs))
+	}
+	return nil
+}
+
+// writeTraceFile serializes the observability trace as indented JSON.
+func writeTraceFile(path string, tr *obs.Trace) error {
+	raw, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return fmt.Errorf("trace %s: %w", path, err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("trace %s: %w", path, err)
 	}
 	return nil
 }

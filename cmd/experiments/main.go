@@ -9,10 +9,13 @@
 //
 // Experiments: table1, table2, fig4, fig6, fig7, fig8, fig9, fig10, theta,
 // resilience (the chaos sweep: which ladder rung serves under each
-// injected fault class).
+// injected fault class), and obs (traced scheduling of the whole suite,
+// reduced to entropy/settling/latency rows — the BENCH_obs.json artifact:
+// experiments -exp obs -obs-out BENCH_obs.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,21 +30,22 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment to run: all|table1|table2|fig4|fig6|fig7|fig8|fig9|fig10|theta|resilience")
+	which := flag.String("exp", "all", "experiment to run: all|table1|table2|fig4|fig6|fig7|fig8|fig9|fig10|theta|resilience|obs")
 	sizes := flag.String("sizes", "100,250,500,1000,2000", "instruction counts for fig10")
 	kernels := flag.String("kernels", "vvmul,mxm", "kernels for the resilience sweep")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-attempt budget for the resilience sweep")
 	jobs := flag.Int("j", 0, "worker-pool width for the batch-scheduled convergent columns (0 = GOMAXPROCS)")
+	obsOut := flag.String("obs-out", "", "write the obs experiment's JSON here instead of stdout")
 	flag.Parse()
 	exp.Workers = *jobs
 
-	if err := run(*which, *sizes, *kernels, *timeout); err != nil {
+	if err := run(*which, *sizes, *kernels, *obsOut, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(which, sizesArg, kernelsArg string, timeout time.Duration) error {
+func run(which, sizesArg, kernelsArg, obsOut string, timeout time.Duration) error {
 	want := func(name string) bool { return which == "all" || which == name }
 	any := false
 
@@ -119,6 +123,26 @@ func run(which, sizesArg, kernelsArg string, timeout time.Duration) error {
 			return err
 		}
 		fmt.Println(exp.RenderFig10(rows))
+	}
+	if want("obs") {
+		any = true
+		sum, err := exp.Obs()
+		if err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if obsOut != "" {
+			if err := os.WriteFile(obsOut, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("obs: wrote %d rows to %s\n", len(sum.Rows), obsOut)
+		} else {
+			os.Stdout.Write(data)
+		}
 	}
 	if !any {
 		return fmt.Errorf("unknown experiment %q", which)

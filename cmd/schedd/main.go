@@ -7,6 +7,7 @@
 //	schedd -addr :8745 [-queue 64] [-rate 200] [-burst 400] [-timeout 2s]
 //	schedd -store-dir /var/lib/schedd             # crash-safe warm restarts
 //	schedd -chaos pass-panic -chaos-seed 7        # resilience-testing mode
+//	schedd -debug-addr 127.0.0.1:8746             # net/http/pprof, private port
 //
 // The daemon is built for overload and partial failure, not just the happy
 // path: admission control sheds excess work with 429 + Retry-After, request
@@ -25,10 +26,16 @@
 //
 // Endpoints:
 //
-//	POST /schedule?machine=raw16[&scheduler=convergent][&seed=N][&deadline=500ms]
+//	POST /schedule?machine=raw16[&scheduler=convergent][&seed=N][&deadline=500ms][&trace=1]
 //	GET  /healthz   liveness  (200 while the process runs, even draining)
 //	GET  /readyz    readiness (503 while starting, draining, or queue-full)
-//	GET  /stats     JSON counters: engine cache, admission, breakers
+//	GET  /stats     JSON counters: engine cache, admission, breakers, metrics
+//	GET  /metrics   Prometheus text format (servable during drain)
+//
+// With ?trace=1 the response carries a "trace" section: per-pass preference
+// weight deltas, per-rung attempt outcomes, the cache lookup path, and any
+// breaker transitions the request observed. With -debug-addr the standard
+// net/http/pprof endpoints are served on a second, private listener.
 package main
 
 import (
@@ -39,6 +46,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -54,6 +62,7 @@ import (
 // options collects the daemon's flags.
 type options struct {
 	addr            string
+	debugAddr       string
 	queue           int
 	workers         int
 	rate            float64
@@ -78,6 +87,7 @@ type options struct {
 func main() {
 	var o options
 	flag.StringVar(&o.addr, "addr", ":8745", "listen address")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve net/http/pprof on this separate address (empty disables; keep it private)")
 	flag.IntVar(&o.queue, "queue", 64, "max admitted-but-unfinished requests; beyond this, shed with 429")
 	flag.IntVar(&o.workers, "j", 0, "max concurrently scheduling requests (0 = queue bound)")
 	flag.Float64Var(&o.rate, "rate", 0, "token-bucket admission rate per second (0 = unlimited)")
@@ -107,6 +117,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "schedd:", err)
 		os.Exit(1)
 	}
+}
+
+// debugMux builds the pprof handler set on a private mux rather than
+// blank-importing net/http/pprof, which would mutate http.DefaultServeMux
+// for the whole process.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // validateStoreFlags rejects store configurations that could only fail
@@ -193,6 +216,24 @@ func serve(o options, ln net.Listener, stop <-chan os.Signal, logger *log.Logger
 	logger.Printf("listening on %s (queue %d, rate %.0f/s, timeout %s)",
 		ln.Addr(), o.queue, o.rate, o.timeout)
 
+	// Profiling stays off the service port: pprof handlers leak internals and
+	// must never be reachable through whatever exposes /schedule. A failure to
+	// bind the debug address is a refusal to start, not a silent degradation.
+	var ds *http.Server
+	if o.debugAddr != "" {
+		dln, err := net.Listen("tcp", o.debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener %s: %v", o.debugAddr, err)
+		}
+		ds = &http.Server{Handler: debugMux()}
+		logger.Printf("pprof on %s/debug/pprof/ (keep this address private)", dln.Addr())
+		go func() {
+			if err := ds.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("debug server: %v", err)
+			}
+		}()
+	}
+
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
@@ -211,6 +252,12 @@ func serve(o options, ln net.Listener, stop <-chan os.Signal, logger *log.Logger
 	drainErr := s.Drain(ctx)
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Printf("http shutdown: %v", err)
+	}
+	if ds != nil {
+		// A profile capture in progress is not worth blocking the drain for.
+		if err := ds.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			logger.Printf("debug shutdown: %v", err)
+		}
 	}
 	if drainErr != nil {
 		return fmt.Errorf("drain incomplete: %w", drainErr)

@@ -1,12 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
+	"sort"
 	"strings"
 
 	"repro/internal/ir"
 	"repro/internal/listsched"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/schedule"
 )
 
@@ -50,16 +54,102 @@ func (r *Result) Priority() []float64 {
 // converged preferences. The seed fixes the noise pass; every other pass is
 // deterministic. The weight-map invariants are restored after every pass.
 func Converge(g *ir.Graph, m *machine.Model, passes []Pass, seed int64) *Result {
+	return ConvergeCtx(context.Background(), g, m, passes, seed)
+}
+
+// ConvergeCtx is Converge with a context; when the context carries an
+// obs.Trace, each pass records a preference-map delta into it.
+func ConvergeCtx(ctx context.Context, g *ir.Graph, m *machine.Model, passes []Pass, seed int64) *Result {
 	s := NewState(g, m, seed)
-	return ConvergeState(s, passes)
+	return ConvergeStateCtx(ctx, s, passes)
 }
 
 // ConvergeState is Converge on a caller-built state, allowing callers to
 // pre-bias the map or reuse analyses.
 func ConvergeState(s *State, passes []Pass) *Result {
+	return ConvergeStateCtx(context.Background(), s, passes)
+}
+
+// clusterMarginals returns the per-instruction cluster marginal distribution
+// (normalized to sum 1). Reading the map only touches its lazy caches, never
+// the weights, so this is observationally inert.
+func clusterMarginals(w *PrefMap) [][]float64 {
+	out := make([][]float64, w.N())
+	for i := range out {
+		total := w.Total(i)
+		row := make([]float64, w.Clusters())
+		for c := range row {
+			if total > 0 {
+				row[c] = w.ClusterWeight(i, c) / total
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// passDelta builds the obs record for one pass from the before/after
+// marginal snapshots and the before/after preferred clusters.
+func passDelta(w *PrefMap, before, after [][]float64, prev, cur []int) obs.PassDelta {
+	n := w.N()
+	d := obs.PassDelta{}
+	type shift struct {
+		instr int
+		l1    float64
+	}
+	shifts := make([]shift, 0, n)
+	d.Entropy = make([]float64, n)
+	d.MinTotal, d.MaxTotal = math.Inf(1), math.Inf(-1)
+	for i := 0; i < n; i++ {
+		l1 := 0.0
+		for c := range after[i] {
+			l1 += math.Abs(after[i][c] - before[i][c])
+		}
+		shifts = append(shifts, shift{i, l1})
+		h := 0.0
+		for _, m := range after[i] {
+			if m > 0 {
+				h -= m * math.Log(m)
+			}
+		}
+		d.Entropy[i] = h
+		d.MeanEntropy += h
+		t := w.Total(i)
+		d.MinTotal = math.Min(d.MinTotal, t)
+		d.MaxTotal = math.Max(d.MaxTotal, t)
+	}
+	if n > 0 {
+		d.MeanEntropy /= float64(n)
+	} else {
+		d.MinTotal, d.MaxTotal = 1, 1
+	}
+	sort.SliceStable(shifts, func(a, b int) bool { return shifts[a].l1 > shifts[b].l1 })
+	for k := 0; k < len(shifts) && k < obs.TopShiftK; k++ {
+		s := shifts[k]
+		if s.l1 == 0 {
+			break
+		}
+		d.TopShifts = append(d.TopShifts, obs.WeightShift{
+			Instr: s.instr, From: prev[s.instr], To: cur[s.instr], L1: s.l1,
+		})
+	}
+	return d
+}
+
+// ConvergeStateCtx is ConvergeState with a context. A trace carried by the
+// context receives one PassDelta per pass; without one the loop is exactly
+// the untraced path (recording only reads the map, so traced and untraced
+// runs produce byte-identical results either way).
+func ConvergeStateCtx(ctx context.Context, s *State, passes []Pass) *Result {
+	tr := obs.FromContext(ctx)
+	rung := obs.RungFromContext(ctx)
 	n := s.Graph.Len()
 	res := &Result{}
 	prev := s.W.PreferredClusters()
+	var before [][]float64
+	if tr != nil {
+		before = clusterMarginals(s.W)
+	}
 	for _, p := range passes {
 		p.Run(s)
 		s.W.NormalizeAll()
@@ -75,6 +165,16 @@ func ConvergeState(s *State, passes []Pass) *Result {
 			frac = float64(changed) / float64(n)
 		}
 		res.Trace = append(res.Trace, PassChange{Pass: p.Name(), Changed: changed, Fraction: frac})
+		if tr != nil {
+			after := clusterMarginals(s.W)
+			d := passDelta(s.W, before, after, prev, cur)
+			d.Rung = rung
+			d.Pass = p.Name()
+			d.Changed = changed
+			d.Fraction = frac
+			tr.RecordPass(d)
+			before = after
+		}
 		prev = cur
 	}
 	res.Assignment = prev
@@ -98,10 +198,16 @@ func ConvergeState(s *State, passes []Pass) *Result {
 // consumers' clusters first (see listsched.SpreadConsts), and preferred-time
 // ties break toward the instruction heading the longest remaining chain.
 func Schedule(g *ir.Graph, m *machine.Model, passes []Pass, seed int64) (*schedule.Schedule, *Result, error) {
+	return ScheduleCtx(context.Background(), g, m, passes, seed)
+}
+
+// ScheduleCtx is Schedule with a context; a trace carried by the context
+// records per-pass preference-map deltas during convergence.
+func ScheduleCtx(ctx context.Context, g *ir.Graph, m *machine.Model, passes []Pass, seed int64) (*schedule.Schedule, *Result, error) {
 	if err := listsched.CheckGraph(g, m); err != nil {
 		return nil, nil, err
 	}
-	res := Converge(g, m, passes, seed)
+	res := ConvergeCtx(ctx, g, m, passes, seed)
 	listsched.SpreadConsts(g, m, res.Assignment)
 	prio := res.Priority()
 	h := g.Height(m.LatencyFunc())

@@ -18,6 +18,10 @@ type entry struct {
 	comms []schedule.Comm
 	// served names the ladder rung that produced the schedule.
 	served string
+	// fromStore marks an entry replayed from the crash-safe store at
+	// recovery rather than computed by this process; traced hits on such
+	// entries report the "persisted-hit" cache path.
+	fromStore bool
 }
 
 // Stats is a point-in-time snapshot of the cache counters.

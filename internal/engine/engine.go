@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/robust"
 	"repro/internal/schedule"
 	"repro/internal/sim"
@@ -63,6 +64,11 @@ type Job struct {
 	// rungs, so a verify job with a non-nil memory and no MemoryID is
 	// uncacheable.
 	MemoryID string
+	// Trace, when non-nil, receives this job's observability record (cache
+	// path, ladder attempts, per-pass preference-map deltas). It overrides
+	// any trace already carried by the batch context, so each job of a batch
+	// can have its own. Tracing never changes the produced schedule.
+	Trace *obs.Trace
 }
 
 // Result is the outcome of one job.
@@ -175,6 +181,10 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if job.Trace != nil {
+		ctx = obs.WithTrace(ctx, job.Trace)
+	}
+	tr := obs.FromContext(ctx)
 	res := Result{ID: job.ID}
 	if err := ctx.Err(); err != nil {
 		res.Err = err
@@ -185,6 +195,9 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 	if !cacheable {
 		if e.cache != nil {
 			e.cache.count(&e.cache.uncacheable)
+			tr.SetCachePath(obs.CacheUncacheable)
+		} else {
+			tr.SetCachePath(obs.CacheDisabled)
 		}
 		e.compute(ctx, job, &res)
 		res.Elapsed = time.Since(t0)
@@ -194,6 +207,11 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 	if ent, ok := e.cache.get(key); ok {
 		if s, err := rehydrate(ent, job, canon); err == nil {
 			e.cache.count(&e.cache.hits)
+			if ent.fromStore {
+				tr.SetCachePath(obs.CachePersistedHit)
+			} else {
+				tr.SetCachePath(obs.CacheHit)
+			}
 			res.Schedule, res.Served, res.CacheHit = s, ent.served, true
 			res.Elapsed = time.Since(t0)
 			return res
@@ -202,6 +220,7 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 		// a canonical-hash collision or an unresolved symmetry. Compute
 		// directly and leave the entry for the graph it does fit.
 		e.cache.count(&e.cache.collisions)
+		tr.SetCachePath(obs.CacheCollision)
 		e.compute(ctx, job, &res)
 		res.Elapsed = time.Since(t0)
 		return res
@@ -224,6 +243,9 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 		if !rep.Skipped() {
 			e.cache.put(key, ent)
 			e.enqueuePersist(key, ent, job.Graph, job.Machine)
+			if e.persist != nil {
+				tr.SetPersisted()
+			}
 		}
 		return ent, nil
 	})
@@ -232,21 +254,26 @@ func (e *Engine) Schedule(ctx context.Context, job Job) Result {
 		// This caller was a waiter whose context ended before the leader
 		// finished; the leader's result is preserved for the others.
 		e.cache.count(&e.cache.detached)
+		tr.SetCachePath(obs.CacheDetached)
 		res.Err, res.Shared = err, true
 	case !shared:
+		tr.SetCachePath(obs.CacheMiss)
 		res.Schedule, res.Report, res.Err = mine, myRep, err
 		if myRep != nil {
 			res.Served = myRep.Served
 		}
 	case err != nil:
 		e.cache.count(&e.cache.shared)
+		tr.SetCachePath(obs.CacheShared)
 		res.Err, res.Shared = err, true
 	default:
 		e.cache.count(&e.cache.shared)
+		tr.SetCachePath(obs.CacheShared)
 		res.Shared = true
 		s, rerr := rehydrate(ent, job, canon)
 		if rerr != nil {
 			e.cache.count(&e.cache.collisions)
+			tr.SetCachePath(obs.CacheCollision)
 			e.compute(ctx, job, &res)
 		} else {
 			res.Schedule, res.Served = s, ent.served

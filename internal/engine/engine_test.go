@@ -124,7 +124,7 @@ func TestBatchPreservesOrderAndIsolatesFailures(t *testing.T) {
 		Machine: m,
 		Opts: robust.Options{Ladder: []robust.Rung{{
 			Name: "broken",
-			Run:  func(g *ir.Graph) (*schedule.Schedule, error) { panic("injected") },
+			Run:  func(ctx context.Context, g *ir.Graph) (*schedule.Schedule, error) { panic("injected") },
 		}}},
 	}
 	jobs := []Job{job(k1, m), bad, job(k2, m)}

@@ -1,0 +1,88 @@
+package engine_test
+
+// Tracing must be inert: attaching an obs.Trace to a scheduling request may
+// never change the schedule. The trace layer only reads scheduler state
+// (core.PrefMap reads touch lazy marginal caches, never weights), so a traced
+// run and an untraced run of the same kernel/machine/seed must be
+// byte-identical. This sweep pins that property across every benchmark kernel
+// and target machine, and checks the trace's own internal invariants while
+// it's at hand.
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/robust"
+)
+
+func TestTracingIsInert(t *testing.T) {
+	const eps = 1e-9
+	for _, m := range targets() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			for _, k := range sweepKernels(t) {
+				g := k.Build(m.NumClusters)
+				plain, plainRep, err := robust.Schedule(context.Background(), g, m, robust.Options{Seed: diffSeed})
+				if err != nil {
+					t.Fatalf("untraced %s: %v", k.Name, err)
+				}
+
+				g2 := k.Build(m.NumClusters)
+				tr := obs.NewTrace(g2.Name, m.Name)
+				ctx := obs.WithTrace(context.Background(), tr)
+				traced, tracedRep, err := robust.Schedule(ctx, g2, m, robust.Options{Seed: diffSeed})
+				if err != nil {
+					t.Fatalf("traced %s: %v", k.Name, err)
+				}
+
+				// Byte-identical output: placements, comms, rendering, and
+				// the serving rung must all match the untraced run.
+				if tracedRep.Served != plainRep.Served {
+					t.Errorf("%s: traced served %q, untraced served %q", k.Name, tracedRep.Served, plainRep.Served)
+				}
+				if !reflect.DeepEqual(traced.Placements, plain.Placements) ||
+					!reflect.DeepEqual(traced.Comms, plain.Comms) {
+					t.Errorf("%s: tracing changed the schedule", k.Name)
+				}
+				if traced.String() != plain.String() {
+					t.Errorf("%s: traced schedule renders differently", k.Name)
+				}
+
+				// Trace invariants on the run it recorded.
+				snap := tr.Snapshot()
+				if got, want := len(snap.Attempts), len(tracedRep.Attempts); got != want {
+					t.Errorf("%s: trace records %d attempts, report has %d", k.Name, got, want)
+				}
+				if len(snap.Passes) == 0 && tracedRep.Served == "convergent" {
+					t.Errorf("%s: convergent rung served but no pass deltas recorded", k.Name)
+				}
+				for i, p := range snap.Passes {
+					// NormalizeAll runs after every pass, so each
+					// instruction's weights sum to 1 within float error.
+					if p.MinTotal < 1-eps || p.MaxTotal > 1+eps {
+						t.Errorf("%s pass %d (%s): weight totals [%g, %g] escape 1±eps",
+							k.Name, i, p.Pass, p.MinTotal, p.MaxTotal)
+					}
+					if p.Fraction < 0 || p.Fraction > 1 {
+						t.Errorf("%s pass %d (%s): churn fraction %g outside [0,1]",
+							k.Name, i, p.Pass, p.Fraction)
+					}
+					if p.MeanEntropy < 0 || math.IsNaN(p.MeanEntropy) {
+						t.Errorf("%s pass %d (%s): mean entropy %g", k.Name, i, p.Pass, p.MeanEntropy)
+					}
+					for _, sh := range p.TopShifts {
+						if sh.L1 <= 0 {
+							t.Errorf("%s pass %d: top shift with non-positive L1 %g", k.Name, i, sh.L1)
+						}
+						if sh.Instr < 0 || sh.Instr >= g2.Len() {
+							t.Errorf("%s pass %d: shift names instruction %d of %d", k.Name, i, sh.Instr, g2.Len())
+						}
+					}
+				}
+			}
+		})
+	}
+}

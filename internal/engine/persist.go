@@ -187,7 +187,7 @@ func (e *Engine) loadRecord(rec *store.Record) error {
 	if err != nil {
 		return fmt.Errorf("%w: embedded graph: %v", store.ErrCorrupt, err)
 	}
-	ent := entry{placements: rec.Placements, comms: rec.Comms, served: rec.Served}
+	ent := entry{placements: rec.Placements, comms: rec.Comms, served: rec.Served, fromStore: true}
 	if _, err := rehydrate(ent, Job{Graph: g, Machine: m}, g.Canonical()); err != nil {
 		return fmt.Errorf("legality gate rejected persisted schedule: %w", err)
 	}

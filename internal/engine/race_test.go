@@ -47,9 +47,9 @@ func TestConcurrentOverlappingKeys(t *testing.T) {
 		}
 		counted := robust.Rung{
 			Name: rung.Name,
-			Run: func(g *ir.Graph) (*schedule.Schedule, error) {
+			Run: func(ctx context.Context, g *ir.Graph) (*schedule.Schedule, error) {
 				computes.Add(1)
-				return rung.Run(g)
+				return rung.Run(ctx, g)
 			},
 		}
 		return Job{

@@ -27,10 +27,10 @@ func TestSingleflightWaiterDetaches(t *testing.T) {
 	release := make(chan struct{}) // closed to let the rung finish
 	var startOnce sync.Once
 	list := robust.ListRung(m)
-	slow := robust.Rung{Name: "slow-list", Run: func(gr *ir.Graph) (*schedule.Schedule, error) {
+	slow := robust.Rung{Name: "slow-list", Run: func(ctx context.Context, gr *ir.Graph) (*schedule.Schedule, error) {
 		startOnce.Do(func() { close(started) })
 		<-release
-		return list.Run(gr)
+		return list.Run(ctx, gr)
 	}}
 	job := Job{
 		ID:       "unit",
@@ -113,7 +113,7 @@ func TestBreakerSkippedResultNotMemoized(t *testing.T) {
 	g := k.Build(4)
 
 	br := robust.NewBreakerSet(robust.BreakerPolicy{Failures: 1, Cooldown: time.Hour})
-	fail := robust.Rung{Name: "primary", Run: func(gr *ir.Graph) (*schedule.Schedule, error) {
+	fail := robust.Rung{Name: "primary", Run: func(ctx context.Context, gr *ir.Graph) (*schedule.Schedule, error) {
 		return nil, errors.New("injected failure")
 	}}
 	job := Job{

@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/robust"
+)
+
+// ObsRow distills one kernel/machine traced scheduling run: how the
+// convergent passes settled (entropy of the preference marginals falling,
+// churn fraction going to zero) and what the ladder paid for it.
+type ObsRow struct {
+	Kernel  string `json:"kernel"`
+	Machine string `json:"machine"`
+	// Served names the rung that produced the accepted schedule.
+	Served string `json:"served"`
+	// Passes and Attempts are trace lengths; Attempts always equals the
+	// ladder report's attempt count (a traced invariant the tests pin).
+	Passes   int `json:"passes"`
+	Attempts int `json:"attempts"`
+	// Ms is the wall-clock cost of the whole ladder walk.
+	Ms float64 `json:"ms"`
+	// FirstEntropy and FinalEntropy are the mean per-instruction Shannon
+	// entropies (nats) of the cluster marginals after the first and last
+	// pass; their gap is how much the passes collectively decided.
+	FirstEntropy float64 `json:"firstEntropy"`
+	FinalEntropy float64 `json:"finalEntropy"`
+	// SettledAt is the 1-based index of the last pass that still moved any
+	// instruction's preferred cluster (0 when no pass ever did).
+	SettledAt int `json:"settledAt"`
+	// MaxDrift is the worst |Σ weights − 1| observed across every pass
+	// delta — the normalization-health number, epsilon-small by contract.
+	MaxDrift float64 `json:"maxDrift"`
+}
+
+// ObsSummary is the BENCH_obs.json payload: every suite kernel on its
+// machines, scheduled once with tracing on.
+type ObsSummary struct {
+	Seed int64    `json:"seed"`
+	Rows []ObsRow `json:"rows"`
+}
+
+// Obs runs the full benchmark suite — Raw kernels on 4 and 16 tiles, VLIW
+// kernels on the 4-cluster Chorus — through the resilient ladder with a
+// trace attached, and reduces each trace to an ObsRow. It exercises exactly
+// the production path (robust.Schedule with the default ladder), so the
+// numbers reflect what a traced schedd request would report.
+func Obs() (*ObsSummary, error) {
+	type target struct {
+		m     *machine.Model
+		suite []bench.Kernel
+	}
+	targets := []target{
+		{machine.Raw(4), bench.RawSuite()},
+		{machine.Raw(16), bench.RawSuite()},
+		{machine.Chorus(4), bench.VliwSuite()},
+	}
+	sum := &ObsSummary{Seed: Seed}
+	for _, t := range targets {
+		for _, k := range t.suite {
+			g := k.Build(t.m.NumClusters)
+			tr := obs.NewTrace(g.Name, t.m.Name)
+			ctx := obs.WithTrace(context.Background(), tr)
+			start := time.Now()
+			_, rep, err := robust.Schedule(ctx, g, t.m, robust.Options{Seed: Seed})
+			if err != nil {
+				return nil, fmt.Errorf("exp: obs %s on %s: %w", k.Name, t.m.Name, err)
+			}
+			sum.Rows = append(sum.Rows, reduceTrace(tr, rep.Served, time.Since(start)))
+		}
+	}
+	return sum, nil
+}
+
+// reduceTrace folds a finished trace into its ObsRow.
+func reduceTrace(tr *obs.Trace, served string, d time.Duration) ObsRow {
+	snap := tr.Snapshot()
+	row := ObsRow{
+		Kernel:   snap.Graph,
+		Machine:  snap.Machine,
+		Served:   served,
+		Passes:   len(snap.Passes),
+		Attempts: len(snap.Attempts),
+		Ms:       float64(d.Nanoseconds()) / 1e6,
+	}
+	for i, p := range snap.Passes {
+		if i == 0 {
+			row.FirstEntropy = p.MeanEntropy
+		}
+		row.FinalEntropy = p.MeanEntropy
+		if p.Changed > 0 {
+			row.SettledAt = i + 1
+		}
+		if drift := p.MaxTotal - 1; drift > row.MaxDrift {
+			row.MaxDrift = drift
+		}
+		if drift := 1 - p.MinTotal; drift > row.MaxDrift {
+			row.MaxDrift = drift
+		}
+	}
+	return row
+}

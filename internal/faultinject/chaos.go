@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -187,19 +188,19 @@ func isScheduleClass(class string) bool {
 // wrapGraph makes a rung schedule a mutated copy of its input graph.
 func wrapGraph(r robust.Rung, class string, mutate func(*ir.Graph, int64) (*ir.Graph, bool), seed int64) robust.Rung {
 	inner := r.Run
-	return robust.Rung{Name: r.Name + "!" + class, Run: func(g *ir.Graph) (*schedule.Schedule, error) {
+	return robust.Rung{Name: r.Name + "!" + class, Run: func(ctx context.Context, g *ir.Graph) (*schedule.Schedule, error) {
 		if mutated, ok := mutate(g, seed); ok {
 			g = mutated
 		}
-		return inner(g)
+		return inner(ctx, g)
 	}}
 }
 
 // wrapOutput makes a rung corrupt its own output schedule.
 func wrapOutput(r robust.Rung, class string, seed int64) robust.Rung {
 	inner := r.Run
-	return robust.Rung{Name: r.Name + "!" + class, Run: func(g *ir.Graph) (*schedule.Schedule, error) {
-		s, err := inner(g)
+	return robust.Rung{Name: r.Name + "!" + class, Run: func(ctx context.Context, g *ir.Graph) (*schedule.Schedule, error) {
+		s, err := inner(ctx, g)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package faultinject_test
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -55,7 +56,7 @@ func propGraphs(clusters int) []*ir.Graph {
 // list schedule, which honours preplacement and bank homes on any machine.
 func base(t *testing.T, g *ir.Graph, m *machine.Model) *schedule.Schedule {
 	t.Helper()
-	s, err := robust.ListRung(m).Run(g)
+	s, err := robust.ListRung(m).Run(context.Background(), g)
 	if err != nil {
 		t.Fatalf("list schedule for %s on %s: %v", g.Name, m.Name, err)
 	}

@@ -77,10 +77,32 @@ type breaker struct {
 type BreakerSet struct {
 	policy BreakerPolicy
 
-	mu  sync.Mutex
-	m   map[string]*breaker
-	now func() time.Time
-	rng *rand.Rand // guarded by mu
+	mu       sync.Mutex
+	m        map[string]*breaker
+	now      func() time.Time
+	rng      *rand.Rand // guarded by mu
+	observer func(key string, from, to BreakerState)
+}
+
+// SetObserver installs a hook called on every breaker state transition. The
+// hook runs under the set's lock, so it must be fast and must not call back
+// into the set — the server's observer only bumps a transition counter. A
+// nil fn removes the hook.
+func (s *BreakerSet) SetObserver(fn func(key string, from, to BreakerState)) {
+	s.mu.Lock()
+	s.observer = fn
+	s.mu.Unlock()
+}
+
+// State returns the breaker's current state without creating it; unknown
+// keys report closed (the state a fresh breaker would start in).
+func (s *BreakerSet) State(key string) BreakerState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.m[key]; ok {
+		return b.state
+	}
+	return BreakerClosed
 }
 
 // NewBreakerSet returns a breaker family with the given policy (zero fields
@@ -122,26 +144,37 @@ func (s *BreakerSet) jittered(d time.Duration) time.Duration {
 // probe; everyone else is rejected until the probe reports its outcome.
 func (s *BreakerSet) Allow(key string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	b := s.get(key)
+	from := b.state
+	var allowed bool
 	switch b.state {
 	case BreakerClosed:
-		return true
+		allowed = true
 	case BreakerOpen:
 		if s.now().Before(b.until) {
 			b.skips++
-			return false
+		} else {
+			b.state = BreakerHalfOpen
+			b.probing = true
+			allowed = true
 		}
-		b.state = BreakerHalfOpen
-		b.probing = true
-		return true
 	default: // half-open
 		if b.probing {
 			b.skips++
-			return false
+		} else {
+			b.probing = true
+			allowed = true
 		}
-		b.probing = true
-		return true
+	}
+	s.notify(key, from, b.state)
+	s.mu.Unlock()
+	return allowed
+}
+
+// notify fires the observer for a state transition. Callers hold s.mu.
+func (s *BreakerSet) notify(key string, from, to BreakerState) {
+	if s.observer != nil && from != to {
+		s.observer(key, from, to)
 	}
 }
 
@@ -152,11 +185,13 @@ func (s *BreakerSet) Record(key string, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b := s.get(key)
+	from := b.state
 	if ok {
 		b.state = BreakerClosed
 		b.fails = 0
 		b.probing = false
 		b.cooldown = s.policy.Cooldown
+		s.notify(key, from, b.state)
 		return
 	}
 	switch b.state {
@@ -173,6 +208,7 @@ func (s *BreakerSet) Record(key string, ok bool) {
 		s.trip(b, next)
 	default: // open: a straggler attempt admitted before the trip; nothing to do
 	}
+	s.notify(key, from, b.state)
 }
 
 // trip moves b to open for a jittered cooldown. Callers hold s.mu.

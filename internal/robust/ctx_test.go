@@ -18,9 +18,9 @@ func countingLadder(m *machine.Model, ran *atomic.Int64) []robust.Rung {
 	list := robust.ListRung(m)
 	return []robust.Rung{{
 		Name: "counted",
-		Run: func(g *ir.Graph) (*schedule.Schedule, error) {
+		Run: func(ctx context.Context, g *ir.Graph) (*schedule.Schedule, error) {
 			ran.Add(1)
-			return list.Run(g)
+			return list.Run(ctx, g)
 		},
 	}}
 }
@@ -107,7 +107,7 @@ func TestBreakerSkipsPersistentlyFailingRung(t *testing.T) {
 	var primaryRuns atomic.Int64
 	ladder := func() []robust.Rung {
 		return []robust.Rung{
-			{Name: "flaky", Run: func(gr *ir.Graph) (*schedule.Schedule, error) {
+			{Name: "flaky", Run: func(ctx context.Context, gr *ir.Graph) (*schedule.Schedule, error) {
 				primaryRuns.Add(1)
 				panic("injected: flaky rung down")
 			}},

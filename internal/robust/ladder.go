@@ -1,6 +1,7 @@
 package robust
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/baseline/pcc"
@@ -17,8 +18,8 @@ import (
 // ConvergentRung wraps the convergent scheduler with the given pass
 // sequence and noise seed as a ladder rung.
 func ConvergentRung(name string, m *machine.Model, seq []core.Pass, seed int64) Rung {
-	return Rung{Name: name, Run: func(g *ir.Graph) (*schedule.Schedule, error) {
-		s, _, err := core.Schedule(g, m, seq, seed)
+	return Rung{Name: name, Run: func(ctx context.Context, g *ir.Graph) (*schedule.Schedule, error) {
+		s, _, err := core.ScheduleCtx(ctx, g, m, seq, seed)
 		return s, err
 	}}
 }
@@ -36,11 +37,11 @@ func TruncatedSequence(seq []core.Pass) []core.Pass {
 // (Raw), UAS on clustered VLIWs.
 func BaselineRung(m *machine.Model) Rung {
 	if m.RemoteMemPenalty < 0 {
-		return Rung{Name: "rawcc", Run: func(g *ir.Graph) (*schedule.Schedule, error) {
+		return Rung{Name: "rawcc", Run: func(ctx context.Context, g *ir.Graph) (*schedule.Schedule, error) {
 			return rawcc.Schedule(g, m)
 		}}
 	}
-	return Rung{Name: "uas", Run: func(g *ir.Graph) (*schedule.Schedule, error) {
+	return Rung{Name: "uas", Run: func(ctx context.Context, g *ir.Graph) (*schedule.Schedule, error) {
 		return uas.Schedule(g, m)
 	}}
 }
@@ -50,7 +51,7 @@ func BaselineRung(m *machine.Model) Rung {
 // everything else on cluster 0). It exercises no heuristic machinery at
 // all, so it survives almost anything the richer schedulers choke on.
 func ListRung(m *machine.Model) Rung {
-	return Rung{Name: "list", Run: func(g *ir.Graph) (*schedule.Schedule, error) {
+	return Rung{Name: "list", Run: func(ctx context.Context, g *ir.Graph) (*schedule.Schedule, error) {
 		assign := make([]int, g.Len())
 		for i, in := range g.Instrs {
 			switch {
@@ -108,15 +109,15 @@ func RungFor(m *machine.Model, scheduler string, seed int64) (Rung, error) {
 	case "convergent":
 		return ConvergentRung("convergent", m, passes.ForMachine(m.Name), seed), nil
 	case "rawcc":
-		return Rung{Name: "rawcc", Run: func(g *ir.Graph) (*schedule.Schedule, error) {
+		return Rung{Name: "rawcc", Run: func(ctx context.Context, g *ir.Graph) (*schedule.Schedule, error) {
 			return rawcc.Schedule(g, m)
 		}}, nil
 	case "uas":
-		return Rung{Name: "uas", Run: func(g *ir.Graph) (*schedule.Schedule, error) {
+		return Rung{Name: "uas", Run: func(ctx context.Context, g *ir.Graph) (*schedule.Schedule, error) {
 			return uas.Schedule(g, m)
 		}}, nil
 	case "pcc":
-		return Rung{Name: "pcc", Run: func(g *ir.Graph) (*schedule.Schedule, error) {
+		return Rung{Name: "pcc", Run: func(ctx context.Context, g *ir.Graph) (*schedule.Schedule, error) {
 			return pcc.Schedule(g, m, pcc.Options{})
 		}}, nil
 	case "list":

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/schedule"
 	"repro/internal/sim"
 )
@@ -90,8 +91,10 @@ type Rung struct {
 	// Name labels the rung in reports ("convergent", "uas", "list", ...).
 	Name string
 	// Run schedules the graph. It may return an error, panic, or stall;
-	// the driver isolates all three.
-	Run func(g *ir.Graph) (*schedule.Schedule, error)
+	// the driver isolates all three. The context carries the request's
+	// observability trace (see internal/obs) labelled with this rung's
+	// name; schedulers that don't record simply ignore it.
+	Run func(ctx context.Context, g *ir.Graph) (*schedule.Schedule, error)
 }
 
 // Options configures the resilient driver.
@@ -200,6 +203,35 @@ func compact(e *SchedError) string {
 	return msg
 }
 
+// recordAttempt mirrors one report attempt into the request trace (nil-safe:
+// untraced requests record nothing).
+func recordAttempt(tr *obs.Trace, rung string, d time.Duration, serr *SchedError) {
+	if tr == nil {
+		return
+	}
+	a := obs.AttemptRec{Rung: rung, Ms: float64(d) / float64(time.Millisecond), OK: serr == nil}
+	if serr != nil {
+		a.Stage = string(serr.Stage)
+		a.Error = compact(serr)
+	}
+	tr.RecordAttempt(a)
+}
+
+// breakerWatch snapshots a breaker's state and returns a closure that
+// records a BreakerEvent if the state changed by the time it runs. Untraced
+// requests get a no-op, so the untraced path never queries the breaker.
+func breakerWatch(tr *obs.Trace, bs *BreakerSet, key string) func() {
+	if tr == nil || bs == nil {
+		return func() {}
+	}
+	before := bs.State(key)
+	return func() {
+		if after := bs.State(key); after != before {
+			tr.RecordBreaker(obs.BreakerEvent{Key: key, From: string(before), To: string(after)})
+		}
+	}
+}
+
 // outcome crosses the goroutine boundary of one isolated attempt.
 type outcome struct {
 	sched *schedule.Schedule
@@ -211,6 +243,7 @@ type outcome struct {
 // configured deadline.
 func attempt(ctx context.Context, r Rung, g *ir.Graph, timeout time.Duration) (*schedule.Schedule, *SchedError) {
 	clone := g.Clone()
+	runCtx := obs.WithRung(ctx, r.Name)
 	ch := make(chan outcome, 1)
 	go func() {
 		defer func() {
@@ -218,7 +251,7 @@ func attempt(ctx context.Context, r Rung, g *ir.Graph, timeout time.Duration) (*
 				ch <- outcome{serr: &SchedError{Rung: r.Name, Stage: StagePanic, PanicValue: v, Stack: debug.Stack()}}
 			}
 		}()
-		s, err := r.Run(clone)
+		s, err := r.Run(runCtx, clone)
 		ch <- outcome{sched: s, err: err}
 	}()
 	var deadline <-chan time.Time
@@ -303,16 +336,20 @@ func Schedule(ctx context.Context, g *ir.Graph, m *machine.Model, opt Options) (
 		return nil, rep, serr
 	}
 	g.Seal()
+	tr := obs.FromContext(ctx)
 	var last *SchedError
 	for _, r := range ladder {
 		if ctx.Err() != nil {
 			break
 		}
 		key := breakerKey(r.Name, opt.BreakerScope)
+		watch := breakerWatch(tr, opt.Breakers, key)
 		if opt.Breakers != nil && !opt.Breakers.Allow(key) {
+			watch()
 			serr := &SchedError{Rung: r.Name, Stage: StageBreaker,
 				Err: fmt.Errorf("circuit open for %q, rung skipped", key)}
 			rep.Attempts = append(rep.Attempts, Attempt{Rung: r.Name, Err: serr})
+			recordAttempt(tr, r.Name, 0, serr)
 			last = serr
 			continue
 		}
@@ -321,7 +358,9 @@ func Schedule(ctx context.Context, g *ir.Graph, m *machine.Model, opt Options) (
 		if serr == nil {
 			cand, serr = gate(r.Name, cand, g, m, opt)
 		}
-		rep.Attempts = append(rep.Attempts, Attempt{Rung: r.Name, Duration: time.Since(t0), Err: serr})
+		dur := time.Since(t0)
+		rep.Attempts = append(rep.Attempts, Attempt{Rung: r.Name, Duration: dur, Err: serr})
+		recordAttempt(tr, r.Name, dur, serr)
 		if opt.Breakers != nil {
 			switch {
 			case serr == nil:
@@ -335,6 +374,7 @@ func Schedule(ctx context.Context, g *ir.Graph, m *machine.Model, opt Options) (
 				opt.Breakers.Record(key, false)
 			}
 		}
+		watch()
 		if serr == nil {
 			rep.Served = r.Name
 			return cand, rep, nil
@@ -352,17 +392,22 @@ func Schedule(ctx context.Context, g *ir.Graph, m *machine.Model, opt Options) (
 	// not to be served at any cost.
 	if len(ladder) > 1 && opt.Timeout > 0 && last != nil && last.Stage == StageDeadline && ctx.Err() == nil {
 		r := ladder[len(ladder)-1]
+		key := breakerKey(r.Name, opt.BreakerScope)
+		watch := breakerWatch(tr, opt.Breakers, key)
 		t0 := time.Now()
 		cand, serr := attempt(ctx, r, g, 0)
 		if serr == nil {
 			cand, serr = gate(r.Name, cand, g, m, opt)
 		}
-		rep.Attempts = append(rep.Attempts, Attempt{Rung: r.Name, Duration: time.Since(t0), Err: serr})
+		dur := time.Since(t0)
+		rep.Attempts = append(rep.Attempts, Attempt{Rung: r.Name, Duration: dur, Err: serr})
+		recordAttempt(tr, r.Name, dur, serr)
 		// The rescue attempt bypasses Allow — it is the serve-at-any-cost
 		// path — but its outcome still teaches the breaker.
 		if opt.Breakers != nil && (serr == nil || ctx.Err() == nil) {
-			opt.Breakers.Record(breakerKey(r.Name, opt.BreakerScope), serr == nil)
+			opt.Breakers.Record(key, serr == nil)
 		}
+		watch()
 		if serr == nil {
 			rep.Served = r.Name
 			return cand, rep, nil

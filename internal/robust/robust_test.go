@@ -65,7 +65,7 @@ func TestPanicIsolation(t *testing.T) {
 	m := machine.Chorus(2)
 	g := bench.RandomLayered(30, 4, 2, 1)
 	ladder := []robust.Rung{
-		{Name: "boom", Run: func(*ir.Graph) (*schedule.Schedule, error) { panic("kaboom") }},
+		{Name: "boom", Run: func(context.Context, *ir.Graph) (*schedule.Schedule, error) { panic("kaboom") }},
 		robust.ListRung(m),
 	}
 	s, rep, err := robust.Schedule(context.Background(), g, m, robust.Options{Ladder: ladder})
@@ -97,7 +97,7 @@ func TestDeadlineAbandonsStalledRung(t *testing.T) {
 	m := machine.Chorus(2)
 	g := bench.RandomLayered(30, 4, 2, 1)
 	ladder := []robust.Rung{
-		{Name: "stuck", Run: func(gg *ir.Graph) (*schedule.Schedule, error) {
+		{Name: "stuck", Run: func(ctx context.Context, gg *ir.Graph) (*schedule.Schedule, error) {
 			time.Sleep(5 * time.Second)
 			return nil, errors.New("unreachable")
 		}},
@@ -126,7 +126,7 @@ func TestNilScheduleBecomesError(t *testing.T) {
 	m := machine.Chorus(2)
 	g := bench.RandomLayered(20, 4, 2, 1)
 	ladder := []robust.Rung{
-		{Name: "mute", Run: func(*ir.Graph) (*schedule.Schedule, error) { return nil, nil }},
+		{Name: "mute", Run: func(context.Context, *ir.Graph) (*schedule.Schedule, error) { return nil, nil }},
 		robust.ListRung(m),
 	}
 	_, rep, err := robust.Schedule(context.Background(), g, m, robust.Options{Ladder: ladder})
@@ -144,8 +144,8 @@ func TestGateRejectsCorruptedOutput(t *testing.T) {
 	m := machine.Chorus(4)
 	g := bench.RandomLayered(60, 6, 4, 3)
 	ladder := []robust.Rung{
-		{Name: "corrupt", Run: func(gg *ir.Graph) (*schedule.Schedule, error) {
-			s, err := robust.ListRung(m).Run(gg)
+		{Name: "corrupt", Run: func(ctx context.Context, gg *ir.Graph) (*schedule.Schedule, error) {
+			s, err := robust.ListRung(m).Run(context.Background(), gg)
 			if err != nil {
 				return nil, err
 			}
@@ -205,10 +205,10 @@ func TestVerifyCatchesWrongAnswer(t *testing.T) {
 	good := []int{a0.ID, c1.ID, c2.ID, s0.ID, s1.ID}
 	bad := []int{a0.ID, c1.ID, c2.ID, s1.ID, s0.ID}
 	ladder := []robust.Rung{
-		{Name: "reordered", Run: func(gg *ir.Graph) (*schedule.Schedule, error) {
+		{Name: "reordered", Run: func(ctx context.Context, gg *ir.Graph) (*schedule.Schedule, error) {
 			return handSched(gg, m, bad), nil
 		}},
-		{Name: "program-order", Run: func(gg *ir.Graph) (*schedule.Schedule, error) {
+		{Name: "program-order", Run: func(ctx context.Context, gg *ir.Graph) (*schedule.Schedule, error) {
 			return handSched(gg, m, good), nil
 		}},
 	}
@@ -234,8 +234,8 @@ func TestAllRungsFail(t *testing.T) {
 	m := machine.Chorus(2)
 	g := bench.RandomLayered(20, 4, 2, 1)
 	ladder := []robust.Rung{
-		{Name: "deaf", Run: func(*ir.Graph) (*schedule.Schedule, error) { return nil, errors.New("no") }},
-		{Name: "dumb", Run: func(*ir.Graph) (*schedule.Schedule, error) { panic("nope") }},
+		{Name: "deaf", Run: func(context.Context, *ir.Graph) (*schedule.Schedule, error) { return nil, errors.New("no") }},
+		{Name: "dumb", Run: func(context.Context, *ir.Graph) (*schedule.Schedule, error) { panic("nope") }},
 	}
 	s, rep, err := robust.Schedule(context.Background(), g, m, robust.Options{Ladder: ladder})
 	if err == nil || s != nil {
@@ -263,9 +263,9 @@ func TestAllRungsFail(t *testing.T) {
 func TestBudgetStarvedLadderEscalates(t *testing.T) {
 	m := machine.Chorus(2)
 	g := bench.RandomLayered(30, 4, 2, 1)
-	slowList := func(gg *ir.Graph) (*schedule.Schedule, error) {
+	slowList := func(ctx context.Context, gg *ir.Graph) (*schedule.Schedule, error) {
 		time.Sleep(40 * time.Millisecond)
-		return robust.ListRung(m).Run(gg)
+		return robust.ListRung(m).Run(ctx, gg)
 	}
 	ladder := []robust.Rung{
 		{Name: "slow-a", Run: slowList},
@@ -316,9 +316,9 @@ func TestCancelledContextStopsLadder(t *testing.T) {
 	cancel()
 	m := machine.Chorus(2)
 	g := bench.RandomLayered(20, 4, 2, 1)
-	slow := func(gg *ir.Graph) (*schedule.Schedule, error) {
+	slow := func(ctx context.Context, gg *ir.Graph) (*schedule.Schedule, error) {
 		time.Sleep(50 * time.Millisecond)
-		return robust.ListRung(m).Run(gg)
+		return robust.ListRung(m).Run(ctx, gg)
 	}
 	ladder := []robust.Rung{{Name: "one", Run: slow}, {Name: "two", Run: slow}}
 	_, rep, err := robust.Schedule(ctx, g, m, robust.Options{Ladder: ladder})

@@ -39,6 +39,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/irtext"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/robust"
 	"repro/internal/store"
 )
@@ -99,6 +100,7 @@ type Server struct {
 	breakers *robust.BreakerSet
 	adm      *admission
 	mux      *http.ServeMux
+	metrics  *metrics
 	start    time.Time
 
 	draining atomic.Bool
@@ -159,10 +161,13 @@ func New(cfg Config) *Server {
 		s.ready.Store(true)
 		close(s.recoveryDone)
 	}
+	s.metrics = newMetrics(s)
+	s.breakers.SetObserver(s.metrics.observeBreaker)
 	s.mux.HandleFunc("/schedule", s.handleSchedule)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
 
@@ -237,6 +242,13 @@ func (g *inflightGauge) exit() {
 	g.mu.Unlock()
 }
 
+// current returns the in-flight request count — the drain-progress gauge.
+func (g *inflightGauge) current() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
 // waitZero blocks until no request is in flight. A request entering after
 // the gauge hits zero is the drain-flag check's problem, not ours.
 func (g *inflightGauge) waitZero() {
@@ -308,6 +320,9 @@ type scheduleResponse struct {
 	Degraded   bool            `json:"degraded,omitempty"`
 	Attempts   []attemptJSON   `json:"attempts,omitempty"`
 	ElapsedMs  float64         `json:"elapsedMs"`
+	// Trace is the request's full observability record, present when the
+	// request asked for ?trace=1.
+	Trace *obs.Trace `json:"trace,omitempty"`
 }
 
 // StatsResponse is the /stats body and the snapshot flushed on drain.
@@ -315,10 +330,14 @@ type StatsResponse struct {
 	UptimeSec float64              `json:"uptimeSec"`
 	Ready     bool                 `json:"ready"`
 	Draining  bool                 `json:"draining"`
+	Inflight  int                  `json:"inflight"`
 	Panics    uint64               `json:"panics"`
 	Engine    engine.Stats         `json:"engine"`
 	Admission AdmissionStats       `json:"admission"`
 	Breakers  []robust.BreakerStat `json:"breakers"`
+	// Metrics folds the Prometheus registry's samples into the JSON stats
+	// body (the same values GET /metrics renders as text).
+	Metrics []obs.Sample `json:"metrics,omitempty"`
 }
 
 // StatsSnapshot returns the service counters as served by /stats.
@@ -327,10 +346,12 @@ func (s *Server) StatsSnapshot() StatsResponse {
 		UptimeSec: time.Since(s.start).Seconds(),
 		Ready:     s.ready.Load(),
 		Draining:  s.draining.Load(),
+		Inflight:  s.inflight.current(),
 		Panics:    s.panics.Load(),
 		Engine:    s.engine.Stats(),
 		Admission: s.adm.stats(),
 		Breakers:  s.breakers.Snapshot(),
+		Metrics:   s.metrics.reg.Samples(),
 	}
 }
 
@@ -445,6 +466,7 @@ type scheduleRequest struct {
 	fallback  bool
 	timeout   time.Duration // per-attempt rung budget
 	deadline  time.Duration // whole-request budget (0 = client's own)
+	trace     bool          // attach the observability trace to the response
 }
 
 // parseRequest validates the query parameters of a /schedule call.
@@ -490,6 +512,9 @@ func (s *Server) parseRequest(r *http.Request) (scheduleRequest, error) {
 		return req, err
 	}
 	if err := parseBool("fallback", &req.fallback); err != nil {
+		return req, err
+	}
+	if err := parseBool("trace", &req.trace); err != nil {
 		return req, err
 	}
 	if v := q.Get("timeout"); v != "" {
@@ -614,6 +639,11 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errorJSON{Kind: "bad-request", Message: err.Error()})
 		return
 	}
+	var tr *obs.Trace
+	if req.trace {
+		tr = obs.NewTrace(g.Name, req.mach.model.Name)
+		s.metrics.tracedRequests.Inc()
+	}
 	res := s.engine.Schedule(ctx, engine.Job{
 		ID:      g.Name,
 		Graph:   g,
@@ -627,15 +657,20 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			BreakerScope: req.mach.scope,
 		},
 		LadderID: ladderID,
+		Trace:    tr,
 	})
 	total := time.Since(t0)
 	s.adm.observe(wait, total, res.Err != nil)
+	s.metrics.observeRequest(total.Seconds(), res.Err != nil)
+	s.metrics.observeReport(res.Report)
 
 	if res.Err != nil {
 		s.writeScheduleError(w, ctx, res)
 		return
 	}
-	writeJSON(w, http.StatusOK, buildResponse(req.mach.model.Name, g.Name, res, total))
+	resp := buildResponse(req.mach.model.Name, g.Name, res, total)
+	resp.Trace = tr.Snapshot()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // writeScheduleError maps an engine failure onto a status code and a
