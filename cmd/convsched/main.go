@@ -77,6 +77,7 @@ type options struct {
 	jobs      int
 	cacheSize int
 	serveAddr string
+	tenant    string
 	storeDir  string
 	traceOut  string
 }
@@ -95,6 +96,7 @@ func main() {
 	flag.IntVar(&o.jobs, "j", 0, "worker-pool width for batch scheduling (0 = GOMAXPROCS)")
 	flag.IntVar(&o.cacheSize, "cache-size", 256, "schedule-cache entries for batch scheduling (0 disables)")
 	flag.StringVar(&o.serveAddr, "serve-addr", "", "schedule via a running schedd at this address instead of locally")
+	flag.StringVar(&o.tenant, "tenant", "", "tenant identity sent as X-Schedd-Tenant in remote mode")
 	flag.StringVar(&o.storeDir, "store-dir", "", "persist the batch schedule cache in this directory and warm-start from it")
 	flag.StringVar(&o.traceOut, "trace", "", "write the scheduling trace (per-pass weight deltas, ladder attempts) as JSON to this file")
 	chaosList := flag.Bool("chaos-list", false, "list chaos classes and exit")

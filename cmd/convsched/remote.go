@@ -7,14 +7,17 @@ package main
 // Retry-After — the client side of the daemon's admission control.
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -86,7 +89,7 @@ func runRemote(o options, paths []string) error {
 
 	failed := 0
 	for _, u := range units {
-		res, err := postUnit(target, u.body)
+		res, err := postUnit(target, o.tenant, u.body)
 		if err != nil {
 			failed++
 			fmt.Fprintf(os.Stderr, "convsched: %s: %v\n", u.id, err)
@@ -114,10 +117,18 @@ func runRemote(o options, paths []string) error {
 
 // postUnit sends one unit, retrying 429 sheds with the server's Retry-After
 // hint a bounded number of times.
-func postUnit(target string, body []byte) (*remoteSchedule, error) {
+func postUnit(target, tenant string, body []byte) (*remoteSchedule, error) {
 	const maxAttempts = 5
 	for attempt := 1; ; attempt++ {
-		resp, err := http.Post(target, "text/plain", strings.NewReader(string(body)))
+		req, err := http.NewRequest(http.MethodPost, target, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "text/plain")
+		if tenant != "" {
+			req.Header.Set("X-Schedd-Tenant", tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			return nil, err
 		}
@@ -148,18 +159,39 @@ func postUnit(target string, body []byte) (*remoteSchedule, error) {
 	}
 }
 
+// retryRand guards the shared jitter source: http retries can run from
+// concurrent batch goroutines and math/rand.Rand is not concurrency-safe.
+var (
+	retryRandMu sync.Mutex
+	retryRand   = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
 // retryAfter turns a Retry-After header (integer seconds) into a wait, with
-// a linear-backoff fallback when the header is absent or unparseable.
+// a linear-backoff fallback when the header is absent or unparseable. The
+// wait is jittered to [base/2, base]: a server shedding under overload
+// hands every concurrent client the same integer hint, and honoring it
+// verbatim re-saturates admission in lockstep on the next tick — the
+// classic synchronized retry storm.
 func retryAfter(header string, attempt int) time.Duration {
+	retryRandMu.Lock()
+	defer retryRandMu.Unlock()
+	return jitteredRetry(header, attempt, retryRand)
+}
+
+// jitteredRetry is retryAfter with an injectable randomness source so tests
+// can pin the jitter bounds deterministically.
+func jitteredRetry(header string, attempt int, rng *rand.Rand) time.Duration {
+	base := time.Duration(attempt) * 50 * time.Millisecond
 	if s, err := strconv.Atoi(header); err == nil && s >= 0 {
-		d := time.Duration(s) * time.Second
-		if d == 0 {
-			d = 50 * time.Millisecond
+		base = time.Duration(s) * time.Second
+		if base == 0 {
+			base = 50 * time.Millisecond
 		}
-		if d > 2*time.Second {
-			d = 2 * time.Second
+		if base > 2*time.Second {
+			base = 2 * time.Second
 		}
-		return d
 	}
-	return time.Duration(attempt) * 50 * time.Millisecond
+	// Full-jitter over the upper half: wait = base/2 + uniform(0, base/2].
+	half := base / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
 }

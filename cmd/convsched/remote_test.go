@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math/rand"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -101,4 +102,62 @@ func TestRunRemoteErrors(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "1 of 1 units failed") {
 		t.Errorf("bad unit: err=%v out=%s", err, out)
 	}
+}
+
+// TestJitteredRetryBounds pins the anti-retry-storm contract: whatever the
+// server's Retry-After hint, the client waits a uniformly jittered span in
+// [base/2, base] — never the verbatim hint — so shed clients desynchronize
+// instead of re-saturating admission in lockstep.
+func TestJitteredRetryBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		header  string
+		attempt int
+		base    time.Duration
+	}{
+		{"1", 1, time.Second},                  // header honored
+		{"", 2, 100 * time.Millisecond},        // no header: linear backoff
+		{"garbage", 3, 150 * time.Millisecond}, // unparseable: backoff
+		{"0", 1, 50 * time.Millisecond},        // zero floor
+		{"-4", 1, 50 * time.Millisecond},       // negative rejected
+		{"60", 1, 2 * time.Second},             // absurd hint capped
+	}
+	for _, tc := range cases {
+		distinct := map[time.Duration]bool{}
+		for i := 0; i < 200; i++ {
+			d := jitteredRetry(tc.header, tc.attempt, rng)
+			if d < tc.base/2 || d > tc.base {
+				t.Fatalf("jitteredRetry(%q, %d) = %v, want in [%v, %v]",
+					tc.header, tc.attempt, d, tc.base/2, tc.base)
+			}
+			distinct[d] = true
+		}
+		if len(distinct) < 20 {
+			t.Errorf("jitteredRetry(%q, %d): only %d distinct waits in 200 draws — not jittered",
+				tc.header, tc.attempt, len(distinct))
+		}
+	}
+}
+
+// TestRunRemoteTenantHeader: -tenant rides along as X-Schedd-Tenant and the
+// daemon attributes the work to that identity.
+func TestRunRemoteTenantHeader(t *testing.T) {
+	s := server.New(server.Config{Seed: 2002})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	o := remoteOpts(ts)
+	o.tenant = "acme"
+	out, err := capture(t, func() error {
+		return run(o, []string{writeKernel(t, "vvmul", 4)})
+	})
+	if err != nil {
+		t.Fatalf("remote run failed: %v\n%s", err, out)
+	}
+	for _, ten := range s.StatsSnapshot().Admission.Tenants {
+		if ten.Tenant == "acme" && ten.Completed == 1 {
+			return
+		}
+	}
+	t.Fatalf("daemon stats do not attribute the unit to tenant acme")
 }

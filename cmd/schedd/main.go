@@ -82,6 +82,62 @@ type options struct {
 	storeSnapshotEvery int
 	storeQueue         int
 	storeNoSync        bool
+
+	tenantClasses multiFlag // -tenant-class, repeatable
+	tenantAssign  multiFlag // -tenant, repeatable
+	tenantConfig  string    // -tenant-config JSON file
+	defaultClass  string    // -default-class
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+// tenancyFor merges the tenant-QoS flags into one validated config: the
+// -tenant-config file first, then repeatable -tenant-class / -tenant flags
+// layered on top (a flag class with the name of a file class replaces it).
+func tenancyFor(o options) (server.TenantConfig, error) {
+	var tc server.TenantConfig
+	if o.tenantConfig != "" {
+		var err error
+		if tc, err = server.LoadTenantConfig(o.tenantConfig); err != nil {
+			return tc, err
+		}
+	}
+	for _, spec := range o.tenantClasses {
+		c, err := server.ParseClassSpec(spec)
+		if err != nil {
+			return tc, err
+		}
+		replaced := false
+		for i := range tc.Classes {
+			if tc.Classes[i].Name == c.Name {
+				tc.Classes[i], replaced = c, true
+			}
+		}
+		if !replaced {
+			tc.Classes = append(tc.Classes, c)
+		}
+	}
+	for _, spec := range o.tenantAssign {
+		t, cl, err := server.ParseTenantAssignment(spec)
+		if err != nil {
+			return tc, err
+		}
+		if tc.Tenants == nil {
+			tc.Tenants = make(map[string]string)
+		}
+		tc.Tenants[t] = cl
+	}
+	if o.defaultClass != "" {
+		tc.DefaultClass = o.defaultClass
+	}
+	if err := server.ValidateTenancy(tc); err != nil {
+		return tc, err
+	}
+	return tc, nil
 }
 
 func main() {
@@ -101,6 +157,10 @@ func main() {
 	flag.DurationVar(&o.stall, "stall", 0, "stall duration for time-based chaos classes")
 	flag.IntVar(&o.breakerFailures, "breaker-failures", 0, "consecutive rung failures before its breaker opens (0 = default)")
 	flag.DurationVar(&o.breakerCooldown, "breaker-cooldown", 0, "initial breaker cooldown before a half-open probe (0 = default)")
+	flag.Var(&o.tenantClasses, "tenant-class", "define a QoS class, e.g. gold:weight=8,queue=32,rate=200,burst=400,inflight=16 (repeatable)")
+	flag.Var(&o.tenantAssign, "tenant", "assign a tenant to a class, e.g. acme=gold (repeatable)")
+	flag.StringVar(&o.tenantConfig, "tenant-config", "", "JSON file with {classes, tenants, defaultClass}")
+	flag.StringVar(&o.defaultClass, "default-class", "", "class serving unknown tenants and requests without X-Schedd-Tenant")
 	flag.StringVar(&o.storeDir, "store-dir", "", "persist the schedule cache in this directory and warm-restart from it")
 	flag.IntVar(&o.storeEntries, "store-entries", 8192, "max entries retained in the persistent store")
 	flag.IntVar(&o.storeSnapshotEvery, "store-snapshot-every", 1024, "WAL appends between snapshot compactions")
@@ -177,7 +237,12 @@ func run(o options) error {
 // serve runs the service on ln until stop delivers, then drains. Split from
 // run so tests can drive it with their own listener and stop channel.
 func serve(o options, ln net.Listener, stop <-chan os.Signal, logger *log.Logger) error {
+	tenancy, err := tenancyFor(o)
+	if err != nil {
+		return err
+	}
 	cfg := server.Config{
+		Tenancy:        tenancy,
 		Workers:        o.workers,
 		MaxQueue:       o.queue,
 		RatePerSec:     o.rate,
@@ -215,6 +280,17 @@ func serve(o options, ln net.Listener, stop <-chan os.Signal, logger *log.Logger
 	hs := &http.Server{Handler: s.Handler()}
 	logger.Printf("listening on %s (queue %d, rate %.0f/s, timeout %s)",
 		ln.Addr(), o.queue, o.rate, o.timeout)
+	if len(tenancy.Classes) > 0 {
+		for _, c := range tenancy.Classes {
+			logger.Printf("tenant class %s: weight=%d queue=%d rate=%.0f/s inflight=%d",
+				c.Name, c.Weight, c.MaxQueue, c.RatePerSec, c.MaxInflight)
+		}
+		def := tenancy.DefaultClass
+		if def == "" {
+			def = server.DefaultClassName
+		}
+		logger.Printf("tenancy: %d assigned tenants, default class %q", len(tenancy.Tenants), def)
+	}
 
 	// Profiling stays off the service port: pprof handlers leak internals and
 	// must never be reachable through whatever exposes /schedule. A failure to

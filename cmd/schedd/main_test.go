@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"testing"
@@ -15,6 +16,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/irtext"
+	"repro/internal/server"
 )
 
 // bootServe starts serve on an ephemeral port and returns the base URL, the
@@ -252,4 +254,126 @@ func TestServeStoreWarmRestart(t *testing.T) {
 	if err := <-done2; err != nil {
 		t.Fatalf("second daemon: %v", err)
 	}
+}
+
+// TestTenancyFor covers the merge order of the tenancy sources: config file,
+// then repeatable -tenant-class (replace-by-name), then -tenant assignments,
+// then -default-class — validated as a whole.
+func TestTenancyFor(t *testing.T) {
+	cfgPath := filepath.Join(t.TempDir(), "tenants.json")
+	cfg := `{
+  "classes": [
+    {"name": "gold", "weight": 4, "queue": 16},
+    {"name": "bronze", "weight": 1, "queue": 4}
+  ],
+  "tenants": {"vip": "gold"}
+}`
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	o := options{
+		tenantConfig:  cfgPath,
+		tenantClasses: multiFlag{"gold:weight=8,queue=32,inflight=2"}, // overrides file
+		tenantAssign:  multiFlag{"batch=bronze"},
+	}
+	tc, err := tenancyFor(o)
+	if err != nil {
+		t.Fatalf("tenancyFor: %v", err)
+	}
+	if len(tc.Classes) != 2 {
+		t.Fatalf("classes = %+v, want gold+bronze", tc.Classes)
+	}
+	var gold server.TenantClass
+	for _, c := range tc.Classes {
+		if c.Name == "gold" {
+			gold = c
+		}
+	}
+	if gold.Weight != 8 || gold.MaxQueue != 32 || gold.MaxInflight != 2 {
+		t.Errorf("flag did not replace file class: %+v", gold)
+	}
+	if tc.Tenants["vip"] != "gold" || tc.Tenants["batch"] != "bronze" {
+		t.Errorf("tenants = %v, want vip->gold (file) and batch->bronze (flag)", tc.Tenants)
+	}
+
+	bad := []options{
+		{tenantClasses: multiFlag{"gold:weight=x"}},                // malformed spec
+		{tenantAssign: multiFlag{"vip=nosuch"}},                    // unknown class
+		{tenantAssign: multiFlag{"not-an-assignment"}},             // missing =
+		{tenantClasses: multiFlag{"gold"}, defaultClass: "nosuch"}, // undefined default
+		{tenantConfig: filepath.Join(t.TempDir(), "absent.json")},  // unreadable file
+	}
+	for i, o := range bad {
+		if _, err := tenancyFor(o); err == nil {
+			t.Errorf("bad options %d accepted: %+v", i, o)
+		}
+	}
+}
+
+// TestServeWithTenancy boots the daemon with tenancy flags and checks a
+// tenant-attributed request lands in its configured class end to end.
+func TestServeWithTenancy(t *testing.T) {
+	o := options{
+		queue:         8,
+		cacheSize:     256,
+		timeout:       2 * time.Second,
+		drain:         5 * time.Second,
+		seed:          2002,
+		tenantClasses: multiFlag{"gold:weight=8,queue=16"},
+		tenantAssign:  multiFlag{"vip=gold"},
+	}
+	base, stop, done, _ := bootServe(t, o)
+	defer func() {
+		stop <- syscall.SIGTERM
+		<-done
+	}()
+
+	k, ok := bench.ByName("vvmul")
+	if !ok {
+		t.Fatal("vvmul not registered")
+	}
+	ddg := irtext.String(k.Build(4))
+	req, err := http.NewRequest(http.MethodPost, base+"/schedule?machine=vliw4", strings.NewReader(ddg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Schedd-Tenant", "vip")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tenant request: %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"tenant": "vip"`) || !strings.Contains(string(body), `"class": "gold"`) {
+		t.Fatalf("response not attributed to vip/gold: %.300s", body)
+	}
+
+	sresp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbody, _ := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	var st struct {
+		Admission struct {
+			Tenants []struct {
+				Tenant    string `json:"tenant"`
+				Class     string `json:"class"`
+				Completed uint64 `json:"completed"`
+			} `json:"tenants"`
+		} `json:"admission"`
+	}
+	if err := json.Unmarshal(sbody, &st); err != nil {
+		t.Fatalf("stats not JSON: %v", err)
+	}
+	for _, ten := range st.Admission.Tenants {
+		if ten.Tenant == "vip" && ten.Class == "gold" && ten.Completed == 1 {
+			return
+		}
+	}
+	t.Fatalf("stats do not attribute the request to vip/gold: %s", sbody)
 }

@@ -117,6 +117,10 @@ type Trace struct {
 	// Graph and Machine label the request.
 	Graph   string `json:"graph,omitempty"`
 	Machine string `json:"machine,omitempty"`
+	// Tenant and Class attribute the request to its QoS identity when it
+	// came through schedd's multi-tenant admission layer.
+	Tenant string `json:"tenant,omitempty"`
+	Class  string `json:"class,omitempty"`
 	// Passes are the per-pass preference-map deltas, in execution order
 	// (across rungs: a degraded request records the failed rung's passes
 	// before the serving rung's).
@@ -136,6 +140,16 @@ type Trace struct {
 // machine names.
 func NewTrace(graph, machine string) *Trace {
 	return &Trace{Graph: graph, Machine: machine}
+}
+
+// SetTenant labels the trace with the request's QoS identity.
+func (t *Trace) SetTenant(tenant, class string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.Tenant, t.Class = tenant, class
+	t.mu.Unlock()
 }
 
 // RecordPass appends one pass delta.
@@ -198,6 +212,8 @@ func (t *Trace) Snapshot() *Trace {
 	out := &Trace{
 		Graph:     t.Graph,
 		Machine:   t.Machine,
+		Tenant:    t.Tenant,
+		Class:     t.Class,
 		CachePath: t.CachePath,
 		Persisted: t.Persisted,
 	}
@@ -214,6 +230,26 @@ func (t *Trace) MarshalJSON() ([]byte, error) {
 	// An alias type drops the custom marshaller to avoid recursion.
 	type plain Trace
 	return json.Marshal((*plain)(snap))
+}
+
+// tenantKey is the context key for the request's tenant identity.
+type tenantKey struct{}
+
+// WithTenant returns a context carrying the request's tenant identity, so
+// layers below admission (engine, robust driver, logs) can attribute work
+// without threading a parameter through every signature.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// TenantFrom returns the context's tenant identity, or "" when the request
+// did not pass through tenant-aware admission.
+func TenantFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	t, _ := ctx.Value(tenantKey{}).(string)
+	return t
 }
 
 // traceKey is the context key for the request trace; rungKey labels which

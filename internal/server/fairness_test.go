@@ -1,0 +1,301 @@
+package server
+
+// The multi-tenant fairness chaos suite — the acceptance proof for the QoS
+// layer. The contract: a saturating low-priority flood must not push a
+// high-priority tenant's success rate below 95% or its latency past a
+// bound; every shed is a structured 429 attributed to the offending tenant
+// and cause; quota-exceeded tenants shed without collateral damage; and the
+// flooded class itself still makes progress (starvation freedom cuts both
+// ways). Run under -race in CI.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// tenantPost sends one /schedule request under a tenant identity and
+// returns status, headers, and body.
+func tenantPost(ts *httptest.Server, tenant, query, body string) (int, http.Header, []byte, error) {
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/schedule?"+query, strings.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if tenant != "" {
+		req.Header.Set("X-Schedd-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	b, err := readAll(resp)
+	return resp.StatusCode, resp.Header, b, err
+}
+
+// shedOf decodes a 429 body and returns its cause and tenant attribution.
+func shedOf(body []byte) (cause, tenant string, err error) {
+	var eb errorBody
+	if jerr := json.Unmarshal(body, &eb); jerr != nil || eb.Error.Kind == "" {
+		return "", "", fmt.Errorf("429 body is not a structured error: %s", body)
+	}
+	if eb.Error.Kind != "shed" {
+		return "", "", fmt.Errorf("429 kind = %q, want shed: %s", eb.Error.Kind, body)
+	}
+	if eb.Error.Cause == "" {
+		return "", "", fmt.Errorf("shed without a cause: %s", body)
+	}
+	return eb.Error.Cause, eb.Error.Tenant, nil
+}
+
+// TestFairnessFloodIsolation: 8 goroutines of bronze-class flood saturate
+// their queue while two vip clients probe sequentially through the gold
+// class. The vip probes must essentially never fail or shed, their p99 must
+// stay bounded, the flood's sheds must be attributed to the flood tenant
+// with cause queue, and the bronze class must still be granted work.
+func TestFairnessFloodIsolation(t *testing.T) {
+	s := New(Config{
+		Workers:   2,
+		CacheSize: -1, // every request schedules, so the stall is real work
+		Chaos:     &faultinject.Chaos{Class: faultinject.ChaosPassStall, Seed: 1, Stall: 10 * time.Millisecond},
+		Tenancy: TenantConfig{
+			Classes: []TenantClass{
+				{Name: "gold", Weight: 8, MaxQueue: 32},
+				{Name: "bronze", Weight: 1, MaxQueue: 3},
+			},
+			Tenants: map[string]string{"vip": "gold", "flood": "bronze"},
+		},
+		Seed: 2002,
+		Logf: func(string, ...any) {},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	ddg := ddgFor(t, "vvmul", 4)
+
+	var (
+		mu          sync.Mutex
+		violations  []string
+		floodOK     int
+		floodShed   int
+		vipOK       int
+		vipTotal    int
+		vipLatency  []time.Duration
+		vipFailures []string
+	)
+	violate := func(format string, args ...any) {
+		mu.Lock()
+		violations = append(violations, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+
+	stop := make(chan struct{})
+	var floodWG sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		floodWG.Add(1)
+		go func() {
+			defer floodWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code, hdr, body, err := tenantPost(ts, "flood", "machine=vliw4", ddg)
+				if err != nil {
+					violate("flood transport error: %v", err)
+					return
+				}
+				switch code {
+				case http.StatusOK:
+					mu.Lock()
+					floodOK++
+					mu.Unlock()
+				case http.StatusTooManyRequests:
+					if hdr.Get("Retry-After") == "" {
+						violate("flood 429 without Retry-After")
+					}
+					cause, tenant, serr := shedOf(body)
+					if serr != nil {
+						violate("%v", serr)
+					} else if tenant != "flood" || cause != ShedCauseQueue {
+						violate("flood shed attributed to %s/%s, want flood/%s", tenant, cause, ShedCauseQueue)
+					}
+					mu.Lock()
+					floodShed++
+					mu.Unlock()
+				default:
+					violate("flood unexpected status %d: %.200s", code, body)
+				}
+			}
+		}()
+	}
+
+	var vipWG sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		vipWG.Add(1)
+		go func() {
+			defer vipWG.Done()
+			for j := 0; j < 20; j++ {
+				start := time.Now()
+				code, _, body, err := tenantPost(ts, "vip", "machine=vliw4", ddg)
+				elapsed := time.Since(start)
+				mu.Lock()
+				vipTotal++
+				vipLatency = append(vipLatency, elapsed)
+				if err == nil && code == http.StatusOK {
+					vipOK++
+				} else {
+					vipFailures = append(vipFailures, fmt.Sprintf("status %d err %v: %.200s", code, err, body))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	vipWG.Wait()
+	close(stop)
+	floodWG.Wait()
+
+	for _, v := range violations {
+		t.Error(v)
+	}
+	if vipTotal == 0 {
+		t.Fatal("no vip probes ran")
+	}
+	rate := float64(vipOK) / float64(vipTotal)
+	if rate < 0.95 {
+		t.Errorf("vip success rate %.2f under flood, want >= 0.95; failures: %v", rate, vipFailures)
+	}
+	sort.Slice(vipLatency, func(i, j int) bool { return vipLatency[i] < vipLatency[j] })
+	p99 := vipLatency[len(vipLatency)*99/100]
+	if p99 > 2*time.Second {
+		t.Errorf("vip p99 = %v under flood, want bounded by 2s", p99)
+	}
+	if floodShed == 0 {
+		t.Error("the flood never overflowed its class queue; the test did not saturate")
+	}
+	if floodOK == 0 {
+		t.Error("the flooded class made no progress at all: DRR starved bronze")
+	}
+
+	st := s.StatsSnapshot()
+	byTenant := map[string]TenantStats{}
+	for _, ten := range st.Admission.Tenants {
+		byTenant[ten.Tenant] = ten
+	}
+	vip, flood := byTenant["vip"], byTenant["flood"]
+	if vip.ShedQueue != 0 || vip.ShedRate != 0 || vip.ShedQuota != 0 {
+		t.Errorf("vip collaterally shed: %+v", vip)
+	}
+	if vip.Class != "gold" || flood.Class != "bronze" {
+		t.Errorf("tenant->class attribution wrong: vip=%q flood=%q", vip.Class, flood.Class)
+	}
+	if flood.ShedQueue == 0 {
+		t.Errorf("flood sheds not attributed in stats: %+v", flood)
+	}
+	var bronze ClassStats
+	for _, cs := range st.Admission.Classes {
+		if cs.Class == "bronze" {
+			bronze = cs
+		}
+	}
+	if bronze.Granted == 0 {
+		t.Error("bronze class was never granted a worker: starvation")
+	}
+	if got := uint64(floodShed); flood.ShedQueue != got {
+		t.Errorf("stats count %d flood queue sheds, clients saw %d", flood.ShedQueue, got)
+	}
+}
+
+// TestQuotaIsolation: a tenant at its in-flight quota sheds with cause
+// quota while an anonymous request sails through — quota overload isolates
+// to the offending tenant.
+func TestQuotaIsolation(t *testing.T) {
+	s := New(Config{
+		Workers:   8,
+		CacheSize: -1,
+		Chaos:     &faultinject.Chaos{Class: faultinject.ChaosPassStall, Seed: 1, Stall: 200 * time.Millisecond},
+		Tenancy: TenantConfig{
+			Classes: []TenantClass{{Name: "ltd", MaxInflight: 2, MaxQueue: 16}},
+			Tenants: map[string]string{"greedy": "ltd"},
+		},
+		Seed: 2002,
+		Logf: func(string, ...any) {},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	ddg := ddgFor(t, "vvmul", 4)
+
+	var (
+		mu         sync.Mutex
+		ok, quota  int
+		violations []string
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, _, body, err := tenantPost(ts, "greedy", "machine=vliw4", ddg)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err != nil:
+				violations = append(violations, fmt.Sprintf("transport: %v", err))
+			case code == http.StatusOK:
+				ok++
+			case code == http.StatusTooManyRequests:
+				cause, tenant, serr := shedOf(body)
+				if serr != nil {
+					violations = append(violations, serr.Error())
+				} else if cause != ShedCauseQuota || tenant != "greedy" {
+					violations = append(violations, fmt.Sprintf("shed %s/%s, want greedy/%s", tenant, cause, ShedCauseQuota))
+				}
+				quota++
+			default:
+				violations = append(violations, fmt.Sprintf("status %d: %.200s", code, body))
+			}
+		}()
+	}
+	// While greedy is pinned at its quota, an anonymous request must be
+	// served untouched.
+	time.Sleep(50 * time.Millisecond)
+	code, _, body, err := tenantPost(ts, "", "machine=vliw4", ddg)
+	if err != nil || code != http.StatusOK {
+		t.Errorf("anonymous request during greedy overload: %d %v: %.200s", code, err, body)
+	}
+	wg.Wait()
+
+	for _, v := range violations {
+		t.Error(v)
+	}
+	if ok < 2 {
+		t.Errorf("greedy completed %d requests, want >= its quota of 2", ok)
+	}
+	if quota == 0 {
+		t.Error("greedy never hit its quota; the test did not overload")
+	}
+	if ok+quota != 6 {
+		t.Errorf("greedy outcomes ok=%d quota=%d, want 6 total", ok, quota)
+	}
+
+	st := s.StatsSnapshot()
+	for _, ten := range st.Admission.Tenants {
+		switch ten.Tenant {
+		case "greedy":
+			if ten.ShedQuota == 0 {
+				t.Errorf("greedy quota sheds missing from stats: %+v", ten)
+			}
+		case AnonymousTenant:
+			if ten.ShedQuota != 0 || ten.ShedQueue != 0 || ten.ShedRate != 0 || ten.Completed == 0 {
+				t.Errorf("anonymous tenant took collateral damage: %+v", ten)
+			}
+		}
+	}
+}

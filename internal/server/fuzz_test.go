@@ -1,10 +1,12 @@
 package server
 
-// FuzzScheduleQuery hammers the /schedule query-parameter surface: whatever
-// the query string and body contain, the daemon must answer with a
-// structured status — malformed knobs get a JSON 400 with an error kind —
-// and must never panic or synthesize a 500. The seed corpus enumerates every
-// known-bad shape of every knob so the fuzzer starts at the edges.
+// FuzzScheduleQuery hammers the /schedule query-parameter and tenant-
+// identity surface: whatever the query string, tenant header, and body
+// contain, the daemon must answer with a structured status — malformed
+// knobs and malformed tenant names get a JSON 400 with an error kind, quota
+// and queue overloads get structured 429s — and must never panic or
+// synthesize a 500. The seed corpus enumerates every known-bad shape of
+// every knob so the fuzzer starts at the edges.
 
 import (
 	"encoding/json"
@@ -40,34 +42,76 @@ func FuzzScheduleQuery(f *testing.F) {
 		"machine=raw16&seed=1&verify=true&fallback=false&trace=1&timeout=1ms&deadline=1ms",
 	}
 	for _, q := range badQueries {
-		f.Add(q, "")
+		f.Add(q, "", "")
 	}
 	// A body that is not irtext must 400 regardless of the query.
-	f.Add("machine=raw4", "this is not a dependence graph")
-	f.Add("machine=raw4&trace=1", "graph g\nbroken")
+	f.Add("machine=raw4", "", "this is not a dependence graph")
+	f.Add("machine=raw4&trace=1", "", "graph g\nbroken")
 
-	s := New(Config{Seed: 2002, Logf: func(string, ...any) {}})
+	// Tenant-identity edges: oversized, malformed, control characters,
+	// header/query disagreement, and valid names that route to real classes.
+	tenantSeeds := []struct{ query, tenant string }{
+		{"machine=raw4", strings.Repeat("x", 65)},              // one past the length cap
+		{"machine=raw4", strings.Repeat("x", 4096)},            // absurdly oversized
+		{"machine=raw4", "has space"},                          //
+		{"machine=raw4", "a/b"},                                //
+		{"machine=raw4", "\x00\x01\x02"},                       // control bytes
+		{"machine=raw4", "émoji-☃"},                            // non-ASCII
+		{"machine=raw4", "vip"},                                // assigned tenant
+		{"machine=raw4", "unknown-tenant"},                     // default class
+		{"machine=raw4&tenant=other", "vip"},                   // header beats query
+		{"machine=raw4&tenant=" + strings.Repeat("y", 65), ""}, // bad query tenant
+		{"machine=raw4&tenant=%20", ""},                        // encoded space
+		{"tenant=vip", ""},                                     // tenant without machine
+	}
+	for _, ts := range tenantSeeds {
+		f.Add(ts.query, ts.tenant, "")
+	}
+
+	// Tenancy configured so fuzzed identities exercise class routing, the
+	// per-tenant quota, and the class queue bound — not just validation.
+	s := New(Config{
+		Seed: 2002,
+		Tenancy: TenantConfig{
+			Classes: []TenantClass{
+				{Name: "gold", Weight: 8, MaxQueue: 8},
+				{Name: "tiny", Weight: 1, MaxQueue: 1, MaxInflight: 1},
+			},
+			Tenants: map[string]string{"vip": "gold", "cramped": "tiny"},
+		},
+		Logf: func(string, ...any) {},
+	})
 	h := s.Handler()
 
-	f.Fuzz(func(t *testing.T, rawQuery, body string) {
+	f.Fuzz(func(t *testing.T, rawQuery, tenant, body string) {
 		// Build the request directly: NewRequest panics on an unparsable
 		// target, so the raw query is injected after construction.
 		req := httptest.NewRequest(http.MethodPost, "/schedule", strings.NewReader(body))
 		req.URL.RawQuery = rawQuery
+		if tenant != "" {
+			// Set via the map: Header.Set canonicalizes but does not reject
+			// arbitrary bytes, which is exactly the hostile-client shape.
+			req.Header["X-Schedd-Tenant"] = []string{tenant}
+		}
 		rr := httptest.NewRecorder()
 		h.ServeHTTP(rr, req)
 
 		if got := s.panics.Load(); got != 0 {
-			t.Fatalf("query %q body %q: handler panicked (%d contained)", rawQuery, body, got)
+			t.Fatalf("query %q tenant %q body %q: handler panicked (%d contained)", rawQuery, tenant, body, got)
 		}
 		switch rr.Code {
 		case http.StatusOK, http.StatusBadRequest, http.StatusTooManyRequests,
 			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
 		default:
-			t.Fatalf("query %q body %q: status %d, want 200/400/429/503/504; body: %.200s",
-				rawQuery, body, rr.Code, rr.Body.String())
+			t.Fatalf("query %q tenant %q body %q: status %d, want 200/400/429/503/504; body: %.200s",
+				rawQuery, tenant, body, rr.Code, rr.Body.String())
 		}
-		if rr.Code == http.StatusBadRequest {
+		// A malformed tenant identity must be a structured 400, never served
+		// and never shed (it must not reach admission accounting).
+		if tenant != "" && !ValidTenantName(tenant) && rr.Code == http.StatusOK {
+			t.Fatalf("tenant %q is invalid but was served", tenant)
+		}
+		if rr.Code == http.StatusBadRequest || rr.Code == http.StatusTooManyRequests {
 			var eb struct {
 				Error struct {
 					Kind    string `json:"kind"`
@@ -75,10 +119,12 @@ func FuzzScheduleQuery(f *testing.F) {
 				} `json:"error"`
 			}
 			if err := json.Unmarshal(rr.Body.Bytes(), &eb); err != nil {
-				t.Fatalf("query %q: 400 body is not JSON: %v; body: %.200s", rawQuery, err, rr.Body.String())
+				t.Fatalf("query %q tenant %q: %d body is not JSON: %v; body: %.200s",
+					rawQuery, tenant, rr.Code, err, rr.Body.String())
 			}
 			if eb.Error.Kind == "" {
-				t.Fatalf("query %q: 400 body has no error kind: %.200s", rawQuery, rr.Body.String())
+				t.Fatalf("query %q tenant %q: %d body has no error kind: %.200s",
+					rawQuery, tenant, rr.Code, rr.Body.String())
 			}
 		}
 	})

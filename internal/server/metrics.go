@@ -30,6 +30,12 @@ type metrics struct {
 	rungSeconds    *obs.HistogramVec // by rung name
 	breakerFlips   *obs.CounterVec   // by destination state
 	tracedRequests *obs.Counter
+
+	// Tenant QoS series. Histograms are labelled by class (bounded
+	// cardinality); counters and gauges by tenant, whose cardinality the
+	// admission layer caps at maxTrackedTenants.
+	tenantSeconds *obs.HistogramVec // by class
+	tenantShed    *obs.CounterVec   // by tenant, cause (event-driven)
 }
 
 // newMetrics registers every series and installs the scrape-time sync from
@@ -46,6 +52,10 @@ func newMetrics(s *Server) *metrics {
 			"Circuit-breaker state transitions by destination state.", "to"),
 		tracedRequests: reg.Counter("schedd_traced_requests_total",
 			"Requests served with ?trace=1."),
+		tenantSeconds: reg.HistogramVec("schedd_tenant_request_seconds",
+			"Admission-to-response latency of /schedule requests by priority class.", nil, "class"),
+		tenantShed: reg.CounterVec("schedd_tenant_shed_total",
+			"Requests shed by admission control, by tenant and cause.", "tenant", "cause"),
 	}
 
 	// Admission counters and queue gauges.
@@ -56,6 +66,24 @@ func newMetrics(s *Server) *metrics {
 	failed := reg.Counter("schedd_requests_failed_total", "Requests finished with a scheduling error.")
 	queueDepth := reg.Gauge("schedd_queue_depth", "Admitted-but-unfinished requests right now.")
 	queueCap := reg.Gauge("schedd_queue_capacity", "Bound of the admission queue.")
+
+	// Tenant QoS counters and class-queue gauges, mirrored from the
+	// admission snapshot at scrape time (tenant cardinality is bounded by
+	// the admission layer's tenant-map cap).
+	tenantRequests := reg.CounterVec("schedd_tenant_requests_total",
+		"Admitted requests finished, by tenant and outcome.", "tenant", "outcome")
+	tenantAccepted := reg.CounterVec("schedd_tenant_accepted_total",
+		"Requests admitted past every bound, by tenant.", "tenant")
+	tenantInflight := reg.GaugeVec("schedd_tenant_inflight",
+		"Admitted-but-unfinished requests right now, by tenant.", "tenant")
+	classDepth := reg.GaugeVec("schedd_tenant_class_queue_depth",
+		"Admitted-but-unfinished requests per priority class.", "class")
+	classCap := reg.GaugeVec("schedd_tenant_class_queue_capacity",
+		"Bound of each priority class's admission queue.", "class")
+	classWeight := reg.GaugeVec("schedd_tenant_class_weight",
+		"Deficit-round-robin weight of each priority class.", "class")
+	classGranted := reg.CounterVec("schedd_tenant_class_granted_total",
+		"Worker grants the weighted-fair dequeuer gave each class.", "class")
 
 	// Engine cache counters and occupancy.
 	cacheCounter := reg.CounterVec("schedd_cache_events_total", "Schedule-cache events by kind.", "kind")
@@ -81,11 +109,25 @@ func newMetrics(s *Server) *metrics {
 		accepted.Set(float64(ast.Accepted))
 		shed.With("queue").Set(float64(ast.ShedQueue))
 		shed.With("rate").Set(float64(ast.ShedRate))
+		shed.With("quota").Set(float64(ast.ShedQuota))
 		timeouts.Set(float64(ast.Timeouts))
 		completed.Set(float64(ast.Completed))
 		failed.Set(float64(ast.Failed))
 		queueDepth.Set(float64(ast.QueueDepth))
 		queueCap.Set(float64(ast.QueueCapacity))
+
+		for _, ts := range ast.Tenants {
+			tenantRequests.With(ts.Tenant, "ok").Set(float64(ts.Completed))
+			tenantRequests.With(ts.Tenant, "error").Set(float64(ts.Failed))
+			tenantAccepted.With(ts.Tenant).Set(float64(ts.Accepted))
+			tenantInflight.With(ts.Tenant).Set(float64(ts.Inflight))
+		}
+		for _, cs := range ast.Classes {
+			classDepth.With(cs.Class).Set(float64(cs.QueueDepth))
+			classCap.With(cs.Class).Set(float64(cs.QueueCapacity))
+			classWeight.With(cs.Class).Set(float64(cs.Weight))
+			classGranted.With(cs.Class).Set(float64(cs.Granted))
+		}
 
 		est := s.engine.Stats()
 		cacheCounter.With("hit").Set(float64(est.Hits))
@@ -141,12 +183,21 @@ func (m *metrics) observeBreaker(key string, from, to robust.BreakerState) {
 }
 
 // observeRequest records one finished /schedule request.
-func (m *metrics) observeRequest(seconds float64, failed bool) {
+func (m *metrics) observeRequest(class string, seconds float64, failed bool) {
 	outcome := "ok"
 	if failed {
 		outcome = "error"
 	}
 	m.requestSeconds.With(outcome).Observe(seconds)
+	if class != "" {
+		m.tenantSeconds.With(class).Observe(seconds)
+	}
+}
+
+// observeShed records one 429 at the moment it is shed, attributed to the
+// tenant and the admission bound that rejected it.
+func (m *metrics) observeShed(tenant, cause string) {
+	m.tenantShed.With(tenant, cause).Inc()
 }
 
 // observeReport records the per-rung attempt latencies of a freshly computed

@@ -65,6 +65,12 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxBodyBytes caps the request body. Default 1 MiB.
 	MaxBodyBytes int64
+	// Tenancy configures multi-tenant QoS: priority classes, tenant->class
+	// assignments, and the default class. The zero value runs a single
+	// default class with the server-wide bounds — exactly the pre-tenancy
+	// behavior — and requests without an X-Schedd-Tenant header always
+	// land there under the anonymous identity.
+	Tenancy TenantConfig
 	// Breakers overrides the per-rung breaker policy. Zero means defaults.
 	Breakers robust.BreakerPolicy
 	// Chaos, when non-nil, injects the configured fault class into every
@@ -106,6 +112,11 @@ type Server struct {
 	draining atomic.Bool
 	inflight inflightGauge
 	panics   atomic.Uint64
+
+	// testHookPostAdmit, when non-nil, runs right after admission grants a
+	// queue slot — the seam the release-exactly-once panic regression test
+	// uses to crash the handler at the worst moment.
+	testHookPostAdmit func()
 
 	// ready gates /readyz on startup completion: a server with no store is
 	// ready immediately, one with a store only after recovery replay ends.
@@ -150,7 +161,7 @@ func New(cfg Config) *Server {
 		cfg:          cfg,
 		engine:       engine.New(0, cfg.CacheSize),
 		breakers:     robust.NewBreakerSet(cfg.Breakers),
-		adm:          newAdmission(cfg.MaxQueue, cfg.Workers, cfg.RatePerSec, cfg.Burst, time.Now),
+		adm:          newAdmission(cfg.Tenancy, cfg.MaxQueue, cfg.Workers, cfg.RatePerSec, cfg.Burst, time.Now),
 		mux:          http.NewServeMux(),
 		start:        time.Now(),
 		machines:     make(map[string]machineEntry),
@@ -268,6 +279,12 @@ type errorJSON struct {
 	// sched-failed, panic.
 	Kind    string `json:"kind"`
 	Message string `json:"message"`
+	// Cause splits shed errors by which admission bound rejected the
+	// request (rate, tenant-rate, quota, queue); Tenant and Class
+	// attribute the shed to the identity that hit the bound.
+	Cause  string `json:"cause,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
+	Class  string `json:"class,omitempty"`
 	// Rung and Stage carry the resilient driver's failure site for
 	// sched-failed and deadline errors.
 	Rung  string `json:"rung,omitempty"`
@@ -310,6 +327,8 @@ type commJSON struct {
 type scheduleResponse struct {
 	Graph      string          `json:"graph"`
 	Machine    string          `json:"machine"`
+	Tenant     string          `json:"tenant,omitempty"`
+	Class      string          `json:"class,omitempty"`
 	Served     string          `json:"served"`
 	Cycles     int             `json:"cycles"`
 	Comms      int             `json:"comms"`
@@ -460,6 +479,8 @@ func (s *Server) machineFor(name string) (machineEntry, error) {
 // scheduleRequest is everything parsed out of one /schedule call.
 type scheduleRequest struct {
 	mach      machineEntry
+	tenant    string // accounting identity (anonymous when no header)
+	class     string // the tenant's priority class
 	scheduler string
 	seed      int64
 	verify    bool
@@ -467,6 +488,25 @@ type scheduleRequest struct {
 	timeout   time.Duration // per-attempt rung budget
 	deadline  time.Duration // whole-request budget (0 = client's own)
 	trace     bool          // attach the observability trace to the response
+}
+
+// parseTenant extracts and validates the request's tenant identity from the
+// X-Schedd-Tenant header (query ?tenant= as a fallback for clients that
+// cannot set headers). Absence is fine — the anonymous identity in the
+// default class — but a present, malformed identity is a 400: admission
+// accounting must never be attributed to a garbage name.
+func parseTenant(r *http.Request) (string, error) {
+	tenant := r.Header.Get("X-Schedd-Tenant")
+	if tenant == "" {
+		tenant = r.URL.Query().Get("tenant")
+	}
+	if tenant == "" {
+		return "", nil
+	}
+	if !ValidTenantName(tenant) {
+		return "", fmt.Errorf("bad tenant %.80q: want 1-%d chars of [A-Za-z0-9._-]", tenant, maxTenantNameLen)
+	}
+	return tenant, nil
 }
 
 // parseRequest validates the query parameters of a /schedule call.
@@ -587,16 +627,40 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Admission: rate limit, then the bounded queue. Shed explicitly.
-	ok, retry := s.adm.admit()
-	if !ok {
+	// Tenant identity first: admission attributes every decision to it, so
+	// a malformed identity is a 400 before any bound is charged.
+	tenant, err := parseTenant(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errorJSON{Kind: "bad-request", Message: err.Error()})
+		return
+	}
+
+	// Admission: global rate limit, then the tenant's own bucket, quota,
+	// and class queue. Shed explicitly, attributed to tenant and cause.
+	grant, cause, retry := s.adm.admit(tenant)
+	if grant == nil {
+		shownTenant := tenant
+		if shownTenant == "" {
+			shownTenant = AnonymousTenant
+		}
 		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retry.Seconds()))))
+		s.metrics.observeShed(shownTenant, cause)
 		writeError(w, http.StatusTooManyRequests, errorJSON{
-			Kind: "shed", Message: "overloaded, request shed by admission control",
+			Kind:    "shed",
+			Message: fmt.Sprintf("overloaded, request shed by admission control (%s, tenant %s)", cause, shownTenant),
+			Cause:   cause,
+			Tenant:  shownTenant,
 		})
 		return
 	}
-	defer s.adm.release()
+	// The grant is released by this defer exactly once — admitGrant.release
+	// is idempotent — including when the handler panics and the recovery
+	// middleware takes over: the deferred release runs during unwinding,
+	// before the middleware writes the 500.
+	defer grant.release()
+	if s.testHookPostAdmit != nil {
+		s.testHookPostAdmit()
+	}
 	t0 := time.Now()
 
 	req, err := s.parseRequest(r)
@@ -604,6 +668,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errorJSON{Kind: "bad-request", Message: err.Error()})
 		return
 	}
+	req.tenant, req.class = grant.Tenant(), grant.Class()
 	g, err := irtext.Parse(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, errorJSON{Kind: "bad-request", Message: err.Error()})
@@ -623,11 +688,13 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	if !s.adm.acquireWorker(ctx.Done()) {
-		s.adm.count(&s.adm.timeouts)
+	if !s.adm.acquireWorker(grant, ctx.Done()) {
+		s.adm.countTimeout(grant)
 		writeError(w, http.StatusGatewayTimeout, errorJSON{
 			Kind:    "deadline",
 			Message: fmt.Sprintf("deadline expired waiting for a worker slot: %v", ctx.Err()),
+			Tenant:  req.tenant,
+			Class:   req.class,
 		})
 		return
 	}
@@ -642,8 +709,12 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	var tr *obs.Trace
 	if req.trace {
 		tr = obs.NewTrace(g.Name, req.mach.model.Name)
+		tr.SetTenant(req.tenant, req.class)
 		s.metrics.tracedRequests.Inc()
 	}
+	// The tenant rides the context through the engine/robust path so any
+	// layer below (logs, future per-tenant scheduling policy) can see it.
+	ctx = obs.WithTenant(ctx, req.tenant)
 	res := s.engine.Schedule(ctx, engine.Job{
 		ID:      g.Name,
 		Graph:   g,
@@ -660,23 +731,25 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		Trace:    tr,
 	})
 	total := time.Since(t0)
-	s.adm.observe(wait, total, res.Err != nil)
-	s.metrics.observeRequest(total.Seconds(), res.Err != nil)
+	s.adm.observe(grant, wait, total, res.Err != nil)
+	s.metrics.observeRequest(req.class, total.Seconds(), res.Err != nil)
 	s.metrics.observeReport(res.Report)
 
 	if res.Err != nil {
-		s.writeScheduleError(w, ctx, res)
+		s.writeScheduleError(w, ctx, grant, res)
 		return
 	}
 	resp := buildResponse(req.mach.model.Name, g.Name, res, total)
+	resp.Tenant, resp.Class = req.tenant, req.class
 	resp.Trace = tr.Snapshot()
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // writeScheduleError maps an engine failure onto a status code and a
 // structured body.
-func (s *Server) writeScheduleError(w http.ResponseWriter, ctx context.Context, res engine.Result) {
-	e := errorJSON{Kind: "sched-failed", Message: res.Err.Error()}
+func (s *Server) writeScheduleError(w http.ResponseWriter, ctx context.Context, grant *admitGrant, res engine.Result) {
+	e := errorJSON{Kind: "sched-failed", Message: res.Err.Error(),
+		Tenant: grant.Tenant(), Class: grant.Class()}
 	var serr *robust.SchedError
 	if errors.As(res.Err, &serr) {
 		e.Rung, e.Stage = serr.Rung, string(serr.Stage)
@@ -686,7 +759,7 @@ func (s *Server) writeScheduleError(w http.ResponseWriter, ctx context.Context, 
 	}
 	code := http.StatusInternalServerError
 	if ctx.Err() != nil || (serr != nil && serr.Stage == robust.StageDeadline) {
-		s.adm.count(&s.adm.timeouts)
+		s.adm.countTimeout(grant)
 		e.Kind = "deadline"
 		code = http.StatusGatewayTimeout
 	}

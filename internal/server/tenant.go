@@ -1,0 +1,199 @@
+package server
+
+// Multi-tenant QoS configuration: tenants are identified by the
+// X-Schedd-Tenant header (or ?tenant=), mapped onto priority classes, and
+// each class carries the knobs the weighted-fair admission layer enforces —
+// a deficit-round-robin weight, a bounded class queue, and per-tenant token
+// buckets and in-flight quotas. The parsing here backs both the schedd
+// -tenant-class/-tenant flags and the -tenant-config JSON file.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// DefaultClassName is the class serving requests with no tenant header and
+// tenants with no explicit assignment. It always exists: a server
+// configured with no tenancy at all runs a single default class whose
+// bounds are the server-wide ones, which is exactly the pre-tenancy
+// behavior.
+const DefaultClassName = "default"
+
+// AnonymousTenant is the accounting identity of requests that carry no
+// tenant header. It keeps the untenanted path first-class: its stats and
+// metrics rows look like any other tenant's.
+const AnonymousTenant = "anonymous"
+
+// maxTenantNameLen bounds tenant identifiers; anything longer is a 400.
+const maxTenantNameLen = 64
+
+// maxTrackedTenants bounds the per-tenant state map so unknown tenant names
+// cannot grow server memory without bound. Past the cap, new tenants share
+// their class's overflow bucket (named "~overflow") — still isolated per
+// class, no longer per tenant.
+const maxTrackedTenants = 1024
+
+// overflowTenant is the shared accounting identity for tenants past
+// maxTrackedTenants.
+const overflowTenant = "~overflow"
+
+// TenantClass is one priority class of the weighted-fair admission layer.
+type TenantClass struct {
+	// Name identifies the class in config, stats, and metric labels.
+	Name string `json:"name"`
+	// Weight is the deficit-round-robin quantum: how many worker grants
+	// the class may take per round while others wait. Minimum (and
+	// default) 1 — every class with queued work is granted at least once
+	// per round, which is the starvation-freedom invariant.
+	Weight int `json:"weight"`
+	// MaxQueue bounds the class's admitted-but-unfinished requests
+	// (waiting + running). 0 inherits the server-wide Config.MaxQueue.
+	MaxQueue int `json:"queue"`
+	// RatePerSec and Burst configure the per-tenant token bucket for
+	// tenants of this class; 0 rate disables per-tenant rate limiting.
+	RatePerSec float64 `json:"rate"`
+	Burst      int     `json:"burst"`
+	// MaxInflight caps one tenant's admitted-but-unfinished requests; 0
+	// means unlimited. This is the per-tenant quota: a tenant at its cap
+	// sheds with cause "quota" without touching the rest of its class.
+	MaxInflight int `json:"inflight"`
+}
+
+// TenantConfig is the JSON shape of schedd -tenant-config.
+type TenantConfig struct {
+	// Classes defines the priority classes in DRR scan order.
+	Classes []TenantClass `json:"classes"`
+	// Tenants maps tenant name -> class name.
+	Tenants map[string]string `json:"tenants"`
+	// DefaultClass is the class for unknown tenants and requests without
+	// a tenant header; empty means "default".
+	DefaultClass string `json:"defaultClass"`
+}
+
+// ValidTenantName reports whether s is an acceptable tenant identifier:
+// 1..64 chars from [A-Za-z0-9._-]. The empty string is not valid (absence
+// of a tenant is represented by not sending the header).
+func ValidTenantName(s string) bool {
+	if len(s) == 0 || len(s) > maxTenantNameLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ParseClassSpec parses one -tenant-class flag value of the form
+//
+//	name[:key=value,...]   keys: weight, queue, rate, burst, inflight
+//
+// e.g. "gold:weight=8,queue=32,rate=200,burst=400,inflight=16".
+func ParseClassSpec(spec string) (TenantClass, error) {
+	name, rest, _ := strings.Cut(spec, ":")
+	if !ValidTenantName(name) {
+		return TenantClass{}, fmt.Errorf("tenant class spec %q: bad class name %q", spec, name)
+	}
+	c := TenantClass{Name: name}
+	if rest == "" {
+		return c, nil
+	}
+	for _, kv := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || v == "" {
+			return TenantClass{}, fmt.Errorf("tenant class spec %q: %q is not key=value", spec, kv)
+		}
+		switch k {
+		case "weight", "queue", "burst", "inflight":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return TenantClass{}, fmt.Errorf("tenant class spec %q: bad %s %q", spec, k, v)
+			}
+			switch k {
+			case "weight":
+				c.Weight = n
+			case "queue":
+				c.MaxQueue = n
+			case "burst":
+				c.Burst = n
+			case "inflight":
+				c.MaxInflight = n
+			}
+		case "rate":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 {
+				return TenantClass{}, fmt.Errorf("tenant class spec %q: bad rate %q", spec, v)
+			}
+			c.RatePerSec = f
+		default:
+			return TenantClass{}, fmt.Errorf("tenant class spec %q: unknown key %q", spec, k)
+		}
+	}
+	return c, nil
+}
+
+// ParseTenantAssignment parses one -tenant flag value "tenant=class".
+func ParseTenantAssignment(spec string) (tenant, class string, err error) {
+	tenant, class, ok := strings.Cut(spec, "=")
+	if !ok || !ValidTenantName(tenant) || !ValidTenantName(class) {
+		return "", "", fmt.Errorf("tenant assignment %q is not tenant=class (names: 1-%d chars of [A-Za-z0-9._-])",
+			spec, maxTenantNameLen)
+	}
+	return tenant, class, nil
+}
+
+// LoadTenantConfig reads a -tenant-config JSON file.
+func LoadTenantConfig(path string) (TenantConfig, error) {
+	var tc TenantConfig
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return tc, err
+	}
+	if err := json.Unmarshal(data, &tc); err != nil {
+		return tc, fmt.Errorf("tenant config %s: %w", path, err)
+	}
+	return tc, nil
+}
+
+// ValidateTenancy checks a tenant configuration before the server starts:
+// class names unique and well-formed, every tenant assigned to a defined
+// class, the default class defined (or defaultable).
+func ValidateTenancy(tc TenantConfig) error {
+	seen := make(map[string]bool, len(tc.Classes))
+	for _, c := range tc.Classes {
+		if !ValidTenantName(c.Name) {
+			return fmt.Errorf("tenant class name %q is invalid", c.Name)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("tenant class %q defined twice", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Weight < 0 || c.MaxQueue < 0 || c.RatePerSec < 0 || c.Burst < 0 || c.MaxInflight < 0 {
+			return fmt.Errorf("tenant class %q has a negative bound", c.Name)
+		}
+	}
+	def := tc.DefaultClass
+	if def == "" {
+		def = DefaultClassName
+	}
+	if len(tc.Classes) > 0 && !seen[def] && def != DefaultClassName {
+		return fmt.Errorf("default class %q is not a defined class", def)
+	}
+	for t, cl := range tc.Tenants {
+		if !ValidTenantName(t) {
+			return fmt.Errorf("tenant name %q is invalid", t)
+		}
+		if !seen[cl] && cl != DefaultClassName {
+			return fmt.Errorf("tenant %q assigned to undefined class %q", t, cl)
+		}
+	}
+	return nil
+}
