@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/exp"
+	"repro/internal/ir"
 	"repro/internal/listsched"
 	"repro/internal/machine"
 	"repro/internal/passes"
@@ -477,6 +478,39 @@ func BenchmarkPrefMapOps(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkPrefMapPassLoop times one warm application of each machine's full
+// convergent pass sequence on a mid-size graph: the zero-allocation hot path
+// the scratch-arena rewrite targets. The benchmark-gate CI step (see
+// cmd/benchgate) compares these numbers base-vs-head and fails the build on
+// a time regression or any allocs/op above zero.
+func BenchmarkPrefMapPassLoop(b *testing.B) {
+	for _, m := range []*machine.Model{machine.Raw(4), machine.Raw(16), machine.Chorus(4)} {
+		m := m
+		b.Run(m.Name, func(b *testing.B) {
+			seq := passes.ForMachine(m.Name)
+			var g *ir.Graph
+			for _, k := range bench.All() {
+				if k.Name == "mxm" {
+					g = k.Build(m.NumClusters)
+				}
+			}
+			if g == nil {
+				b.Fatal("mxm kernel not found")
+			}
+			s := core.NewState(g, m, exp.Seed)
+			core.RunPasses(s, seq)
+			for i := 0; i < g.Len(); i++ {
+				s.Distances(i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.RunPasses(s, seq)
+			}
+		})
+	}
 }
 
 // BenchmarkSimulator isolates schedule execution + verification against

@@ -1,0 +1,272 @@
+// Command benchgate compares two `go test -bench -benchmem` text outputs —
+// a base run and a head run — and fails (exit 1) when the head regresses:
+// median ns/op more than a threshold percentage above base, or median
+// allocs/op above base at all. It is a dependency-free stand-in for
+// benchstat, sized to what the CI gate needs: collect samples per benchmark
+// (run the benchmarks with -count=N to get several), take medians, compare,
+// and emit a machine-readable JSON report.
+//
+// Usage:
+//
+//	benchgate -base base.bench -head head.bench [-threshold 5] [-json report.json]
+//
+// Benchmarks present only in head are reported as new and do not gate (a PR
+// may add benchmarks); benchmarks present only in base are reported as
+// vanished and do not gate either (renames happen), but both appear in the
+// JSON report so a reviewer can spot an accidental deletion.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// sample is one parsed benchmark result line.
+type sample struct {
+	nsPerOp     float64
+	allocsPerOp float64
+	hasAllocs   bool
+}
+
+// benchLine matches the result lines `go test -bench` emits, e.g.
+//
+//	BenchmarkPrefMapPassLoop/raw16-8   50   4876279 ns/op   0 B/op   0 allocs/op
+//
+// Metric fields beyond ns/op are optional and may include custom metrics
+// (cycles, speedup), so the tail is scanned field-by-field instead.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+// gomaxprocsSuffix strips the trailing -N goroutine-count tag from a
+// benchmark name so runs on machines with different core counts compare.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseFile collects every sample per (suffix-stripped) benchmark name.
+func parseFile(path string) (map[string][]sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string][]sample)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(m[1], "")
+		fields := splitFields(m[2])
+		var s sample
+		seenNs := false
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.nsPerOp = v
+				seenNs = true
+			case "allocs/op":
+				s.allocsPerOp = v
+				s.hasAllocs = true
+			}
+		}
+		if seenNs {
+			out[name] = append(out[name], s)
+		}
+	}
+	return out, sc.Err()
+}
+
+func splitFields(s string) []string {
+	var out []string
+	field := ""
+	for _, r := range s {
+		if r == ' ' || r == '\t' {
+			if field != "" {
+				out = append(out, field)
+				field = ""
+			}
+			continue
+		}
+		field += string(r)
+	}
+	if field != "" {
+		out = append(out, field)
+	}
+	return out
+}
+
+func median(xs []float64) float64 {
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	n := len(ys)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return ys[n/2]
+	}
+	return (ys[n/2-1] + ys[n/2]) / 2
+}
+
+// comparison is one benchmark's verdict in the JSON report.
+type comparison struct {
+	Name        string  `json:"name"`
+	Status      string  `json:"status"` // "ok", "regression", "new", "vanished"
+	BaseNs      float64 `json:"base_ns_per_op,omitempty"`
+	HeadNs      float64 `json:"head_ns_per_op,omitempty"`
+	DeltaPct    float64 `json:"delta_pct,omitempty"`
+	BaseAllocs  float64 `json:"base_allocs_per_op"`
+	HeadAllocs  float64 `json:"head_allocs_per_op"`
+	BaseSamples int     `json:"base_samples,omitempty"`
+	HeadSamples int     `json:"head_samples,omitempty"`
+	Reason      string  `json:"reason,omitempty"`
+}
+
+type report struct {
+	ThresholdPct float64      `json:"threshold_pct"`
+	Failed       bool         `json:"failed"`
+	Benchmarks   []comparison `json:"benchmarks"`
+}
+
+func main() {
+	basePath := flag.String("base", "", "bench output of the base commit")
+	headPath := flag.String("head", "", "bench output of the head commit")
+	threshold := flag.Float64("threshold", 5, "max allowed ns/op regression, percent")
+	jsonPath := flag.String("json", "", "write the comparison report to this file")
+	flag.Parse()
+	if *basePath == "" || *headPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchgate -base base.bench -head head.bench [-threshold 5] [-json report.json]")
+		os.Exit(2)
+	}
+
+	base, err := parseFile(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	head, err := parseFile(*headPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if len(head) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: head run contains no benchmark results")
+		os.Exit(2)
+	}
+
+	rep := compare(base, head, *threshold)
+
+	for _, c := range rep.Benchmarks {
+		switch c.Status {
+		case "regression":
+			fmt.Printf("FAIL %-50s %s\n", c.Name, c.Reason)
+		case "new":
+			fmt.Printf("new  %-50s %.0f ns/op, %.1f allocs/op (no base to gate against)\n", c.Name, c.HeadNs, c.HeadAllocs)
+		case "vanished":
+			fmt.Printf("gone %-50s was %.0f ns/op in base\n", c.Name, c.BaseNs)
+		default:
+			fmt.Printf("ok   %-50s %+.1f%% ns/op, allocs %.1f -> %.1f\n", c.Name, c.DeltaPct, c.BaseAllocs, c.HeadAllocs)
+		}
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	if rep.Failed {
+		fmt.Println("benchgate: FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: ok")
+}
+
+// compare applies the gate: for every benchmark present in both runs, the
+// head median ns/op must stay within thresholdPct of base, and the head
+// median allocs/op must not exceed base.
+func compare(base, head map[string][]sample, thresholdPct float64) report {
+	rep := report{ThresholdPct: thresholdPct}
+	names := make([]string, 0, len(head)+len(base))
+	for n := range head {
+		names = append(names, n)
+	}
+	for n := range base {
+		if _, ok := head[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		hs, inHead := head[name]
+		bs, inBase := base[name]
+		c := comparison{Name: name, BaseSamples: len(bs), HeadSamples: len(hs)}
+		switch {
+		case !inBase:
+			c.Status = "new"
+			c.HeadNs = medianNs(hs)
+			c.HeadAllocs = medianAllocs(hs)
+		case !inHead:
+			c.Status = "vanished"
+			c.BaseNs = medianNs(bs)
+			c.BaseAllocs = medianAllocs(bs)
+		default:
+			c.BaseNs, c.HeadNs = medianNs(bs), medianNs(hs)
+			c.BaseAllocs, c.HeadAllocs = medianAllocs(bs), medianAllocs(hs)
+			if c.BaseNs > 0 {
+				c.DeltaPct = (c.HeadNs - c.BaseNs) / c.BaseNs * 100
+			}
+			c.Status = "ok"
+			if c.DeltaPct > thresholdPct {
+				c.Status = "regression"
+				c.Reason = fmt.Sprintf("ns/op %+.1f%% (%.0f -> %.0f), threshold %.1f%%", c.DeltaPct, c.BaseNs, c.HeadNs, thresholdPct)
+				rep.Failed = true
+			}
+			if c.HeadAllocs > c.BaseAllocs {
+				c.Status = "regression"
+				if c.Reason != "" {
+					c.Reason += "; "
+				}
+				c.Reason += fmt.Sprintf("allocs/op rose %.1f -> %.1f", c.BaseAllocs, c.HeadAllocs)
+				rep.Failed = true
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, c)
+	}
+	return rep
+}
+
+func medianNs(ss []sample) float64 {
+	xs := make([]float64, len(ss))
+	for i, s := range ss {
+		xs[i] = s.nsPerOp
+	}
+	return median(xs)
+}
+
+func medianAllocs(ss []sample) float64 {
+	var xs []float64
+	for _, s := range ss {
+		if s.hasAllocs {
+			xs = append(xs, s.allocsPerOp)
+		}
+	}
+	return median(xs)
+}

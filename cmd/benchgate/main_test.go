@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const baseBench = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkPrefMapPassLoop/raw4-8        	      50	   1800000 ns/op	    2785 B/op	       0 allocs/op
+BenchmarkPrefMapPassLoop/raw4-8        	      50	   1820000 ns/op	    2785 B/op	       0 allocs/op
+BenchmarkPrefMapPassLoop/raw4-8        	      50	   1790000 ns/op	    2785 B/op	       0 allocs/op
+BenchmarkEngineParallelWarm-8          	     100	   5000000 ns/op	  123456 B/op	    1053 allocs/op
+BenchmarkVanished-8                    	     100	   1000000 ns/op
+PASS
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseFileCollectsSamplesAndStripsProcSuffix(t *testing.T) {
+	got, err := parseFile(writeTemp(t, "base.bench", baseBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, ok := got["BenchmarkPrefMapPassLoop/raw4"]
+	if !ok {
+		t.Fatalf("proc suffix not stripped; have keys %v", got)
+	}
+	if len(ss) != 3 {
+		t.Fatalf("collected %d samples, want 3", len(ss))
+	}
+	if ss[0].nsPerOp != 1800000 || !ss[0].hasAllocs || ss[0].allocsPerOp != 0 {
+		t.Fatalf("bad first sample: %+v", ss[0])
+	}
+	if ss := got["BenchmarkVanished"]; len(ss) != 1 || ss[0].hasAllocs {
+		t.Fatalf("line without -benchmem fields parsed wrong: %+v", ss)
+	}
+}
+
+func TestCompareGatesTimeRegressions(t *testing.T) {
+	base := map[string][]sample{
+		"B/x": {{nsPerOp: 100, allocsPerOp: 0, hasAllocs: true}, {nsPerOp: 104, allocsPerOp: 0, hasAllocs: true}, {nsPerOp: 96, allocsPerOp: 0, hasAllocs: true}},
+	}
+	ok := map[string][]sample{
+		"B/x": {{nsPerOp: 103, allocsPerOp: 0, hasAllocs: true}},
+	}
+	if rep := compare(base, ok, 5); rep.Failed {
+		t.Fatalf("+3%% flagged as regression: %+v", rep.Benchmarks)
+	}
+	slow := map[string][]sample{
+		"B/x": {{nsPerOp: 110, allocsPerOp: 0, hasAllocs: true}},
+	}
+	rep := compare(base, slow, 5)
+	if !rep.Failed || rep.Benchmarks[0].Status != "regression" {
+		t.Fatalf("+10%% not flagged: %+v", rep.Benchmarks)
+	}
+}
+
+func TestCompareGatesAnyAllocIncrease(t *testing.T) {
+	base := map[string][]sample{
+		"B/x": {{nsPerOp: 100, allocsPerOp: 0, hasAllocs: true}},
+	}
+	head := map[string][]sample{
+		"B/x": {{nsPerOp: 100, allocsPerOp: 1, hasAllocs: true}},
+	}
+	rep := compare(base, head, 5)
+	if !rep.Failed {
+		t.Fatal("allocs/op 0 -> 1 not flagged even though time held steady")
+	}
+}
+
+func TestCompareToleratesNewAndVanishedBenchmarks(t *testing.T) {
+	base := map[string][]sample{
+		"B/old": {{nsPerOp: 100}},
+	}
+	head := map[string][]sample{
+		"B/new": {{nsPerOp: 100, allocsPerOp: 0, hasAllocs: true}},
+	}
+	rep := compare(base, head, 5)
+	if rep.Failed {
+		t.Fatalf("new/vanished benchmarks must not gate: %+v", rep.Benchmarks)
+	}
+	statuses := map[string]string{}
+	for _, c := range rep.Benchmarks {
+		statuses[c.Name] = c.Status
+	}
+	if statuses["B/new"] != "new" || statuses["B/old"] != "vanished" {
+		t.Fatalf("statuses %v, want new + vanished", statuses)
+	}
+}
+
+func TestCompareUsesMedianNotMean(t *testing.T) {
+	// One wild outlier in base must not mask a real regression: the median
+	// of {100, 100, 1000} is 100, so head at 120 is +20%.
+	base := map[string][]sample{
+		"B/x": {{nsPerOp: 100}, {nsPerOp: 100}, {nsPerOp: 1000}},
+	}
+	head := map[string][]sample{
+		"B/x": {{nsPerOp: 120}},
+	}
+	if rep := compare(base, head, 5); !rep.Failed {
+		t.Fatal("regression vs median hidden by an outlier mean")
+	}
+}

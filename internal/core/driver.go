@@ -59,9 +59,30 @@ func Converge(g *ir.Graph, m *machine.Model, passes []Pass, seed int64) *Result 
 
 // ConvergeCtx is Converge with a context; when the context carries an
 // obs.Trace, each pass records a preference-map delta into it.
+//
+// The state is drawn from an internal pool and returned to it before
+// ConvergeCtx returns; the Result never aliases pooled memory. The pooled
+// path is proven byte-identical to a fresh NewState + ConvergeStateCtx run by
+// the differential harness at the repository root.
 func ConvergeCtx(ctx context.Context, g *ir.Graph, m *machine.Model, passes []Pass, seed int64) *Result {
-	s := NewState(g, m, seed)
-	return ConvergeStateCtx(ctx, s, passes)
+	s := newPooledState(g, m, seed)
+	res := ConvergeStateCtx(ctx, s, passes)
+	s.release()
+	return res
+}
+
+// RunPasses runs the pass sequence over the state — each pass followed by
+// renormalization, exactly the loop ConvergeStateCtx runs — without churn
+// tracking or result construction. It rewinds the state's scratch arena and
+// performs no heap allocations once the state is warm (arena and caches at
+// their high-water marks); the allocation-regression tests pin this at zero
+// allocs/op.
+func RunPasses(s *State, passes []Pass) {
+	s.Scratch().Rewind()
+	for _, p := range passes {
+		p.Run(s)
+		s.W.NormalizeAll()
+	}
 }
 
 // ConvergeState is Converge on a caller-built state, allowing callers to
@@ -144,8 +165,15 @@ func ConvergeStateCtx(ctx context.Context, s *State, passes []Pass) *Result {
 	tr := obs.FromContext(ctx)
 	rung := obs.RungFromContext(ctx)
 	n := s.Graph.Len()
-	res := &Result{}
-	prev := s.W.PreferredClusters()
+	// The churn trackers live in the scratch arena alongside whatever the
+	// passes draw; everything is released together by the rewind at the
+	// start of the next run. Result fields are always freshly allocated —
+	// they outlive the (possibly pooled) state.
+	sc := s.Scratch()
+	sc.Rewind()
+	prev := s.W.PreferredClustersInto(sc.Ints(n))
+	cur := sc.Ints(n)
+	res := &Result{Trace: make([]PassChange, 0, len(passes))}
 	var before [][]float64
 	if tr != nil {
 		before = clusterMarginals(s.W)
@@ -153,7 +181,7 @@ func ConvergeStateCtx(ctx context.Context, s *State, passes []Pass) *Result {
 	for _, p := range passes {
 		p.Run(s)
 		s.W.NormalizeAll()
-		cur := s.W.PreferredClusters()
+		s.W.PreferredClustersInto(cur)
 		changed := 0
 		for i := range cur {
 			if cur[i] != prev[i] {
@@ -175,9 +203,10 @@ func ConvergeStateCtx(ctx context.Context, s *State, passes []Pass) *Result {
 			tr.RecordPass(d)
 			before = after
 		}
-		prev = cur
+		prev, cur = cur, prev
 	}
-	res.Assignment = prev
+	res.Assignment = make([]int, n)
+	copy(res.Assignment, prev)
 	res.PreferredTime = s.W.PreferredTimes()
 	res.Confidence = make([]float64, n)
 	for i := 0; i < n; i++ {
@@ -202,12 +231,31 @@ func Schedule(g *ir.Graph, m *machine.Model, passes []Pass, seed int64) (*schedu
 }
 
 // ScheduleCtx is Schedule with a context; a trace carried by the context
-// records per-pass preference-map deltas during convergence.
+// records per-pass preference-map deltas during convergence. Like
+// ConvergeCtx it runs on a pooled state, released before returning.
 func ScheduleCtx(ctx context.Context, g *ir.Graph, m *machine.Model, passes []Pass, seed int64) (*schedule.Schedule, *Result, error) {
 	if err := listsched.CheckGraph(g, m); err != nil {
 		return nil, nil, err
 	}
-	res := ConvergeCtx(ctx, g, m, passes, seed)
+	s := newPooledState(g, m, seed)
+	defer s.release()
+	return scheduleState(ctx, s, passes)
+}
+
+// ScheduleState runs the full convergent scheduler on a caller-built state.
+// It is the non-pooled twin of ScheduleCtx: the differential harness drives
+// both over the same inputs to prove the pooled path changes nothing.
+func ScheduleState(ctx context.Context, s *State, passes []Pass) (*schedule.Schedule, *Result, error) {
+	if err := listsched.CheckGraph(s.Graph, s.Machine); err != nil {
+		return nil, nil, err
+	}
+	return scheduleState(ctx, s, passes)
+}
+
+// scheduleState converges preferences on s and list-schedules the result.
+func scheduleState(ctx context.Context, s *State, passes []Pass) (*schedule.Schedule, *Result, error) {
+	g, m := s.Graph, s.Machine
+	res := ConvergeStateCtx(ctx, s, passes)
 	listsched.SpreadConsts(g, m, res.Assignment)
 	prio := res.Priority()
 	h := g.Height(m.LatencyFunc())

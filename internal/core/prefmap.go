@@ -25,42 +25,82 @@ const BigConfidence = 1e9
 
 // PrefMap is the three-dimensional weight matrix W[instruction][time][cluster].
 //
-// Weights are stored flat; per-instruction cluster and time marginals are
-// cached and recomputed lazily after mutation, so PreferredCluster and
-// Confidence are O(1) between mutations of the same instruction.
+// Every piece of state is a single contiguous backing array — the weights
+// themselves and both marginal caches — so the map is exactly four
+// allocations however many instructions it covers, pass inner loops walk
+// cache lines instead of chasing per-instruction slice headers, and Reset
+// can re-shape the map for a new graph without allocating at all once the
+// backing arrays have grown to the workload's high-water mark. Per-
+// instruction cluster and time marginals are cached and recomputed lazily
+// after mutation, so PreferredCluster and Confidence are O(1) between
+// mutations of the same instruction.
 type PrefMap struct {
 	n, T, C int
-	w       []float64
+	w       []float64 // len n*T*C, W[i][t][c] at (i*T+t)*C + c
 
-	dirty      []bool
-	clusterSum [][]float64 // [i][c] = Σ_t W[i][t][c]
-	timeSum    [][]float64 // [i][t] = Σ_c W[i][t][c]
+	dirty      []bool    // len n
+	clusterSum []float64 // len n*C, [i*C+c] = Σ_t W[i][t][c]
+	timeSum    []float64 // len n*T, [i*T+t] = Σ_c W[i][t][c]
 }
 
 // NewPrefMap returns a map for n instructions, T time slots and C clusters,
 // initialised uniformly (every slot weight 1/(T·C)). T and C must be
 // positive; n may be zero.
 func NewPrefMap(n, T, C int) *PrefMap {
-	if n < 0 || T <= 0 || C <= 0 {
-		panic(fmt.Sprintf("core: NewPrefMap(%d,%d,%d)", n, T, C))
+	p := &PrefMap{}
+	p.Reset(n, T, C)
+	return p
+}
+
+// checkShape panics, naming the offending parameter, unless the map shape is
+// valid: n ≥ 0 instructions, T ≥ 1 time slots, C ≥ 1 clusters.
+func checkShape(n, T, C int) {
+	if n < 0 {
+		panic(fmt.Sprintf("core: NewPrefMap: instruction count n = %d, must be >= 0", n))
 	}
-	p := &PrefMap{
-		n: n, T: T, C: C,
-		w:          make([]float64, n*T*C),
-		dirty:      make([]bool, n),
-		clusterSum: make([][]float64, n),
-		timeSum:    make([][]float64, n),
+	if T <= 0 {
+		panic(fmt.Sprintf("core: NewPrefMap: time slots T = %d, must be > 0", T))
 	}
+	if C <= 0 {
+		panic(fmt.Sprintf("core: NewPrefMap: clusters C = %d, must be > 0", C))
+	}
+}
+
+// Reset re-shapes the map in place for n instructions, T time slots and C
+// clusters and re-initialises every weight to uniform, exactly as NewPrefMap
+// would. Backing arrays are reused when they are large enough, so a pooled
+// map reaches zero steady-state allocations once it has seen the largest
+// graph of its workload. The shape rules (and panics) match NewPrefMap.
+func (p *PrefMap) Reset(n, T, C int) {
+	checkShape(n, T, C)
+	p.n, p.T, p.C = n, T, C
+	p.w = grow(p.w, n*T*C)
+	p.dirty = growBools(p.dirty, n)
+	p.clusterSum = grow(p.clusterSum, n*C)
+	p.timeSum = grow(p.timeSum, n*T)
 	u := 1.0 / float64(T*C)
 	for i := range p.w {
 		p.w[i] = u
 	}
-	for i := 0; i < n; i++ {
-		p.clusterSum[i] = make([]float64, C)
-		p.timeSum[i] = make([]float64, T)
+	for i := range p.dirty {
 		p.dirty[i] = true
 	}
-	return p
+}
+
+// grow returns a slice of exactly length n, reusing s's backing array when
+// it is big enough.
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
 }
 
 // N returns the instruction count.
@@ -73,6 +113,12 @@ func (p *PrefMap) Times() int { return p.T }
 func (p *PrefMap) Clusters() int { return p.C }
 
 func (p *PrefMap) idx(i, t, c int) int { return (i*p.T+t)*p.C + c }
+
+// row returns the contiguous T*C weight block of instruction i.
+func (p *PrefMap) row(i int) []float64 {
+	base := i * p.T * p.C
+	return p.w[base : base+p.T*p.C]
+}
 
 // At returns W[i][t][c].
 func (p *PrefMap) At(i, t, c int) float64 { return p.w[p.idx(i, t, c)] }
@@ -94,8 +140,9 @@ func (p *PrefMap) Add(i, t, c int, d float64) { p.Set(i, t, c, p.At(i, t, c)+d) 
 
 // MulCluster multiplies every time slot of cluster c for instruction i by f.
 func (p *PrefMap) MulCluster(i, c int, f float64) {
+	row := p.row(i)
 	for t := 0; t < p.T; t++ {
-		p.w[p.idx(i, t, c)] *= f
+		row[t*p.C+c] *= f
 	}
 	p.dirty[i] = true
 }
@@ -125,6 +172,88 @@ func (p *PrefMap) Apply(i int, f func(t, c int, w float64) float64) {
 	p.dirty[i] = true
 }
 
+// ZeroTimesOutside squashes every slot of instruction i whose time lies
+// outside [lo, hi]. It is INITTIME's inner operation, equivalent to an Apply
+// that returns 0 outside the window, without the closure.
+func (p *PrefMap) ZeroTimesOutside(i, lo, hi int) {
+	row := p.row(i)
+	for t := 0; t < p.T; t++ {
+		if t >= lo && t <= hi {
+			continue
+		}
+		base := t * p.C
+		for c := 0; c < p.C; c++ {
+			row[base+c] = 0
+		}
+	}
+	p.dirty[i] = true
+}
+
+// AddPerClusterMasked adds add[c] to every non-zero slot of instruction i.
+// Zero slots stay zero — they encode feasibility squashes (INITTIME) that
+// additive noise must respect. add must hold C finite, non-negative values.
+func (p *PrefMap) AddPerClusterMasked(i int, add []float64) {
+	p.checkPerCluster("AddPerClusterMasked", i, add)
+	row := p.row(i)
+	for t := 0; t < p.T; t++ {
+		base := t * p.C
+		for c := 0; c < p.C; c++ {
+			if w := row[base+c]; w != 0 {
+				row[base+c] = w + add[c]
+			}
+		}
+	}
+	p.dirty[i] = true
+}
+
+// MulPerCluster multiplies every slot of instruction i on cluster c by f[c].
+// f must hold C finite, non-negative factors.
+func (p *PrefMap) MulPerCluster(i int, f []float64) {
+	p.checkPerCluster("MulPerCluster", i, f)
+	row := p.row(i)
+	for t := 0; t < p.T; t++ {
+		base := t * p.C
+		for c := 0; c < p.C; c++ {
+			row[base+c] *= f[c]
+		}
+	}
+	p.dirty[i] = true
+}
+
+// DivPerCluster divides every slot of instruction i on cluster c by d[c].
+// d must hold C finite, strictly positive divisors. Division (rather than
+// multiplication by a precomputed reciprocal) keeps results bit-identical to
+// the equivalent per-slot Apply.
+func (p *PrefMap) DivPerCluster(i int, d []float64) {
+	if len(d) != p.C {
+		panic(fmt.Sprintf("core: DivPerCluster(%d): %d divisors for %d clusters", i, len(d), p.C))
+	}
+	for c, v := range d {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			panic(fmt.Sprintf("core: DivPerCluster(%d): divisor %v for cluster %d", i, v, c))
+		}
+	}
+	row := p.row(i)
+	for t := 0; t < p.T; t++ {
+		base := t * p.C
+		for c := 0; c < p.C; c++ {
+			row[base+c] /= d[c]
+		}
+	}
+	p.dirty[i] = true
+}
+
+func (p *PrefMap) checkPerCluster(op string, i int, f []float64) {
+	if len(f) != p.C {
+		panic(fmt.Sprintf("core: %s(%d): %d values for %d clusters", op, i, len(f), p.C))
+	}
+	for c, v := range f {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			panic(fmt.Sprintf("core: %s(%d): value %v for cluster %d", op, i, v, c))
+		}
+	}
+}
+
 // Blend mixes instruction j's distribution into instruction i's:
 // W[i] ← own·W[i] + (1-own)·W[j], the paper's linear-combination operation
 // with n = 2. own must lie in [0,1].
@@ -132,31 +261,58 @@ func (p *PrefMap) Blend(i, j int, own float64) {
 	if own < 0 || own > 1 {
 		panic(fmt.Sprintf("core: Blend weight %v", own))
 	}
-	bi, bj := p.idx(i, 0, 0), p.idx(j, 0, 0)
-	for k := 0; k < p.T*p.C; k++ {
-		p.w[bi+k] = own*p.w[bi+k] + (1-own)*p.w[bj+k]
+	ri, rj := p.row(i), p.row(j)
+	other := 1 - own
+	for k := range ri {
+		ri[k] = own*ri[k] + other*rj[k]
 	}
 	p.dirty[i] = true
+}
+
+// NonzeroSlotsPerCluster counts, per cluster, how many of instruction i's
+// time slots carry positive weight, writing the counts into dst (which must
+// hold C values). NOISE uses it to spread each cluster's draw over exactly
+// the feasible slots.
+func (p *PrefMap) NonzeroSlotsPerCluster(i int, dst []int) {
+	if len(dst) != p.C {
+		panic(fmt.Sprintf("core: NonzeroSlotsPerCluster(%d): dst holds %d of %d clusters", i, len(dst), p.C))
+	}
+	for c := range dst {
+		dst[c] = 0
+	}
+	row := p.row(i)
+	for t := 0; t < p.T; t++ {
+		base := t * p.C
+		for c := 0; c < p.C; c++ {
+			if row[base+c] > 0 {
+				dst[c]++
+			}
+		}
+	}
 }
 
 func (p *PrefMap) refresh(i int) {
 	if !p.dirty[i] {
 		return
 	}
-	cs, ts := p.clusterSum[i], p.timeSum[i]
+	cs := p.clusterSum[i*p.C : (i+1)*p.C]
+	ts := p.timeSum[i*p.T : (i+1)*p.T]
 	for c := range cs {
 		cs[c] = 0
 	}
 	for t := range ts {
 		ts[t] = 0
 	}
+	row := p.row(i)
 	for t := 0; t < p.T; t++ {
-		base := p.idx(i, t, 0)
+		base := t * p.C
+		sum := 0.0
 		for c := 0; c < p.C; c++ {
-			w := p.w[base+c]
+			w := row[base+c]
 			cs[c] += w
-			ts[t] += w
+			sum += w
 		}
+		ts[t] = sum
 	}
 	p.dirty[i] = false
 }
@@ -164,31 +320,43 @@ func (p *PrefMap) refresh(i int) {
 // ClusterWeight returns Σ_t W[i][t][c].
 func (p *PrefMap) ClusterWeight(i, c int) float64 {
 	p.refresh(i)
-	return p.clusterSum[i][c]
+	return p.clusterSum[i*p.C+c]
 }
 
 // TimeWeight returns Σ_c W[i][t][c].
 func (p *PrefMap) TimeWeight(i, t int) float64 {
 	p.refresh(i)
-	return p.timeSum[i][t]
+	return p.timeSum[i*p.T+t]
 }
 
 // Total returns Σ_{t,c} W[i][t][c].
 func (p *PrefMap) Total(i int) float64 {
 	p.refresh(i)
 	sum := 0.0
-	for _, v := range p.clusterSum[i] {
+	for _, v := range p.clusterSum[i*p.C : (i+1)*p.C] {
 		sum += v
 	}
 	return sum
+}
+
+// ClusterWeightsInto copies instruction i's cluster marginal into dst, which
+// must hold C values, and returns it.
+func (p *PrefMap) ClusterWeightsInto(i int, dst []float64) []float64 {
+	if len(dst) != p.C {
+		panic(fmt.Sprintf("core: ClusterWeightsInto(%d): dst holds %d of %d clusters", i, len(dst), p.C))
+	}
+	p.refresh(i)
+	copy(dst, p.clusterSum[i*p.C:(i+1)*p.C])
+	return dst
 }
 
 // PreferredCluster returns the cluster maximising the cluster marginal of
 // instruction i (lowest index wins ties).
 func (p *PrefMap) PreferredCluster(i int) int {
 	p.refresh(i)
+	cs := p.clusterSum[i*p.C : (i+1)*p.C]
 	best, bestW := 0, math.Inf(-1)
-	for c, w := range p.clusterSum[i] {
+	for c, w := range cs {
 		if w > bestW {
 			best, bestW = c, w
 		}
@@ -204,8 +372,9 @@ func (p *PrefMap) RunnerUpCluster(i int) int {
 	}
 	p.refresh(i)
 	pref := p.PreferredCluster(i)
+	cs := p.clusterSum[i*p.C : (i+1)*p.C]
 	best, bestW := -1, math.Inf(-1)
-	for c, w := range p.clusterSum[i] {
+	for c, w := range cs {
 		if c == pref {
 			continue
 		}
@@ -220,8 +389,9 @@ func (p *PrefMap) RunnerUpCluster(i int) int {
 // instruction i (earliest wins ties).
 func (p *PrefMap) PreferredTime(i int) int {
 	p.refresh(i)
+	ts := p.timeSum[i*p.T : (i+1)*p.T]
 	best, bestW := 0, math.Inf(-1)
-	for t, w := range p.timeSum[i] {
+	for t, w := range ts {
 		if w > bestW {
 			best, bestW = t, w
 		}
@@ -231,7 +401,10 @@ func (p *PrefMap) PreferredTime(i int) int {
 
 // Confidence returns the paper's confidence measure for instruction i's
 // spatial assignment: the ratio of the preferred cluster's marginal to the
-// runner-up's. It returns BigConfidence when no runner-up weight exists.
+// runner-up's. It returns BigConfidence when no runner-up weight exists:
+// single-cluster maps, and maps whose runner-up marginal is zero while the
+// preferred marginal is positive. A map whose preferred marginal is also
+// zero (the whole row squashed) reports 1, not BigConfidence.
 func (p *PrefMap) Confidence(i int) float64 {
 	ru := p.RunnerUpCluster(i)
 	if ru < 0 {
@@ -248,26 +421,54 @@ func (p *PrefMap) Confidence(i int) float64 {
 	return top / run
 }
 
-// Normalize rescales instruction i so its weights sum to one. If every
-// weight is zero (a pass squashed the whole row) the row resets to uniform,
-// which keeps the map well-defined without privileging any slot.
+// Normalize rescales instruction i so its weights sum to one. If the total
+// is degenerate — every weight zero because a pass squashed the whole row,
+// or non-finite because repeated multiplicative boosts overflowed — the row
+// resets to uniform, which keeps the map well-defined without privileging
+// any slot (and guarantees Normalize never emits NaN).
 func (p *PrefMap) Normalize(i int) {
 	total := p.Total(i)
-	if total <= 0 {
+	row := p.row(i)
+	// The rescale also rebuilds the marginal caches in the same sweep —
+	// accumulating exactly the values it stores, in refresh's loop order,
+	// so the cached marginals are bit-identical to a recompute — and
+	// leaves the instruction clean. The driver reads preferred clusters
+	// after every normalization; the fusion makes those reads cache hits.
+	cs := p.clusterSum[i*p.C : (i+1)*p.C]
+	ts := p.timeSum[i*p.T : (i+1)*p.T]
+	for c := range cs {
+		cs[c] = 0
+	}
+	// A subnormal total is degenerate too: its reciprocal overflows to +Inf
+	// and would turn zero slots into 0·Inf = NaN during the rescale.
+	if total <= 0 || math.IsInf(total, 0) || math.IsNaN(total) || math.IsInf(1/total, 0) {
 		u := 1.0 / float64(p.T*p.C)
-		base := p.idx(i, 0, 0)
-		for k := 0; k < p.T*p.C; k++ {
-			p.w[base+k] = u
+		for t := 0; t < p.T; t++ {
+			base := t * p.C
+			sum := 0.0
+			for c := 0; c < p.C; c++ {
+				row[base+c] = u
+				cs[c] += u
+				sum += u
+			}
+			ts[t] = sum
 		}
-		p.dirty[i] = true
+		p.dirty[i] = false
 		return
 	}
-	base := p.idx(i, 0, 0)
 	inv := 1 / total
-	for k := 0; k < p.T*p.C; k++ {
-		p.w[base+k] *= inv
+	for t := 0; t < p.T; t++ {
+		base := t * p.C
+		sum := 0.0
+		for c := 0; c < p.C; c++ {
+			w := row[base+c] * inv
+			row[base+c] = w
+			cs[c] += w
+			sum += w
+		}
+		ts[t] = sum
 	}
-	p.dirty[i] = true
+	p.dirty[i] = false
 }
 
 // NormalizeAll normalizes every instruction.
@@ -311,18 +512,34 @@ func (p *PrefMap) Clone() *PrefMap {
 
 // PreferredClusters returns every instruction's preferred cluster.
 func (p *PrefMap) PreferredClusters() []int {
-	out := make([]int, p.n)
-	for i := range out {
-		out[i] = p.PreferredCluster(i)
+	return p.PreferredClustersInto(make([]int, p.n))
+}
+
+// PreferredClustersInto fills dst, which must hold N values, with every
+// instruction's preferred cluster and returns it.
+func (p *PrefMap) PreferredClustersInto(dst []int) []int {
+	if len(dst) != p.n {
+		panic(fmt.Sprintf("core: PreferredClustersInto: dst holds %d of %d instructions", len(dst), p.n))
 	}
-	return out
+	for i := range dst {
+		dst[i] = p.PreferredCluster(i)
+	}
+	return dst
 }
 
 // PreferredTimes returns every instruction's preferred time slot.
 func (p *PrefMap) PreferredTimes() []int {
-	out := make([]int, p.n)
-	for i := range out {
-		out[i] = p.PreferredTime(i)
+	return p.PreferredTimesInto(make([]int, p.n))
+}
+
+// PreferredTimesInto fills dst, which must hold N values, with every
+// instruction's preferred time slot and returns it.
+func (p *PrefMap) PreferredTimesInto(dst []int) []int {
+	if len(dst) != p.n {
+		panic(fmt.Sprintf("core: PreferredTimesInto: dst holds %d of %d instructions", len(dst), p.n))
 	}
-	return out
+	for i := range dst {
+		dst[i] = p.PreferredTime(i)
+	}
+	return dst
 }

@@ -1,0 +1,189 @@
+package core
+
+// Property tests for the flattened PrefMap: random sequences of the same
+// mutation operations the passes use must preserve the paper's invariants
+// after Normalize, and the lazily-maintained marginal caches must stay
+// bit-identical to a from-scratch recomputation at every observation point.
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// recomputeMarginals recomputes instruction i's cluster and time marginals
+// directly from the weights, in exactly refresh's accumulation order, so a
+// correct cache must match bit-for-bit (not just within a tolerance).
+func recomputeMarginals(p *PrefMap, i int) (cs, ts []float64) {
+	cs = make([]float64, p.Clusters())
+	ts = make([]float64, p.Times())
+	for t := 0; t < p.Times(); t++ {
+		sum := 0.0
+		for c := 0; c < p.Clusters(); c++ {
+			w := p.At(i, t, c)
+			cs[c] += w
+			sum += w
+		}
+		ts[t] = sum
+	}
+	return cs, ts
+}
+
+// checkMarginalCaches asserts the cached marginals of every instruction are
+// bit-identical to a recomputation from the current weights.
+func checkMarginalCaches(t *testing.T, p *PrefMap, when string) {
+	t.Helper()
+	for i := 0; i < p.N(); i++ {
+		cs, ts := recomputeMarginals(p, i)
+		for c, want := range cs {
+			if got := p.ClusterWeight(i, c); got != want {
+				t.Fatalf("%s: ClusterWeight(%d,%d) = %v (cache), recompute = %v", when, i, c, got, want)
+			}
+		}
+		for tt, want := range ts {
+			if got := p.TimeWeight(i, tt); got != want {
+				t.Fatalf("%s: TimeWeight(%d,%d) = %v (cache), recompute = %v", when, i, tt, got, want)
+			}
+		}
+	}
+}
+
+// mutate applies one randomly chosen mutation from the operation set the
+// passes use, with arguments drawn from the valid domain.
+func mutate(p *PrefMap, r *rand.Rand) {
+	n, T, C := p.N(), p.Times(), p.Clusters()
+	if n == 0 {
+		return
+	}
+	i := r.Intn(n)
+	switch r.Intn(11) {
+	case 0:
+		p.Set(i, r.Intn(T), r.Intn(C), r.Float64()*3)
+	case 1:
+		p.Mul(i, r.Intn(T), r.Intn(C), r.Float64()*2)
+	case 2:
+		p.Add(i, r.Intn(T), r.Intn(C), r.Float64())
+	case 3:
+		p.MulCluster(i, r.Intn(C), r.Float64()*2)
+	case 4:
+		p.MulTime(i, r.Intn(T), r.Float64()*2)
+	case 5:
+		lo := r.Intn(T)
+		p.ZeroTimesOutside(i, lo, lo+r.Intn(T-lo))
+	case 6:
+		add := make([]float64, C)
+		for c := range add {
+			add[c] = r.Float64() * 0.5
+		}
+		p.AddPerClusterMasked(i, add)
+	case 7:
+		f := make([]float64, C)
+		for c := range f {
+			f[c] = r.Float64() * 2
+		}
+		p.MulPerCluster(i, f)
+	case 8:
+		d := make([]float64, C)
+		for c := range d {
+			d[c] = 0.5 + r.Float64()*2
+		}
+		p.DivPerCluster(i, d)
+	case 9:
+		p.Blend(i, r.Intn(n), r.Float64())
+	case 10:
+		bias := r.Float64() * 2
+		p.Apply(i, func(t, c int, w float64) float64 { return w * bias })
+	}
+}
+
+// TestPrefMapInvariantsProperty drives random mutation sequences (the same
+// operations the passes perform) through the map and asserts, at every
+// normalization point, that weights stay within [0,1], each instruction sums
+// to one, and the lazy marginal caches equal a from-scratch recomputation.
+func TestPrefMapInvariantsProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(20020))
+	const trials = 60
+	for trial := 0; trial < trials; trial++ {
+		n, T, C := r.Intn(10), 1+r.Intn(6), 1+r.Intn(5)
+		p := NewPrefMap(n, T, C)
+		if err := p.CheckInvariants(1e-12); err != nil {
+			t.Fatalf("trial %d: fresh map violates invariants: %v", trial, err)
+		}
+		steps := 1 + r.Intn(30)
+		for step := 0; step < steps; step++ {
+			mutate(p, r)
+			// Mid-flight the sum invariant may be broken by design, but the
+			// lazy caches must still track the raw weights exactly.
+			if step%5 == 0 {
+				checkMarginalCaches(t, p, "mid-sequence")
+			}
+		}
+		p.NormalizeAll()
+		if err := p.CheckInvariants(1e-9); err != nil {
+			t.Fatalf("trial %d (n=%d T=%d C=%d): after NormalizeAll: %v", trial, n, T, C, err)
+		}
+		for i := 0; i < n; i++ {
+			for tt := 0; tt < T; tt++ {
+				for c := 0; c < C; c++ {
+					w := p.At(i, tt, c)
+					if w < 0 || w > 1+1e-9 || math.IsNaN(w) {
+						t.Fatalf("trial %d: W[%d][%d][%d] = %v outside [0,1]", trial, i, tt, c, w)
+					}
+				}
+			}
+		}
+		checkMarginalCaches(t, p, "post-normalize")
+	}
+}
+
+// TestNewPrefMapPanicMessagesNameParameter pins the constructor's contract:
+// an invalid shape panics with a message naming the offending parameter, so
+// a bad call site is diagnosable from the panic text alone.
+func TestNewPrefMapPanicMessagesNameParameter(t *testing.T) {
+	cases := []struct {
+		name    string
+		n, T, C int
+		wants   []string
+	}{
+		{"negative instruction count", -1, 3, 2, []string{"instruction count n = -1", "must be >= 0"}},
+		{"zero time slots", 4, 0, 2, []string{"time slots T = 0", "must be > 0"}},
+		{"negative time slots", 4, -3, 2, []string{"time slots T = -3", "must be > 0"}},
+		{"zero clusters", 4, 3, 0, []string{"clusters C = 0", "must be > 0"}},
+		{"negative clusters", 4, 3, -2, []string{"clusters C = -2", "must be > 0"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("NewPrefMap(%d,%d,%d) did not panic", tc.n, tc.T, tc.C)
+				}
+				msg, ok := r.(string)
+				if !ok {
+					t.Fatalf("panic value %v (%T), want string", r, r)
+				}
+				for _, want := range tc.wants {
+					if !strings.Contains(msg, want) {
+						t.Errorf("panic %q does not name the offending parameter (want substring %q)", msg, want)
+					}
+				}
+			}()
+			NewPrefMap(tc.n, tc.T, tc.C)
+		})
+	}
+
+	// Reset shares the shape contract (it is the pooled path's constructor).
+	t.Run("reset shares contract", func(t *testing.T) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("Reset(2, 0, 1) did not panic")
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, "time slots T = 0") {
+				t.Errorf("panic %v does not name the offending parameter", r)
+			}
+		}()
+		NewPrefMap(1, 1, 1).Reset(2, 0, 1)
+	})
+}

@@ -30,39 +30,138 @@ type State struct {
 	// root.
 	UnitLevel []int
 
-	distCache map[int][]int
+	// distVecs caches Distances results per source, validated by epoch:
+	// distVecs[src] is current when distGen[src] == distEpoch. Bumping the
+	// epoch in init invalidates the whole cache without clearing anything.
+	distVecs  [][]int
+	distGen   []int
+	distEpoch int
+
+	// pm is the pooled backing for W: every state owns its map in place so
+	// a recycled state re-shapes the same contiguous arrays with
+	// PrefMap.Reset instead of allocating a map per graph.
+	pm PrefMap
+	// sc is the scratch arena passes draw their buffers from.
+	sc *Scratch
+	// esBuf, lsBuf, lvlBuf back the analysis slices across reuses.
+	esBuf, lsBuf, lvlBuf []int
+	// pooled marks states owned by the package pool (see release).
+	pooled bool
 }
 
 // NewState builds a state with a uniform preference map for scheduling g on
 // m. The random source is seeded with seed so runs are reproducible.
+//
+// NewState always allocates fresh backing arrays; the driver entry points
+// (Converge, Schedule) use a recycled state from an internal pool instead.
+// The two are proven byte-identical by the differential harness.
 func NewState(g *ir.Graph, m *machine.Model, seed int64) *State {
+	s := &State{sc: NewScratch()}
+	s.W = &s.pm
+	s.init(g, m, seed)
+	return s
+}
+
+// newPooledState is NewState drawing the state — preference-map backing,
+// scratch arena, analysis buffers, RNG — from the package pool.
+func newPooledState(g *ir.Graph, m *machine.Model, seed int64) *State {
+	s := statePool.Get().(*State)
+	s.init(g, m, seed)
+	s.pooled = true
+	return s
+}
+
+// init (re-)shapes the state for scheduling g on m, reusing every backing
+// array that is already big enough.
+func (s *State) init(g *ir.Graph, m *machine.Model, seed int64) {
 	g.Seal()
+	n := g.Len()
 	lat := m.LatencyFunc()
-	cpl := g.CriticalPathLength(lat)
+
+	s.lsBuf = growInts(s.lsBuf, n)
+	g.HeightInto(lat, s.lsBuf)
+	maxH := 0
+	for _, h := range s.lsBuf {
+		if h > maxH {
+			maxH = h
+		}
+	}
+	// LatestStart is CPL - height under the unclamped critical-path length;
+	// the map's time axis uses the clamped-to-one value.
+	for i, h := range s.lsBuf {
+		s.lsBuf[i] = maxH - h
+	}
+	cpl := maxH
 	if cpl < 1 {
 		cpl = 1
 	}
-	return &State{
-		Graph:         g,
-		Machine:       m,
-		W:             NewPrefMap(g.Len(), cpl, m.NumClusters),
-		Rand:          rand.New(rand.NewSource(seed)),
-		CPL:           cpl,
-		EarliestStart: g.EarliestStart(lat),
-		LatestStart:   g.LatestStart(lat),
-		UnitLevel:     g.UnitLevel(),
-		distCache:     make(map[int][]int),
+
+	s.esBuf = growInts(s.esBuf, n)
+	g.EarliestStartInto(lat, s.esBuf)
+	s.lvlBuf = growInts(s.lvlBuf, n)
+	g.UnitLevelInto(s.lvlBuf)
+
+	s.pm.Reset(n, cpl, m.NumClusters)
+	if s.Rand == nil {
+		s.Rand = rand.New(rand.NewSource(seed))
+	} else {
+		// Rand.Seed re-initialises the underlying source exactly as
+		// rand.NewSource(seed) would, so a recycled state draws the same
+		// noise stream a fresh one does.
+		s.Rand.Seed(seed)
 	}
+	if cap(s.distVecs) < n {
+		s.distVecs = make([][]int, n)
+		s.distGen = make([]int, n)
+	} else {
+		s.distVecs = s.distVecs[:n]
+		s.distGen = s.distGen[:n]
+	}
+	s.distEpoch++
+
+	s.Graph, s.Machine = g, m
+	s.CPL = cpl
+	s.EarliestStart, s.LatestStart, s.UnitLevel = s.esBuf, s.lsBuf, s.lvlBuf
+}
+
+// release returns a pooled state to the package pool. Only the driver entry
+// points that created the state call it, strictly after the last read of W;
+// a state a caller built with NewState is never pooled, so results handed to
+// callers can alias it safely.
+func (s *State) release() {
+	if !s.pooled {
+		return
+	}
+	s.pooled = false
+	s.Graph, s.Machine = nil, nil
+	statePool.Put(s)
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// Scratch returns the state's scratch arena. Passes draw per-run buffers
+// from it; see Scratch for the lifetime rules.
+func (s *State) Scratch() *Scratch {
+	if s.sc == nil {
+		s.sc = NewScratch()
+	}
+	return s.sc
 }
 
 // Distances returns (and caches) the undirected dependence-graph distances
 // from instruction src to every instruction; -1 marks unreachable nodes.
 func (s *State) Distances(src int) []int {
-	if d, ok := s.distCache[src]; ok {
-		return d
+	if s.distGen[src] == s.distEpoch {
+		return s.distVecs[src]
 	}
 	d := s.Graph.Distances(src)
-	s.distCache[src] = d
+	s.distVecs[src] = d
+	s.distGen[src] = s.distEpoch
 	return d
 }
 
@@ -70,19 +169,31 @@ func (s *State) Distances(src int) []int {
 // instructions of their cluster marginal. With normalized weights the loads
 // sum to the instruction count.
 func (s *State) Loads() []float64 {
-	loads := make([]float64, s.W.Clusters())
+	return s.LoadsInto(make([]float64, s.W.Clusters()))
+}
+
+// LoadsInto is Loads accumulating into dst, which must hold Clusters values;
+// it returns dst. The hot path passes a scratch buffer here.
+func (s *State) LoadsInto(dst []float64) []float64 {
+	for c := range dst {
+		dst[c] = 0
+	}
 	for i := 0; i < s.W.N(); i++ {
 		for c := 0; c < s.W.Clusters(); c++ {
-			loads[c] += s.W.ClusterWeight(i, c)
+			dst[c] += s.W.ClusterWeight(i, c)
 		}
 	}
-	return loads
+	return dst
 }
 
 // Pass is one convergent-scheduling heuristic. Run mutates s.W; the driver
 // renormalizes afterwards, so passes need not maintain the invariants
 // themselves (matching the paper, which runs normalization after every
 // pass).
+//
+// A pass may borrow buffers from s.Scratch() but must not retain them — or
+// any other reference into the state — after Run returns: the driver rewinds
+// the arena between runs and recycles the whole state across graphs.
 type Pass interface {
 	// Name is the pass's table label (for example "PATH" or "COMM").
 	Name() string

@@ -1,0 +1,168 @@
+package engine_test
+
+// Stress proof that the pooled hot path is safe and inert under concurrency:
+// 8 workers chew through 200 graphs — recycling State/PrefMap/scratch
+// through the core pool the whole time — and every schedule must come out
+// byte-identical to a cache-free serial run of the same jobs, with the cache
+// counters accounting for every request. Run under -race (CI does) this is
+// also the data-race detector for the pool recycling itself.
+//
+// A companion test pins the warm cache-hit path at near-zero allocations.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/engine"
+	"repro/internal/machine"
+	"repro/internal/robust"
+)
+
+const (
+	stressWorkers = 8
+	stressJobs    = 200
+)
+
+// stressJobList builds 200 jobs cycling the benchmark kernels over a small
+// set of seeds, so the batch mixes cache misses (first sighting of a
+// kernel/seed pair), exact repeats (hits, or shared in-flight computations)
+// and every graph shape the suite has.
+func stressJobList(t *testing.T, m *machine.Model) []engine.Job {
+	t.Helper()
+	kernels := bench.All()
+	if len(kernels) == 0 {
+		t.Fatal("no benchmark kernels")
+	}
+	jobs := make([]engine.Job, stressJobs)
+	for i := range jobs {
+		k := kernels[i%len(kernels)]
+		seed := int64(1000 + (i/len(kernels))%4)
+		jobs[i] = engine.Job{
+			ID:      fmt.Sprintf("%s-%d", k.Name, i),
+			Graph:   k.Build(m.NumClusters),
+			Machine: m,
+			Opts:    robust.Options{Seed: seed},
+		}
+	}
+	return jobs
+}
+
+func TestPooledStateStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200-graph stress sweep; skipped in -short")
+	}
+	m := machine.Raw(4)
+	jobs := stressJobList(t, m)
+
+	// Reference: one worker, no cache — every job computes from scratch, in
+	// order. (The states are still drawn from the pool, but serially; the
+	// root differential harness separately proves pooled == fresh, so this
+	// is the concurrency-free truth.)
+	ref := engine.New(1, 0)
+	want := ref.Batch(context.Background(), jobs)
+
+	e := engine.New(stressWorkers, stressJobs)
+	got := e.Batch(context.Background(), jobs)
+
+	for i := range jobs {
+		if want[i].Err != nil {
+			t.Fatalf("%s: reference run failed: %v", jobs[i].ID, want[i].Err)
+		}
+		if got[i].Err != nil {
+			t.Fatalf("%s: stress run failed: %v", jobs[i].ID, got[i].Err)
+		}
+		if g, w := got[i].Schedule.Fingerprint(), want[i].Schedule.Fingerprint(); g != w {
+			t.Errorf("%s: schedule under 8-way pooled concurrency diverged from serial run\n  serial:   %s\n  parallel: %s",
+				jobs[i].ID, w, g)
+		}
+		if got[i].Served != want[i].Served {
+			t.Errorf("%s: served rung %q under concurrency, %q serially", jobs[i].ID, got[i].Served, want[i].Served)
+		}
+	}
+
+	st := e.Stats()
+	if total := st.Hits + st.Misses + st.Shared + st.Uncacheable; total != stressJobs {
+		t.Errorf("stats don't account for every request: hits=%d misses=%d shared=%d uncacheable=%d, total %d want %d",
+			st.Hits, st.Misses, st.Shared, st.Uncacheable, total, stressJobs)
+	}
+	if st.Uncacheable != 0 {
+		t.Errorf("%d jobs uncacheable, want 0 (default ladder has a stable identity)", st.Uncacheable)
+	}
+	// 52 distinct (kernel, seed) cells; repeats must be answered by the
+	// cache or by joining an in-flight computation, never recomputed.
+	distinct := uint64(0)
+	seen := map[string]bool{}
+	for i := range jobs {
+		key := fmt.Sprintf("%d/%d", i%len(bench.All()), 1000+(i/len(bench.All()))%4)
+		if !seen[key] {
+			seen[key] = true
+			distinct++
+		}
+	}
+	if st.Misses != distinct {
+		t.Errorf("misses = %d, want exactly one per distinct (kernel, seed) cell = %d", st.Misses, distinct)
+	}
+	if st.Hits+st.Shared != stressJobs-distinct {
+		t.Errorf("hits+shared = %d, want %d (every repeat served without recomputing)",
+			st.Hits+st.Shared, stressJobs-distinct)
+	}
+	if st.Evictions != 0 {
+		t.Errorf("evictions = %d with capacity %d ≥ %d distinct entries, want 0", st.Evictions, stressJobs, distinct)
+	}
+
+	// A second identical batch must be all cache hits and stay byte-identical.
+	again := e.Batch(context.Background(), jobs)
+	for i := range jobs {
+		if again[i].Err != nil {
+			t.Fatalf("%s: warm rerun failed: %v", jobs[i].ID, again[i].Err)
+		}
+		if g, w := again[i].Schedule.Fingerprint(), want[i].Schedule.Fingerprint(); g != w {
+			t.Errorf("%s: warm cache hit not byte-identical to serial run", jobs[i].ID)
+		}
+	}
+	st2 := e.Stats()
+	if st2.Hits != st.Hits+stressJobs {
+		t.Errorf("warm rerun produced %d hits, want all %d jobs hit", st2.Hits-st.Hits, stressJobs)
+	}
+	if st2.Misses != st.Misses {
+		t.Errorf("warm rerun recomputed %d jobs, want 0", st2.Misses-st.Misses)
+	}
+}
+
+// TestEngineWarmHitAllocsNearZero pins the warm cache-hit path: once a job's
+// schedule is cached, serving it again must cost only the rehydration and
+// validation of the caller-owned Result (~80 small objects for mxm), not a
+// re-run of the scheduler (hundreds of thousands). The bound leaves headroom
+// for race-detector instrumentation while staying three orders of magnitude
+// below a recompute, so an accidental cache bypass trips it immediately.
+func TestEngineWarmHitAllocsNearZero(t *testing.T) {
+	m := machine.Raw(4)
+	var job engine.Job
+	for _, k := range bench.All() {
+		if k.Name == "mxm" {
+			job = engine.Job{ID: k.Name, Graph: k.Build(m.NumClusters), Machine: m, Opts: robust.Options{Seed: 2002}}
+		}
+	}
+	if job.Graph == nil {
+		t.Fatal("mxm kernel not found")
+	}
+	e := engine.New(1, 8)
+	ctx := context.Background()
+	if r := e.Schedule(ctx, job); r.Err != nil {
+		t.Fatalf("cold schedule: %v", r.Err)
+	}
+	if r := e.Schedule(ctx, job); r.Err != nil || !r.CacheHit {
+		t.Fatalf("second schedule: err=%v cacheHit=%v, want warm hit", r.Err, r.CacheHit)
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if r := e.Schedule(ctx, job); r.Err != nil {
+			t.Fatalf("warm schedule: %v", r.Err)
+		}
+	})
+	const bound = 128
+	if avg > bound {
+		t.Errorf("warm cache hit allocates %.1f objects per request, want <= %d", avg, bound)
+	}
+}

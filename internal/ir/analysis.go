@@ -15,9 +15,17 @@ func UnitLatency(Op) int { return 1 }
 // length of the longest predecessor chain ("lp" in the paper), measured with
 // the given latencies. Roots start at cycle 0.
 func (g *Graph) EarliestStart(lat LatencyFunc) []int {
+	return g.EarliestStartInto(lat, make([]int, len(g.Instrs)))
+}
+
+// EarliestStartInto is EarliestStart writing into es, which must hold Len
+// values; it returns es. The allocation-free variant exists for callers that
+// recompute analyses per graph on a hot path (see internal/core's pooled
+// scheduling state).
+func (g *Graph) EarliestStartInto(lat LatencyFunc, es []int) []int {
 	g.Seal()
-	es := make([]int, len(g.Instrs))
 	for i := range g.Instrs {
+		es[i] = 0
 		for _, p := range g.preds[i] {
 			if t := es[p] + lat(g.Instrs[p].Op); t > es[i] {
 				es[i] = t
@@ -32,8 +40,13 @@ func (g *Graph) EarliestStart(lat LatencyFunc) []int {
 // paper's "ls", the latency of the successor chain. A leaf's height is its
 // own latency.
 func (g *Graph) Height(lat LatencyFunc) []int {
+	return g.HeightInto(lat, make([]int, len(g.Instrs)))
+}
+
+// HeightInto is Height writing into h, which must hold Len values; it
+// returns h.
+func (g *Graph) HeightInto(lat LatencyFunc, h []int) []int {
 	g.Seal()
-	h := make([]int, len(g.Instrs))
 	for i := len(g.Instrs) - 1; i >= 0; i-- {
 		best := 0
 		for _, s := range g.succs[i] {
@@ -136,9 +149,15 @@ func (g *Graph) CriticalPath(lat LatencyFunc) []int {
 // UnitLevel returns the paper's level(i): the distance of each instruction
 // from the furthest root, counted in edges. Roots are level 0.
 func (g *Graph) UnitLevel() []int {
+	return g.UnitLevelInto(make([]int, len(g.Instrs)))
+}
+
+// UnitLevelInto is UnitLevel writing into lv, which must hold Len values; it
+// returns lv.
+func (g *Graph) UnitLevelInto(lv []int) []int {
 	g.Seal()
-	lv := make([]int, len(g.Instrs))
 	for i := range g.Instrs {
+		lv[i] = 0
 		for _, p := range g.preds[i] {
 			if lv[p]+1 > lv[i] {
 				lv[i] = lv[p] + 1
@@ -186,18 +205,11 @@ func (g *Graph) Distances(src int) []int {
 }
 
 // Neighbors returns the deduplicated union of predecessors and successors of
-// instruction i.
+// instruction i, in predecessor-then-successor order. The slice is computed
+// at Seal time and owned by the graph: callers must not modify it, and in
+// exchange the call never allocates, which the scheduling hot path relies
+// on.
 func (g *Graph) Neighbors(i int) []int {
 	g.Seal()
-	out := make([]int, 0, len(g.preds[i])+len(g.succs[i]))
-	seen := make(map[int]bool, len(g.preds[i])+len(g.succs[i]))
-	for _, lists := range [2][]int{g.preds[i], g.succs[i]} {
-		for _, nb := range lists {
-			if !seen[nb] {
-				seen[nb] = true
-				out = append(out, nb)
-			}
-		}
-	}
-	return out
+	return g.neighbors[i]
 }

@@ -20,10 +20,15 @@ type Graph struct {
 
 	memEdges [][2]int // (from, to) ordering edges between memory ops
 
-	sealed   bool
-	sealOnce sync.Once
-	preds    [][]int // deduplicated data+memory predecessors
-	succs    [][]int // deduplicated data+memory successors
+	sealed    bool
+	sealOnce  sync.Once
+	preds     [][]int // deduplicated data+memory predecessors
+	succs     [][]int // deduplicated data+memory successors
+	neighbors [][]int // deduplicated union of preds and succs
+	preplaced []int   // IDs of preplaced instructions
+
+	canonOnce sync.Once
+	canon     Canonical
 }
 
 // New returns an empty graph with the given name.
@@ -142,6 +147,28 @@ func (g *Graph) seal() {
 	for _, e := range g.memEdges {
 		addEdge(e[0], e[1])
 	}
+	// Precompute the neighbor union once so Neighbors is allocation-free:
+	// the convergent passes walk it in their inner loops.
+	g.neighbors = make([][]int, n)
+	dup := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		clear(dup)
+		nb := make([]int, 0, len(g.preds[i])+len(g.succs[i]))
+		for _, lists := range [2][]int{g.preds[i], g.succs[i]} {
+			for _, v := range lists {
+				if !dup[v] {
+					dup[v] = true
+					nb = append(nb, v)
+				}
+			}
+		}
+		g.neighbors[i] = nb
+	}
+	for i, in := range g.Instrs {
+		if in.Preplaced() {
+			g.preplaced = append(g.preplaced, i)
+		}
+	}
 }
 
 // Preds returns the deduplicated predecessor IDs of instruction i,
@@ -232,8 +259,13 @@ func (g *Graph) Validate() error {
 // ErrEmpty is returned by analyses that require at least one instruction.
 var ErrEmpty = errors.New("ir: empty graph")
 
-// Preplaced returns the IDs of all preplaced instructions.
+// Preplaced returns the IDs of all preplaced instructions. On a sealed graph
+// the slice is precomputed and owned by the graph (callers must not modify
+// it); before sealing a fresh slice is built per call.
 func (g *Graph) Preplaced() []int {
+	if g.sealed {
+		return g.preplaced
+	}
 	var r []int
 	for i, in := range g.Instrs {
 		if in.Preplaced() {

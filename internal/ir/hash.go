@@ -73,8 +73,17 @@ func fold(h, v uint64) uint64 { return hmix(h*0x100000001b3 ^ v) }
 // and one top-down sweep reach a fixpoint. The graph hash is the sorted
 // multiset of per-instruction hashes, which no topological renumbering can
 // change.
+// The identity is computed once per sealed graph and cached: engine workers
+// key the schedule cache on it for every job, so a warm cache hit must not
+// re-refine the whole graph. Callers must treat the returned Order as
+// read-only.
 func (g *Graph) Canonical() Canonical {
 	g.Seal()
+	g.canonOnce.Do(func() { g.canon = g.computeCanonical() })
+	return g.canon
+}
+
+func (g *Graph) computeCanonical() Canonical {
 	n := len(g.Instrs)
 
 	memPreds := make([][]int, n)

@@ -86,6 +86,7 @@ func Raw(tiles int) *Model {
 		RemoteMemPenalty: -1,
 		lat:              defaultLatencies(),
 	}
+	m.InitRoutes()
 	return m
 }
 

@@ -103,6 +103,15 @@ type Model struct {
 	RemoteMemPenalty int
 
 	lat [ir.NumOps]int
+
+	// routes is the all-pairs route table (see Route), built by the
+	// constructors. It depends only on the mesh topology, so copies made
+	// by WithOpLatency share it. routesW/routesH record the mesh it was
+	// built for: a caller that reshapes MeshW/MeshH after construction
+	// (tests do) silently invalidates the table, and Route must notice
+	// and fall back to computing instead of serving stale paths.
+	routes           [][]Link
+	routesW, routesH int
 }
 
 // OpLatency returns the result latency of the opcode in cycles (at least 1).

@@ -12,11 +12,47 @@ type Link struct {
 // shared links to contend on). Dimension-ordered routing is what Raw's
 // static network compiler used by default, and its determinism is what lets
 // the scheduler reserve links at compile time.
+//
+// On models built by the package constructors the route comes from a
+// precomputed all-pairs table — the list scheduler asks for the same handful
+// of paths for every communication it places — so the returned slice is
+// owned by the model and must not be modified. Hand-built models — and
+// models whose MeshW/MeshH were reshaped after construction, which strands
+// any table built earlier — fall back to computing the route per call (or
+// may call InitRoutes themselves).
 func (m *Model) Route(a, b int) []Link {
 	if a == b || m.MeshW <= 0 || m.MeshH <= 0 {
 		return nil
 	}
-	var links []Link
+	if m.routes != nil && m.routesW == m.MeshW && m.routesH == m.MeshH {
+		return m.routes[a*m.NumClusters+b]
+	}
+	return m.computeRoute(a, b)
+}
+
+// InitRoutes precomputes the all-pairs route table. The constructors call it;
+// hand-built mesh models may call it once before concurrent use to make Route
+// allocation-free. Total size is bounded by the mesh diameter times
+// NumClusters², a few kilobytes on the largest models.
+func (m *Model) InitRoutes() {
+	if m.MeshW <= 0 || m.MeshH <= 0 {
+		return
+	}
+	n := m.NumClusters
+	m.routes = make([][]Link, n*n)
+	m.routesW, m.routesH = m.MeshW, m.MeshH
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			m.routes[a*n+b] = m.computeRoute(a, b)
+		}
+	}
+}
+
+func (m *Model) computeRoute(a, b int) []Link {
+	links := make([]Link, 0, m.Dist(a, b))
 	cur := a
 	cx, cy := a%m.MeshW, a/m.MeshW
 	bx, by := b%m.MeshW, b/m.MeshW

@@ -19,8 +19,9 @@ func (FULoad) Name() string { return "FULOAD" }
 // Run implements core.Pass.
 func (FULoad) Run(s *core.State) {
 	n, C := s.W.N(), s.W.Clusters()
+	sc := s.Scratch()
 	// kindOf maps each instruction to the FU index it would issue on.
-	kindOf := make([]int, n)
+	kindOf := sc.Ints(n)
 	numFU := len(s.Machine.FUs)
 	for i := 0; i < n; i++ {
 		fu := s.Machine.FirstFU(s.Graph.Instrs[i].Op)
@@ -29,29 +30,24 @@ func (FULoad) Run(s *core.State) {
 		}
 		kindOf[i] = fu
 	}
-	// loads[c][fu]: expected instructions bound for that unit.
-	loads := make([][]float64, C)
-	for c := range loads {
-		loads[c] = make([]float64, numFU)
-	}
+	// loads[c*numFU+fu]: expected instructions bound for that unit.
+	loads := sc.Floats(C * numFU)
 	for i := 0; i < n; i++ {
 		for c := 0; c < C; c++ {
-			loads[c][kindOf[i]] += s.W.ClusterWeight(i, c)
+			loads[c*numFU+kindOf[i]] += s.W.ClusterWeight(i, c)
 		}
 	}
 	const eps = 1e-3
+	div := sc.Floats(C)
 	for i := 0; i < n; i++ {
 		fu := kindOf[i]
-		div := make([]float64, C)
 		for c := 0; c < C; c++ {
-			l := loads[c][fu]
+			l := loads[c*numFU+fu]
 			if l < eps {
 				l = eps
 			}
 			div[c] = l
 		}
-		s.W.Apply(i, func(t, c int, w float64) float64 {
-			return w / div[c]
-		})
+		s.W.DivPerCluster(i, div)
 	}
 }

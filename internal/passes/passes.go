@@ -7,11 +7,18 @@
 // constants (PLACE ×100, PATH ×3, FIRST ×1.2, EMPHCP ×1.2, LEVEL confidence
 // threshold 2.0, LEVEL applied every four levels on Raw); where the paper
 // leaves a constant unstated the field documents our choice.
+//
+// Every pass draws its working buffers from the state's scratch arena
+// (State.Scratch) instead of allocating: once the arena has grown to a
+// workload's high-water mark, a full pass-sequence run performs no heap
+// allocations. The allocation-regression tests pin this property; the
+// differential harness proves the scratch-based rewrites produce bit-for-bit
+// the same schedules as the original allocating implementations.
 package passes
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/core"
 )
@@ -27,13 +34,7 @@ func (InitTime) Name() string { return "INITTIME" }
 // Run implements core.Pass.
 func (InitTime) Run(s *core.State) {
 	for i := 0; i < s.W.N(); i++ {
-		lo, hi := s.EarliestStart[i], s.LatestStart[i]
-		s.W.Apply(i, func(t, c int, w float64) float64 {
-			if t < lo || t > hi {
-				return 0
-			}
-			return w
-		})
+		s.W.ZeroTimesOutside(i, s.EarliestStart[i], s.LatestStart[i])
 	}
 }
 
@@ -71,30 +72,22 @@ func (p Noise) Run(s *core.State) {
 	// against a normalized prior marginal of 1/C, reproducing the
 	// paper's noise-dominates-prior regime.
 	C := s.W.Clusters()
-	T := s.W.Times()
-	feasible := make([]int, C)
+	sc := s.Scratch()
+	feasible := sc.Ints(C)
+	draw := sc.Floats(C)
 	for i := 0; i < s.W.N(); i++ {
-		for c := 0; c < C; c++ {
-			feasible[c] = 0
-			for t := 0; t < T; t++ {
-				if s.W.At(i, t, c) > 0 {
-					feasible[c]++
-				}
-			}
-		}
-		draw := make([]float64, C)
+		s.W.NonzeroSlotsPerCluster(i, feasible)
+		// Zero slots encode feasibility squashes from INITTIME, which
+		// the masked add respects; draw order must match cluster order
+		// so a recycled state consumes the random stream exactly as a
+		// fresh one.
 		for c := range draw {
+			draw[c] = 0
 			if feasible[c] > 0 {
 				draw[c] = s.Rand.Float64() * amp / float64(feasible[c])
 			}
 		}
-		s.W.Apply(i, func(t, c int, w float64) float64 {
-			if w == 0 {
-				// Respect feasibility squashes from INITTIME.
-				return 0
-			}
-			return w + draw[c]
-		})
+		s.W.AddPerClusterMasked(i, draw)
 	}
 }
 
@@ -191,16 +184,36 @@ func (p Path) Run(s *core.State) {
 		maxPaths = 8 * s.W.Clusters()
 	}
 	cpl := s.CPL
-	marked := make([]bool, s.Graph.Len())
-	loads := s.Loads()
+	n := s.Graph.Len()
+	sc := s.Scratch()
+	marked := sc.Bools(n)
+	loads := s.LoadsInto(sc.Floats(s.W.Clusters()))
+	// Work buffers reused across path iterations. down/next are fully
+	// overwritten per search; onPath is cleared selectively after each
+	// iteration (its set bits are exactly the absorbed path's members).
+	down := sc.Ints(n)
+	next := sc.Ints(n)
+	pathBuf := sc.IntsCap(n)
+	onPath := sc.Bools(n)
+	fringeBuf := sc.IntsCap(n)
+	cutBuf := sc.IntsCap(n + 1)
+	sums := sc.Floats(s.W.Clusters())
 	for iter := 0; iter < maxPaths; iter++ {
-		path := longestUnmarkedPath(s, marked)
+		path := longestUnmarkedPath(s, marked, down, next, pathBuf)
 		if len(path) == 0 || float64(pathLength(s, path)) < minFrac*float64(cpl) {
 			return
 		}
-		path = absorbFringe(s, path, marked)
-		for _, seg := range splitAtHomes(s, path) {
-			cc := p.chooseCluster(s, seg, ratio, loads)
+		path = absorbFringe(s, path, marked, onPath, fringeBuf)
+		cuts := splitAtHomes(s, path, cutBuf)
+		start := 0
+		for k := 0; k <= len(cuts); k++ {
+			end := len(path)
+			if k < len(cuts) {
+				end = cuts[k]
+			}
+			seg := path[start:end]
+			start = end
+			cc := p.chooseCluster(s, seg, ratio, loads, sums)
 			for _, i := range seg {
 				s.W.MulCluster(i, cc, f)
 				// A chain member whose prior weights strongly
@@ -230,6 +243,7 @@ func (p Path) Run(s *core.State) {
 		}
 		for _, i := range path {
 			marked[i] = true
+			onPath[i] = false
 		}
 	}
 }
@@ -242,12 +256,15 @@ func (p Path) Run(s *core.State) {
 // splitAtHomes still sees a coherent order. One level of fringe is
 // absorbed, which covers the common shape (a multiply feeding each step of
 // a recurrence).
-func absorbFringe(s *core.State, path []int, marked []bool) []int {
-	onPath := make(map[int]bool, len(path))
+//
+// onPath must be all-false on entry; on return its set bits are exactly the
+// returned path's members (the caller clears them). out provides the backing
+// for the returned path.
+func absorbFringe(s *core.State, path []int, marked, onPath []bool, out []int) []int {
 	for _, i := range path {
 		onPath[i] = true
 	}
-	var out []int
+	out = out[:0]
 	for _, i := range path {
 		for _, p := range s.Graph.Preds(i) {
 			in := s.Graph.Instrs[p]
@@ -281,37 +298,34 @@ func pathLength(s *core.State, path []int) int {
 }
 
 // splitAtHomes cuts a path at preplaced instructions with conflicting homes.
-func splitAtHomes(s *core.State, cp []int) [][]int {
-	var segments [][]int
-	cur := []int{}
+// It returns the cut positions appended to cuts: segment k runs from the
+// previous cut (or 0) to cuts[k], and the final segment to len(cp).
+func splitAtHomes(s *core.State, cp []int, cuts []int) []int {
+	cuts = cuts[:0]
 	curHome := -1
-	for _, i := range cp {
+	start := 0
+	for k, i := range cp {
 		h := s.Graph.Instrs[i].Home
-		if h >= 0 && curHome >= 0 && h != curHome && len(cur) > 0 {
-			segments = append(segments, cur)
-			cur = nil
+		if h >= 0 && curHome >= 0 && h != curHome && k > start {
+			cuts = append(cuts, k)
+			start = k
 			curHome = -1
 		}
-		cur = append(cur, i)
 		if h >= 0 {
 			curHome = h
 		}
 	}
-	if len(cur) > 0 {
-		segments = append(segments, cur)
-	}
-	return segments
+	return cuts
 }
 
 // longestUnmarkedPath finds the longest dependence chain consisting purely
 // of unmarked instructions, under machine latencies. Returns nil when all
-// instructions are marked.
-func longestUnmarkedPath(s *core.State, marked []bool) []int {
+// instructions are marked. down and next must hold Len values (contents are
+// overwritten); pathBuf provides the backing for the returned path.
+func longestUnmarkedPath(s *core.State, marked []bool, down, next, pathBuf []int) []int {
 	g := s.Graph
 	n := g.Len()
 	lat := s.Machine.LatencyFunc()
-	down := make([]int, n) // longest chain length starting at i, unmarked only
-	next := make([]int, n)
 	best := -1
 	for i := n - 1; i >= 0; i-- {
 		next[i] = -1
@@ -336,14 +350,16 @@ func longestUnmarkedPath(s *core.State, marked []bool) []int {
 	if best < 0 || marked[best] {
 		return nil
 	}
-	var path []int
+	path := pathBuf[:0]
 	for cur := best; cur >= 0; cur = next[cur] {
 		path = append(path, cur)
 	}
 	return path
 }
 
-func (p Path) chooseCluster(s *core.State, seg []int, ratio float64, loads []float64) int {
+// chooseCluster picks the segment's cluster; sums must hold Clusters values
+// and is used as scratch.
+func (p Path) chooseCluster(s *core.State, seg []int, ratio float64, loads, sums []float64) int {
 	// A preplaced member pins the segment.
 	for _, i := range seg {
 		if h := s.Graph.Instrs[i].Home; h >= 0 {
@@ -352,7 +368,9 @@ func (p Path) chooseCluster(s *core.State, seg []int, ratio float64, loads []flo
 	}
 	// Otherwise look for an existing bias in the segment's weights.
 	C := s.W.Clusters()
-	sums := make([]float64, C)
+	for c := range sums {
+		sums[c] = 0
+	}
 	for _, i := range seg {
 		for c := 0; c < C; c++ {
 			sums[c] += s.W.ClusterWeight(i, c)
@@ -409,6 +427,25 @@ func (p Comm) Name() string {
 	return "COMM"
 }
 
+// edgeCrit returns the pull multiplier between two directly dependent
+// instructions: near-critical edges (little scheduling slack between the
+// pair) matter more, because splitting them across clusters adds
+// communication latency straight onto the critical path.
+func (p Comm) edgeCrit(s *core.State, a, b int) float64 {
+	if p.SlackWeight == 0 {
+		return 1
+	}
+	if a > b {
+		a, b = b, a
+	}
+	lat := s.Machine.OpLatency(s.Graph.Instrs[a].Op)
+	slack := s.LatestStart[b] - (s.EarliestStart[a] + lat)
+	if slack < 0 {
+		slack = 0
+	}
+	return 1 + p.SlackWeight/float64(1+slack)
+}
+
 // Run implements core.Pass.
 func (p Comm) Run(s *core.State) {
 	floor := p.Floor
@@ -416,55 +453,49 @@ func (p Comm) Run(s *core.State) {
 		floor = 0.05
 	}
 	n, C := s.W.N(), s.W.Clusters()
+	sc := s.Scratch()
 	// Snapshot the marginals so the pass reads a consistent picture
-	// while it rewrites weights.
-	marg := make([][]float64, n)
+	// while it rewrites weights. marg[i*C+c] is instruction i's mass on
+	// cluster c.
+	marg := sc.Floats(n * C)
 	for i := 0; i < n; i++ {
-		row := make([]float64, C)
-		for c := 0; c < C; c++ {
-			row[c] = s.W.ClusterWeight(i, c)
-		}
-		marg[i] = row
+		s.W.ClusterWeightsInto(i, marg[i*C:(i+1)*C])
 	}
-	// edgeCrit returns the pull multiplier between two directly dependent
-	// instructions: near-critical edges (little scheduling slack between
-	// the pair) matter more, because splitting them across clusters adds
-	// communication latency straight onto the critical path.
-	edgeCrit := func(a, b int) float64 {
-		if p.SlackWeight == 0 {
-			return 1
-		}
-		if a > b {
-			a, b = b, a
-		}
-		lat := s.Machine.OpLatency(s.Graph.Instrs[a].Op)
-		slack := s.LatestStart[b] - (s.EarliestStart[a] + lat)
-		if slack < 0 {
-			slack = 0
-		}
-		return 1 + p.SlackWeight/float64(1+slack)
+	attract := sc.Floats(C)
+	factor := sc.Floats(C)
+	// seen is a generation-marked visited set for the distance-two walk:
+	// seen[x] == gen means x was counted for the current instruction.
+	var seen []int
+	gen := 0
+	if p.IncludeGrand {
+		seen = sc.Ints(n)
 	}
 	for i := 0; i < n; i++ {
-		attract := make([]float64, C)
+		for c := range attract {
+			attract[c] = 0
+		}
 		for _, nb := range s.Graph.Neighbors(i) {
-			crit := edgeCrit(i, nb)
+			crit := p.edgeCrit(s, i, nb)
+			row := marg[nb*C : (nb+1)*C]
 			for c := 0; c < C; c++ {
-				attract[c] += crit * marg[nb][c]
+				attract[c] += crit * row[c]
 			}
 		}
 		if p.IncludeGrand {
-			seen := map[int]bool{i: true}
+			gen++
+			seen[i] = gen
 			for _, nb := range s.Graph.Neighbors(i) {
-				seen[nb] = true
+				seen[nb] = gen
 			}
 			for _, nb := range s.Graph.Neighbors(i) {
 				for _, nb2 := range s.Graph.Neighbors(nb) {
-					if seen[nb2] {
+					if seen[nb2] == gen {
 						continue
 					}
-					seen[nb2] = true
+					seen[nb2] = gen
+					row := marg[nb2*C : (nb2+1)*C]
 					for c := 0; c < C; c++ {
-						attract[c] += 0.5 * marg[nb2][c]
+						attract[c] += 0.5 * row[c]
 					}
 				}
 			}
@@ -476,9 +507,10 @@ func (p Comm) Run(s *core.State) {
 		if total == 0 {
 			continue
 		}
-		s.W.Apply(i, func(t, c int, w float64) float64 {
-			return w * (floor + attract[c]/total)
-		})
+		for c := 0; c < C; c++ {
+			factor[c] = floor + attract[c]/total
+		}
+		s.W.MulPerCluster(i, factor)
 	}
 }
 
@@ -498,30 +530,29 @@ func (PlaceProp) Run(s *core.State) {
 	if len(pp) == 0 {
 		return
 	}
-	// Multi-source BFS per cluster: dist[c][i] = hops from i to the
+	// Multi-source BFS per cluster: dist[c*n+i] = hops from i to the
 	// nearest preplaced instruction homed on c.
 	const unreachable = math.MaxInt32
-	dist := make([][]int, C)
-	for c := range dist {
-		dist[c] = make([]int, n)
-		for i := range dist[c] {
-			dist[c][i] = unreachable
-		}
+	sc := s.Scratch()
+	dist := sc.Ints(C * n)
+	for k := range dist {
+		dist[k] = unreachable
 	}
+	queue := sc.IntsCap(n)
 	for c := 0; c < C; c++ {
-		var queue []int
+		dc := dist[c*n : (c+1)*n]
+		queue = queue[:0]
 		for _, i := range pp {
 			if s.Graph.Instrs[i].Home == c {
-				dist[c][i] = 0
+				dc[i] = 0
 				queue = append(queue, i)
 			}
 		}
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
+		for qi := 0; qi < len(queue); qi++ {
+			cur := queue[qi]
 			for _, nb := range s.Graph.Neighbors(cur) {
-				if dist[c][nb] > dist[c][cur]+1 {
-					dist[c][nb] = dist[c][cur] + 1
+				if dc[nb] > dc[cur]+1 {
+					dc[nb] = dc[cur] + 1
 					queue = append(queue, nb)
 				}
 			}
@@ -531,20 +562,18 @@ func (PlaceProp) Run(s *core.State) {
 	// finite distance, so clusters with no preplaced instructions are
 	// maximally unattractive but not zeroed.
 	maxFinite := 1
-	for c := 0; c < C; c++ {
-		for i := 0; i < n; i++ {
-			if d := dist[c][i]; d != unreachable && d > maxFinite {
-				maxFinite = d
-			}
+	for _, d := range dist {
+		if d != unreachable && d > maxFinite {
+			maxFinite = d
 		}
 	}
+	div := sc.Floats(C)
 	for i := 0; i < n; i++ {
 		if s.Graph.Instrs[i].Preplaced() {
 			continue
 		}
-		div := make([]float64, C)
 		for c := 0; c < C; c++ {
-			d := dist[c][i]
+			d := dist[c*n+i]
 			if d == unreachable {
 				d = maxFinite + 1
 			}
@@ -553,9 +582,7 @@ func (PlaceProp) Run(s *core.State) {
 			}
 			div[c] = float64(d)
 		}
-		s.W.Apply(i, func(t, c int, w float64) float64 {
-			return w / div[c]
-		})
+		s.W.DivPerCluster(i, div)
 	}
 }
 
@@ -569,7 +596,7 @@ func (Load) Name() string { return "LOAD" }
 
 // Run implements core.Pass.
 func (Load) Run(s *core.State) {
-	loads := s.Loads()
+	loads := s.LoadsInto(s.Scratch().Floats(s.W.Clusters()))
 	// Guard against an empty cluster making the division degenerate.
 	const eps = 1e-3
 	for c := range loads {
@@ -578,9 +605,7 @@ func (Load) Run(s *core.State) {
 		}
 	}
 	for i := 0; i < s.W.N(); i++ {
-		s.W.Apply(i, func(t, c int, w float64) float64 {
-			return w / loads[c]
-		})
+		s.W.DivPerCluster(i, loads)
 	}
 }
 
@@ -630,28 +655,15 @@ func (p PathProp) Run(s *core.State) {
 		th = 2
 	}
 	n := s.W.N()
-	conf := make([]float64, n)
+	sc := s.Scratch()
+	conf := sc.Floats(n)
 	for i := 0; i < n; i++ {
 		conf[i] = s.W.Confidence(i)
 	}
-	dir := func(ih int, next func(int) []int) {
-		visited := map[int]bool{ih: true}
-		cur := ih
-		for {
-			cand := -1
-			for _, nb := range next(cur) {
-				if !visited[nb] && conf[nb] < conf[ih] && (cand < 0 || nb < cand) {
-					cand = nb
-				}
-			}
-			if cand < 0 {
-				return
-			}
-			s.W.Blend(cand, ih, 0.5)
-			visited[cand] = true
-			cur = cand
-		}
-	}
+	// visited is generation-marked: visited[x] == gen means x was reached
+	// during the current directional walk.
+	visited := sc.Ints(n)
+	gen := 0
 	for ih := 0; ih < n; ih++ {
 		if conf[ih] < th {
 			continue
@@ -665,8 +677,37 @@ func (p PathProp) Run(s *core.State) {
 		if s.Graph.Instrs[ih].Preplaced() {
 			continue
 		}
-		dir(ih, s.Graph.Succs)
-		dir(ih, s.Graph.Preds)
+		gen = pathPropDir(s, conf, visited, gen, ih, true)
+		gen = pathPropDir(s, conf, visited, gen, ih, false)
+	}
+}
+
+// pathPropDir walks from ih along successors (succs true) or predecessors,
+// blending each step's least-confident unvisited neighbour toward ih. It
+// returns the updated visited-set generation.
+func pathPropDir(s *core.State, conf []float64, visited []int, gen, ih int, succs bool) int {
+	gen++
+	visited[ih] = gen
+	cur := ih
+	for {
+		var nbs []int
+		if succs {
+			nbs = s.Graph.Succs(cur)
+		} else {
+			nbs = s.Graph.Preds(cur)
+		}
+		cand := -1
+		for _, nb := range nbs {
+			if visited[nb] != gen && conf[nb] < conf[ih] && (cand < 0 || nb < cand) {
+				cand = nb
+			}
+		}
+		if cand < 0 {
+			return gen
+		}
+		s.W.Blend(cand, ih, 0.5)
+		visited[cand] = gen
+		cur = cand
 	}
 }
 
@@ -718,14 +759,19 @@ func (p Level) Run(s *core.State) {
 			maxLevel = l
 		}
 	}
+	n := s.Graph.Len()
+	sc := s.Scratch()
+	il := sc.IntsCap(n)
+	rest := sc.IntsCap(n)
+	ig := sc.IntsCap(n)
 	for l := 0; l <= maxLevel; l += stride {
-		p.distribute(s, l, minDist, th, f)
+		p.distribute(s, l, minDist, th, f, il, rest, ig)
 	}
 }
 
-func (p Level) distribute(s *core.State, level, minDist int, th, f float64) {
+func (p Level) distribute(s *core.State, level, minDist int, th, f float64, il, rest, ig []int) {
 	C := s.W.Clusters()
-	var il []int
+	il = il[:0]
 	for i, l := range s.UnitLevel {
 		if l == level {
 			il = append(il, i)
@@ -734,8 +780,8 @@ func (p Level) distribute(s *core.State, level, minDist int, th, f float64) {
 	if len(il) == 0 {
 		return
 	}
-	bins := make([][]int, C)
-	var rest []int
+	bins := s.Scratch().Bins(C)
+	rest = rest[:0]
 	for _, i := range il {
 		if s.W.Confidence(i) >= th {
 			c := s.W.PreferredCluster(i)
@@ -744,38 +790,16 @@ func (p Level) distribute(s *core.State, level, minDist int, th, f float64) {
 			rest = append(rest, i)
 		}
 	}
-	distToBin := func(i, c int) int {
-		d := s.Distances(i)
-		best := math.MaxInt32
-		for _, b := range bins[c] {
-			if d[b] >= 0 && d[b] < best {
-				best = d[b]
-			}
-		}
-		return best
-	}
-	closestBin := func(i int) (bin, dist int) {
-		bin, dist = -1, math.MaxInt32
-		for c := 0; c < C; c++ {
-			if len(bins[c]) == 0 {
-				continue
-			}
-			if d := distToBin(i, c); d < dist {
-				bin, dist = c, d
-			}
-		}
-		return bin, dist
-	}
 	// Instructions close to an existing bin are left where they are; the
 	// distant ones (the paper's Ig) get distributed round-robin, each
 	// bin pulling the remaining instruction farthest from itself.
-	var ig []int
+	ig = ig[:0]
 	for _, i := range rest {
-		if _, d := closestBin(i); d > minDist {
+		if _, d := closestBin(s, bins, i); d > minDist {
 			ig = append(ig, i)
 		}
 	}
-	sort.Ints(ig)
+	slices.Sort(ig)
 	rr := 0
 	for len(ig) > 0 {
 		b := rr % C
@@ -785,7 +809,7 @@ func (p Level) distribute(s *core.State, level, minDist int, th, f float64) {
 		// all.
 		bestIdx, bestD := 0, -1
 		for k, i := range ig {
-			d := distToBin(i, b)
+			d := distToBin(s, bins, i, b)
 			if d > bestD {
 				bestIdx, bestD = k, d
 			}
@@ -803,4 +827,31 @@ func (p Level) distribute(s *core.State, level, minDist int, th, f float64) {
 			}
 		}
 	}
+}
+
+// distToBin returns the dependence-graph distance from i to the nearest
+// member of bin c (MaxInt32 when unconnected).
+func distToBin(s *core.State, bins [][]int, i, c int) int {
+	d := s.Distances(i)
+	best := math.MaxInt32
+	for _, b := range bins[c] {
+		if d[b] >= 0 && d[b] < best {
+			best = d[b]
+		}
+	}
+	return best
+}
+
+// closestBin returns the non-empty bin nearest to i.
+func closestBin(s *core.State, bins [][]int, i int) (bin, dist int) {
+	bin, dist = -1, math.MaxInt32
+	for c := range bins {
+		if len(bins[c]) == 0 {
+			continue
+		}
+		if d := distToBin(s, bins, i, c); d < dist {
+			bin, dist = c, d
+		}
+	}
+	return bin, dist
 }

@@ -38,8 +38,9 @@ func (p RegPres) Run(s *core.State) {
 	g := s.Graph
 	n, C := s.W.N(), s.W.Clusters()
 	lat := s.Machine.LatencyFunc()
+	sc := s.Scratch()
 	// Expected live span per value under infinite resources.
-	span := make([]float64, n)
+	span := sc.Floats(n)
 	for i := 0; i < n; i++ {
 		in := g.Instrs[i]
 		if !in.Op.HasResult() || in.Op.IsConst() {
@@ -54,7 +55,7 @@ func (p RegPres) Run(s *core.State) {
 		}
 		span[i] = float64(last-ready) + 1
 	}
-	pressure := make([]float64, C)
+	pressure := sc.Floats(C)
 	for i := 0; i < n; i++ {
 		if span[i] == 0 {
 			continue
@@ -71,7 +72,7 @@ func (p RegPres) Run(s *core.State) {
 	if mean <= 0 {
 		return
 	}
-	div := make([]float64, C)
+	div := sc.Floats(C)
 	for c := 0; c < C; c++ {
 		norm := pressure[c] / mean
 		if norm < 0.1 {
@@ -84,8 +85,6 @@ func (p RegPres) Run(s *core.State) {
 		if in.Op.IsConst() {
 			continue
 		}
-		s.W.Apply(i, func(t, c int, w float64) float64 {
-			return w / div[c]
-		})
+		s.W.DivPerCluster(i, div)
 	}
 }

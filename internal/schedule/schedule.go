@@ -12,6 +12,9 @@
 package schedule
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
@@ -36,6 +39,36 @@ type Placement struct {
 // Ready returns the first cycle at which the result is usable on the
 // producing cluster.
 func (p Placement) Ready() int { return p.Start + p.Latency }
+
+// Fingerprint returns a hex-encoded content hash of the schedule: every
+// placement field in instruction order, every comm in list order, and the
+// comm count. Two schedules have equal fingerprints exactly when their
+// placements and comm lists are byte-identical, which is what the
+// differential harnesses compare across scheduler paths.
+func (s *Schedule) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	wr := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	wr(len(s.Placements))
+	for _, p := range s.Placements {
+		wr(p.Cluster)
+		wr(p.FU)
+		wr(p.Start)
+		wr(p.Latency)
+	}
+	wr(len(s.Comms))
+	for _, c := range s.Comms {
+		wr(c.Value)
+		wr(c.From)
+		wr(c.To)
+		wr(c.Depart)
+		wr(c.Arrive)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
 
 // Comm is one inter-cluster move of a register value.
 type Comm struct {
