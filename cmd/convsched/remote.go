@@ -116,7 +116,11 @@ func runRemote(o options, paths []string) error {
 }
 
 // postUnit sends one unit, retrying 429 sheds with the server's Retry-After
-// hint a bounded number of times.
+// hint and connection errors with the same jittered backoff, each a bounded
+// number of times. Connection errors are retryable because they are exactly
+// what a daemon mid-(warm-)restart or a gateway shuffling shards looks like:
+// failing the whole batch on the first dial error turns a one-second blip
+// into a rerun.
 func postUnit(target, tenant string, body []byte) (*remoteSchedule, error) {
 	const maxAttempts = 5
 	for attempt := 1; ; attempt++ {
@@ -130,7 +134,13 @@ func postUnit(target, tenant string, body []byte) (*remoteSchedule, error) {
 		}
 		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
-			return nil, err
+			if attempt < maxAttempts {
+				// No Retry-After to honor on a failed dial; the empty header
+				// falls back to the linear-backoff base, jittered like a 429.
+				time.Sleep(retryAfter("", attempt))
+				continue
+			}
+			return nil, fmt.Errorf("after %d attempts: %w", attempt, err)
 		}
 		rb, err := io.ReadAll(resp.Body)
 		resp.Body.Close()

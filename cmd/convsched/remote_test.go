@@ -2,7 +2,10 @@ package main
 
 import (
 	"math/rand"
+	"net"
+	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -136,6 +139,63 @@ func TestJitteredRetryBounds(t *testing.T) {
 			t.Errorf("jitteredRetry(%q, %d): only %d distinct waits in 200 draws — not jittered",
 				tc.header, tc.attempt, len(distinct))
 		}
+	}
+}
+
+// TestPostUnitRetriesConnRefused pins the fix for the batch-killing dial
+// error: a connection refused on the first attempt — a daemon mid-restart —
+// is retried with the jittered backoff, and the unit succeeds once the
+// service comes up.
+func TestPostUnitRetriesConnRefused(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // the port now refuses connections, like a restarting daemon
+
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		ln2, lerr := net.Listen("tcp", addr)
+		if lerr != nil {
+			return // port stolen; the test will report the dial failure
+		}
+		_ = (&http.Server{Handler: server.New(server.Config{Seed: 2002}).Handler()}).Serve(ln2)
+	}()
+
+	body, err := os.ReadFile(writeKernel(t, "vvmul", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := postUnit("http://"+addr+"/schedule?machine=vliw4", "", body)
+	if err != nil {
+		t.Fatalf("postUnit did not survive the restart window: %v", err)
+	}
+	if res.Cycles <= 0 {
+		t.Errorf("served schedule has %d cycles", res.Cycles)
+	}
+}
+
+// TestPostUnitConnRefusedGivesUp: a dead target still fails — after the
+// bounded attempts, with the dial error preserved.
+func TestPostUnitConnRefusedGivesUp(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	body, err := os.ReadFile(writeKernel(t, "vvmul", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = postUnit("http://"+addr+"/schedule?machine=vliw4", "", body)
+	if err == nil {
+		t.Fatal("postUnit succeeded against a dead port")
+	}
+	if !strings.Contains(err.Error(), "after 5 attempts") {
+		t.Errorf("error does not report the retry budget: %v", err)
 	}
 }
 

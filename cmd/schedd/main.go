@@ -87,6 +87,10 @@ type options struct {
 	tenantAssign  multiFlag // -tenant, repeatable
 	tenantConfig  string    // -tenant-config JSON file
 	defaultClass  string    // -default-class
+
+	shardID    string    // -shard-id
+	tenantKeys multiFlag // -tenant-key, repeatable
+	keyFile    string    // -tenant-keys JSON file
 }
 
 // multiFlag collects a repeatable string flag.
@@ -94,6 +98,29 @@ type multiFlag []string
 
 func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+// keysFor merges the API-key flags into one KeySet: the -tenant-keys file
+// first, then repeatable -tenant-key specs layered on top.
+func keysFor(o options) (server.KeySet, error) {
+	var ks server.KeySet
+	if o.keyFile != "" {
+		var err error
+		if ks, err = server.LoadKeyFile(o.keyFile); err != nil {
+			return nil, err
+		}
+	}
+	for _, spec := range o.tenantKeys {
+		t, k, err := server.ParseKeySpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		if ks == nil {
+			ks = make(server.KeySet)
+		}
+		ks[t] = k
+	}
+	return ks, nil
+}
 
 // tenancyFor merges the tenant-QoS flags into one validated config: the
 // -tenant-config file first, then repeatable -tenant-class / -tenant flags
@@ -161,6 +188,9 @@ func main() {
 	flag.Var(&o.tenantAssign, "tenant", "assign a tenant to a class, e.g. acme=gold (repeatable)")
 	flag.StringVar(&o.tenantConfig, "tenant-config", "", "JSON file with {classes, tenants, defaultClass}")
 	flag.StringVar(&o.defaultClass, "default-class", "", "class serving unknown tenants and requests without X-Schedd-Tenant")
+	flag.StringVar(&o.shardID, "shard-id", "", "name this instance in a schedgw cluster; rides responses as the shard field and X-Schedd-Shard")
+	flag.Var(&o.tenantKeys, "tenant-key", "require this tenant to present its API key, e.g. acme=s3cret (repeatable; any key enables auth)")
+	flag.StringVar(&o.keyFile, "tenant-keys", "", "JSON file of {\"tenant\": \"secret\"} API keys")
 	flag.StringVar(&o.storeDir, "store-dir", "", "persist the schedule cache in this directory and warm-restart from it")
 	flag.IntVar(&o.storeEntries, "store-entries", 8192, "max entries retained in the persistent store")
 	flag.IntVar(&o.storeSnapshotEvery, "store-snapshot-every", 1024, "WAL appends between snapshot compactions")
@@ -241,8 +271,14 @@ func serve(o options, ln net.Listener, stop <-chan os.Signal, logger *log.Logger
 	if err != nil {
 		return err
 	}
+	keys, err := keysFor(o)
+	if err != nil {
+		return err
+	}
 	cfg := server.Config{
 		Tenancy:        tenancy,
+		ShardID:        o.shardID,
+		TenantKeys:     keys,
 		Workers:        o.workers,
 		MaxQueue:       o.queue,
 		RatePerSec:     o.rate,
@@ -290,6 +326,12 @@ func serve(o options, ln net.Listener, stop <-chan os.Signal, logger *log.Logger
 			def = server.DefaultClassName
 		}
 		logger.Printf("tenancy: %d assigned tenants, default class %q", len(tenancy.Tenants), def)
+	}
+	if len(keys) > 0 {
+		logger.Printf("tenant auth: %d API keys registered; identity claims require %s", len(keys), server.TenantKeyHeader)
+	}
+	if o.shardID != "" {
+		logger.Printf("shard identity: %s", o.shardID)
 	}
 
 	// Profiling stays off the service port: pprof handlers leak internals and

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/irtext"
+	"repro/internal/server"
+)
+
+// TestKeysForMergesFileAndFlags: repeatable -tenant-key specs override the
+// -tenant-keys file, and bad specs fail loudly.
+func TestKeysForMergesFileAndFlags(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "keys.json")
+	if err := os.WriteFile(path, []byte(`{"acme": "from-file", "beta": "b2"}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	ks, err := keysFor(options{keyFile: path, tenantKeys: multiFlag{"acme=from-flag", "gamma=g3"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"acme": "from-flag", "beta": "b2", "gamma": "g3"}
+	if len(ks) != len(want) {
+		t.Fatalf("got %d keys, want %d: %v", len(ks), len(want), ks)
+	}
+	for tenant, key := range want {
+		if ks[tenant] != key {
+			t.Errorf("keys[%q] = %q, want %q", tenant, ks[tenant], key)
+		}
+	}
+	if _, err := keysFor(options{tenantKeys: multiFlag{"no-equals-sign"}}); err == nil {
+		t.Error("malformed key spec accepted")
+	}
+	if ks, err := keysFor(options{}); err != nil || len(ks) != 0 {
+		t.Errorf("empty options: keys=%v err=%v", ks, err)
+	}
+}
+
+// TestServeLifecycle boots the daemon against a real in-process shard,
+// routes one request end to end, and drains it with a SIGTERM.
+func TestServeLifecycle(t *testing.T) {
+	shard := httptest.NewServer(server.New(server.Config{Seed: 2002, ShardID: "s1"}).Handler())
+	defer shard.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := options{
+		shards:     multiFlag{strings.TrimPrefix(shard.URL, "http://")},
+		probeEvery: 20 * time.Millisecond,
+		drain:      5 * time.Second,
+	}
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	var logBuf bytes.Buffer
+	go func() { done <- serve(o, ln, stop, log.New(&logBuf, "schedgw: ", 0)) }()
+
+	base := "http://" + ln.Addr().String()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if resp, err := http.Get(base + "/readyz"); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gateway never became ready; log:\n%s", logBuf.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	k, ok := bench.ByName("vvmul")
+	if !ok {
+		t.Fatal("vvmul not registered")
+	}
+	ddg := irtext.String(k.Build(2))
+	resp, err := http.Post(base+"/schedule?machine=vliw2", "text/plain", strings.NewReader(ddg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("routed request: %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Schedgw-Shard"); got != o.shards[0] {
+		t.Errorf("X-Schedgw-Shard = %q, want %q", got, o.shards[0])
+	}
+	if got := resp.Header.Get(server.ShardHeader); got != "s1" {
+		t.Errorf("%s = %q, want s1", server.ShardHeader, got)
+	}
+
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited with %v; log:\n%s", err, logBuf.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not exit after SIGTERM")
+	}
+	if !strings.Contains(logBuf.String(), "drained cleanly") {
+		t.Errorf("drain not logged:\n%s", logBuf.String())
+	}
+}
+
+// TestServeRejectsBadConfig: a shardless gateway is a startup error, not a
+// daemon that routes nothing.
+func TestServeRejectsBadConfig(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if err := serve(options{}, ln, make(chan os.Signal), log.New(io.Discard, "", 0)); err == nil {
+		t.Fatal("serve accepted a config with no shards")
+	}
+}

@@ -1,0 +1,342 @@
+package cluster
+
+// The cluster chaos suite: a real 3-shard schedd fleet behind the gateway,
+// flooded by concurrent clients while one shard is killed mid-load and
+// warm-restarted. The acceptance contract: every 200 carries a legal,
+// client-revalidated schedule; every non-200 is a structured error; hedges
+// and reroutes show up in /stats; doubleDeliveries stays 0; and after the
+// victim restarts the ring rebalances onto it and it serves cache hits.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/faultinject"
+	"repro/internal/irtext"
+	"repro/internal/machine"
+	"repro/internal/robust"
+	"repro/internal/schedule"
+	"repro/internal/server"
+)
+
+// clusterUnit is one request shape the flood clients rotate through.
+type clusterUnit struct {
+	kernel  string
+	machine string
+	n       int
+	ddg     string
+}
+
+func clusterUnits(t *testing.T) []clusterUnit {
+	t.Helper()
+	units := []clusterUnit{
+		{kernel: "vvmul", machine: "vliw4", n: 4},
+		{kernel: "fir", machine: "raw4", n: 4},
+		{kernel: "yuv", machine: "vliw4", n: 4},
+		{kernel: "fir", machine: "vliw2", n: 2},
+	}
+	for i := range units {
+		k, ok := bench.ByName(units[i].kernel)
+		if !ok {
+			t.Fatalf("kernel %s not registered", units[i].kernel)
+		}
+		units[i].ddg = irtext.String(k.Build(units[i].n))
+	}
+	return units
+}
+
+// clusterLegal rebuilds the schedule carried by a 200 body against the
+// request's own DDG and machine and validates it — the client-side proof of
+// legality, independent of anything the shard or gateway claims.
+func clusterLegal(body []byte, ddg, machineName string) error {
+	var resp struct {
+		Shard      string `json:"shard"`
+		CacheHit   bool   `json:"cacheHit"`
+		Placements []struct{ Cluster, FU, Start, Latency int }
+		CommList   []struct{ Value, From, To, Depart, Arrive int }
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return fmt.Errorf("200 body is not a schedule response: %v", err)
+	}
+	g, err := irtext.ParseString(ddg)
+	if err != nil {
+		return fmt.Errorf("reparsing request ddg: %v", err)
+	}
+	m, err := machine.Named(machineName)
+	if err != nil {
+		return err
+	}
+	s := &schedule.Schedule{Graph: g, Machine: m}
+	s.Placements = make([]schedule.Placement, len(resp.Placements))
+	for i, p := range resp.Placements {
+		s.Placements[i] = schedule.Placement{Cluster: p.Cluster, FU: p.FU, Start: p.Start, Latency: p.Latency}
+	}
+	for _, c := range resp.CommList {
+		s.Comms = append(s.Comms, schedule.Comm{Value: c.Value, From: c.From, To: c.To, Depart: c.Depart, Arrive: c.Arrive})
+	}
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("200 body is not a legal schedule: %v", err)
+	}
+	return nil
+}
+
+// structuredError asserts a non-200 body is a structured JSON error.
+func structuredError(code int, body []byte) error {
+	var eb struct {
+		Error struct {
+			Kind string `json:"kind"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error.Kind == "" {
+		return fmt.Errorf("status %d body is not a structured error (%v): %s", code, err, body)
+	}
+	return nil
+}
+
+// liveShard is one schedd instance the chaos test can kill and restart.
+type liveShard struct {
+	name string // host:port, fixed for the test's lifetime
+	dir  string // persistent store, survives the crash
+	srv  *server.Server
+	hs   *http.Server
+}
+
+// boot starts (or restarts) the shard's daemon on its address. The listener
+// is created fresh each time so a SIGKILLed shard can come back on the same
+// port the ring knows it by.
+func (s *liveShard) boot(t *testing.T, chaos *faultinject.Chaos) {
+	t.Helper()
+	ln, err := net.Listen("tcp", s.name)
+	if err != nil {
+		t.Fatalf("shard %s: listen: %v", s.name, err)
+	}
+	s.srv = server.New(server.Config{
+		Seed:         2002,
+		ShardID:      s.name,
+		StoreDir:     s.dir,
+		StoreNoFsync: true,
+		Chaos:        chaos,
+	})
+	if err := s.srv.OpenStore(); err != nil {
+		t.Fatalf("shard %s: open store: %v", s.name, err)
+	}
+	s.hs = &http.Server{Handler: s.srv.Handler()}
+	go s.hs.Serve(ln)
+}
+
+// kill is the SIGKILL stand-in: the listener and every live connection die
+// abruptly, and the store is abandoned without flush or sync.
+func (s *liveShard) kill() {
+	s.hs.Close()
+	s.srv.Crash()
+}
+
+// TestClusterChaos is the headline cluster acceptance test. Three real
+// shards, one of them pass-stalled (slow enough that fresh work hedges),
+// four flooding clients with unique seeds (every request is fresh
+// scheduling work), the victim shard killed mid-flood and warm-restarted on
+// the same port.
+func TestClusterChaos(t *testing.T) {
+	const (
+		clients   = 4
+		perClient = 25
+	)
+	units := clusterUnits(t)
+
+	// Reserve three addresses first: shard names are host:port, so the ring
+	// layout — and with it the victim and the stalled shard — is known
+	// before any daemon boots.
+	shards := make([]*liveShard, 3)
+	names := make([]string, 3)
+	for i := range shards {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		shards[i] = &liveShard{name: addr, dir: filepath.Join(t.TempDir(), "store")}
+		names[i] = addr
+	}
+	probe := NewRing(64)
+	for _, n := range names {
+		probe.Add(n)
+	}
+	unit0, err := irtext.ParseString(units[0].ddg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victimName := probe.Owners(KeyFor(unit0.CanonicalHash()), 1)[0]
+	var victim, stalled *liveShard
+	for _, s := range shards {
+		if s.name == victimName {
+			victim = s
+		} else if stalled == nil {
+			stalled = s
+		}
+	}
+
+	// The stalled shard's convergent rungs sleep 40ms per pass: any fresh
+	// request it primaries takes well past the hedge budget, so the flood is
+	// guaranteed to exercise hedging against a healthy, merely slow shard.
+	for _, s := range shards {
+		var chaos *faultinject.Chaos
+		if s == stalled {
+			chaos = &faultinject.Chaos{Class: faultinject.ChaosPassStall, Stall: 40 * time.Millisecond, Seed: 1}
+		}
+		s.boot(t, chaos)
+	}
+	t.Cleanup(func() {
+		for _, s := range shards {
+			s.hs.Close()
+		}
+	})
+
+	g, err := NewGateway(Config{
+		Shards:       names,
+		HedgeAfter:   15 * time.Millisecond,
+		ProbeEvery:   50 * time.Millisecond,
+		ProbeTimeout: 250 * time.Millisecond,
+		MaxRetries:   2,
+		RetryBase:    10 * time.Millisecond,
+		Breakers:     robust.BreakerPolicy{Failures: 2, Cooldown: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	defer g.Close()
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+	client := &http.Client{Timeout: 15 * time.Second}
+
+	var (
+		posted, served atomic.Uint64
+		seedCounter    atomic.Uint64
+		violations     = make(chan error, clients*perClient)
+		killOnce       sync.Once
+		killDone       = make(chan struct{})
+	)
+	post := func(u clusterUnit, seed uint64) {
+		url := fmt.Sprintf("%s/schedule?machine=%s&seed=%d", gw.URL, u.machine, seed)
+		resp, err := client.Post(url, "text/plain", strings.NewReader(u.ddg))
+		if err != nil {
+			violations <- fmt.Errorf("transport error through gateway: %v", err)
+			return
+		}
+		body := make([]byte, 0, 4096)
+		buf := make([]byte, 4096)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			body = append(body, buf[:n]...)
+			if rerr != nil {
+				break
+			}
+		}
+		resp.Body.Close()
+		posted.Add(1)
+		if resp.StatusCode == http.StatusOK {
+			if err := clusterLegal(body, u.ddg, u.machine); err != nil {
+				violations <- err
+				return
+			}
+			served.Add(1)
+			return
+		}
+		if err := structuredError(resp.StatusCode, body); err != nil {
+			violations <- err
+		}
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				post(units[(c+i)%len(units)], seedCounter.Add(1))
+				// A quarter of the way in, the victim dies mid-flood and
+				// warm-restarts 400ms later on the same port.
+				if posted.Load() >= clients*perClient/4 {
+					killOnce.Do(func() {
+						victim.kill()
+						go func() {
+							time.Sleep(400 * time.Millisecond)
+							victim.boot(t, nil)
+							close(killDone)
+						}()
+					})
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(violations)
+	for v := range violations {
+		t.Error(v)
+	}
+	select {
+	case <-killDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("victim was never killed: the flood finished before the kill threshold")
+	}
+
+	st := g.StatsSnapshot()
+	if st.DoubleDeliveries != 0 {
+		t.Errorf("doubleDeliveries=%d — a client saw two results for one request", st.DoubleDeliveries)
+	}
+	if st.Hedges == 0 {
+		t.Error("no hedge fired against the stalled shard")
+	}
+	if st.Reroutes == 0 {
+		t.Error("no reroute counted across a shard kill")
+	}
+	total, ok := posted.Load(), served.Load()
+	if total != clients*perClient {
+		t.Errorf("%d of %d requests completed", total, clients*perClient)
+	}
+	if frac := float64(ok) / float64(total); frac < 0.6 {
+		t.Errorf("only %.0f%% of requests served (%d/%d); error rate unbounded", 100*frac, ok, total)
+	}
+	t.Logf("flood: %d/%d served, hedges=%d hedgeWins=%d reroutes=%d retries=%d quorumDegraded=%d",
+		ok, total, st.Hedges, st.HedgeWins, st.Reroutes, st.Retries, st.QuorumDegraded)
+
+	// Rebalance: the restarted victim must rejoin the ring (probe finds it
+	// ready, the breaker closes through its half-open gate) and serve its
+	// keyspace again — proven by a cache hit computed and served by the
+	// victim for a fresh post-restart seed.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted shard %s never served a cache hit; stats: %+v", victim.name, g.StatsSnapshot())
+		}
+		resp, err := client.Post(gw.URL+"/schedule?machine=vliw4&seed=424242", "text/plain", strings.NewReader(units[0].ddg))
+		if err != nil {
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		var body struct {
+			Shard    string `json:"shard"`
+			CacheHit bool   `json:"cacheHit"`
+		}
+		derr := json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if derr == nil && resp.StatusCode == http.StatusOK && body.Shard == victim.name && body.CacheHit {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if alive := g.aliveCount(); alive != len(shards) {
+		t.Errorf("%d of %d shards alive after the restart settled", alive, len(shards))
+	}
+}

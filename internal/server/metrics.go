@@ -17,6 +17,7 @@ package server
 
 import (
 	"net/http"
+	"sync"
 
 	"repro/internal/obs"
 	"repro/internal/robust"
@@ -36,6 +37,63 @@ type metrics struct {
 	// admission layer caps at maxTrackedTenants.
 	tenantSeconds *obs.HistogramVec // by class
 	tenantShed    *obs.CounterVec   // by tenant, cause (event-driven)
+
+	// Per-tenant latency percentiles, cardinality-bounded by topK: the K
+	// busiest tenants earn a dedicated label, everyone else lands in the
+	// overflow label — so p99-by-tenant is scrapeable without letting an
+	// identity flood mint unbounded histogram series.
+	tenantLatency *obs.HistogramVec // by tenant (top-K + overflow)
+	topK          *topKTracker
+}
+
+// Bounds for the per-tenant latency histogram: at most topKTenantSlots
+// dedicated labels, each earned only after topKSlotThreshold requests, so a
+// one-off name can never burn a slot.
+const (
+	topKTenantSlots   = 8
+	topKSlotThreshold = 16
+)
+
+// topKTracker grants dedicated histogram labels to the first K tenants that
+// prove sustained volume. Histogram observations cannot be re-homed between
+// labels, so slots are granted once and never revoked; a tenant's
+// observations before it earns its slot stay in the overflow label.
+type topKTracker struct {
+	mu        sync.Mutex
+	k         int
+	threshold uint64
+	counts    map[string]uint64
+	slots     map[string]bool
+}
+
+func newTopKTracker(k int, threshold uint64) *topKTracker {
+	return &topKTracker{
+		k:         k,
+		threshold: threshold,
+		counts:    make(map[string]uint64),
+		slots:     make(map[string]bool),
+	}
+}
+
+// labelFor returns the histogram label for one observation by tenant: the
+// tenant itself once it has earned a slot, the overflow label otherwise.
+// The count map is bounded like the admission layer's tenant map, so a
+// label-flood attack costs at most maxTrackedTenants counter cells.
+func (t *topKTracker) labelFor(tenant string) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.slots[tenant] {
+		return tenant
+	}
+	if _, known := t.counts[tenant]; !known && len(t.counts) >= maxTrackedTenants {
+		return overflowTenant
+	}
+	t.counts[tenant]++
+	if t.counts[tenant] >= t.threshold && len(t.slots) < t.k {
+		t.slots[tenant] = true
+		return tenant
+	}
+	return overflowTenant
 }
 
 // newMetrics registers every series and installs the scrape-time sync from
@@ -56,6 +114,9 @@ func newMetrics(s *Server) *metrics {
 			"Admission-to-response latency of /schedule requests by priority class.", nil, "class"),
 		tenantShed: reg.CounterVec("schedd_tenant_shed_total",
 			"Requests shed by admission control, by tenant and cause.", "tenant", "cause"),
+		tenantLatency: reg.HistogramVec("schedd_tenant_latency_seconds",
+			"Admission-to-response latency by tenant: dedicated labels for the busiest tenants, the rest under the overflow label.", nil, "tenant"),
+		topK: newTopKTracker(topKTenantSlots, topKSlotThreshold),
 	}
 
 	// Admission counters and queue gauges.
@@ -183,7 +244,7 @@ func (m *metrics) observeBreaker(key string, from, to robust.BreakerState) {
 }
 
 // observeRequest records one finished /schedule request.
-func (m *metrics) observeRequest(class string, seconds float64, failed bool) {
+func (m *metrics) observeRequest(tenant, class string, seconds float64, failed bool) {
 	outcome := "ok"
 	if failed {
 		outcome = "error"
@@ -191,6 +252,9 @@ func (m *metrics) observeRequest(class string, seconds float64, failed bool) {
 	m.requestSeconds.With(outcome).Observe(seconds)
 	if class != "" {
 		m.tenantSeconds.With(class).Observe(seconds)
+	}
+	if tenant != "" {
+		m.tenantLatency.With(m.topK.labelFor(tenant)).Observe(seconds)
 	}
 }
 

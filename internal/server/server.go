@@ -91,6 +91,16 @@ type Config struct {
 	StoreMaxEntries    int
 	// StoreNoFsync skips fsyncs (crash-unsafe; tests and benchmarks).
 	StoreNoFsync bool
+	// ShardID, when non-empty, names this instance in a schedgw cluster: it
+	// rides every /schedule response as the "shard" field and the
+	// X-Schedd-Shard header, and appears in /stats, so clients and the
+	// gateway can attribute every answer to the shard that computed it.
+	ShardID string
+	// TenantKeys, when non-empty, requires requests that claim a tenant
+	// identity to present the tenant's shared secret in X-Schedd-Key
+	// (rejected with 401 otherwise). Empty means identity claims are
+	// trusted, the pre-auth behavior.
+	TenantKeys KeySet
 	// Seed is the default noise seed when the request does not set one.
 	Seed int64
 	// Logf receives operational log lines (drain progress, flushed stats).
@@ -275,8 +285,8 @@ func (g *inflightGauge) waitZero() {
 
 // errorJSON is the structured error body every non-200 carries.
 type errorJSON struct {
-	// Kind classifies the failure: bad-request, shed, draining, deadline,
-	// sched-failed, panic.
+	// Kind classifies the failure: bad-request, unauthorized, shed,
+	// draining, deadline, sched-failed, panic.
 	Kind    string `json:"kind"`
 	Message string `json:"message"`
 	// Cause splits shed errors by which admission bound rejected the
@@ -322,11 +332,16 @@ type commJSON struct {
 	Arrive int `json:"arrive"`
 }
 
+// ShardHeader carries Config.ShardID on every /schedule response, so the
+// gateway and clients can attribute an answer without parsing the body.
+const ShardHeader = "X-Schedd-Shard"
+
 // scheduleResponse is the 200 body: enough to reconstruct and re-validate
 // the full schedule client-side (placements are indexed by instruction id).
 type scheduleResponse struct {
 	Graph      string          `json:"graph"`
 	Machine    string          `json:"machine"`
+	Shard      string          `json:"shard,omitempty"`
 	Tenant     string          `json:"tenant,omitempty"`
 	Class      string          `json:"class,omitempty"`
 	Served     string          `json:"served"`
@@ -347,6 +362,7 @@ type scheduleResponse struct {
 // StatsResponse is the /stats body and the snapshot flushed on drain.
 type StatsResponse struct {
 	UptimeSec float64              `json:"uptimeSec"`
+	Shard     string               `json:"shard,omitempty"`
 	Ready     bool                 `json:"ready"`
 	Draining  bool                 `json:"draining"`
 	Inflight  int                  `json:"inflight"`
@@ -363,6 +379,7 @@ type StatsResponse struct {
 func (s *Server) StatsSnapshot() StatsResponse {
 	return StatsResponse{
 		UptimeSec: time.Since(s.start).Seconds(),
+		Shard:     s.cfg.ShardID,
 		Ready:     s.ready.Load(),
 		Draining:  s.draining.Load(),
 		Inflight:  s.inflight.current(),
@@ -615,6 +632,9 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	if s.cfg.ShardID != "" {
+		w.Header().Set(ShardHeader, s.cfg.ShardID)
+	}
 	// Count ourselves in-flight before re-checking the drain flag: either
 	// the drain sees us and waits, or we see the drain and bail.
 	s.inflight.enter()
@@ -632,6 +652,14 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	tenant, err := parseTenant(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, errorJSON{Kind: "bad-request", Message: err.Error()})
+		return
+	}
+	// Identity proof next: with keys configured, a claimed tenant must
+	// present its shared secret before admission charges anything to it.
+	if err := s.cfg.TenantKeys.Verify(tenant, tenantKeyFrom(r)); err != nil {
+		writeError(w, http.StatusUnauthorized, errorJSON{
+			Kind: "unauthorized", Message: err.Error(), Tenant: tenant,
+		})
 		return
 	}
 
@@ -732,7 +760,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	})
 	total := time.Since(t0)
 	s.adm.observe(grant, wait, total, res.Err != nil)
-	s.metrics.observeRequest(req.class, total.Seconds(), res.Err != nil)
+	s.metrics.observeRequest(req.tenant, req.class, total.Seconds(), res.Err != nil)
 	s.metrics.observeReport(res.Report)
 
 	if res.Err != nil {
@@ -740,6 +768,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := buildResponse(req.mach.model.Name, g.Name, res, total)
+	resp.Shard = s.cfg.ShardID
 	resp.Tenant, resp.Class = req.tenant, req.class
 	resp.Trace = tr.Snapshot()
 	writeJSON(w, http.StatusOK, resp)
@@ -849,3 +878,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	return err
 }
+
+// Crash abandons the persistent store without flushing or syncing — the
+// in-process stand-in for SIGKILL in shard-failure drills (the cluster chaos
+// suite). Nothing else is torn down: callers close the listener themselves,
+// and entries already handed to the OS survive exactly as they would a real
+// kill. Never call this on a server you intend to keep.
+func (s *Server) Crash() { s.engine.CrashStore() }
