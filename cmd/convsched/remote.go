@@ -4,7 +4,10 @@ package main
 // schedd instead of scheduling locally. Each input unit is POSTed to the
 // service and the response printed in the batch-mode format, so local and
 // remote runs compare line-for-line. 429 sheds are retried honoring
-// Retry-After — the client side of the daemon's admission control.
+// Retry-After — the client side of the daemon's admission control — and
+// transient 503s (a draining shard, a below-quorum gateway mid-churn) are
+// retried with the same full-jitter backoff, so a membership change in the
+// cluster looks like added latency to a batch run, not a failure.
 
 import (
 	"bytes"
@@ -159,6 +162,18 @@ func postUnit(target, tenant string, body []byte) (*remoteSchedule, error) {
 			continue
 		}
 		var re remoteError
+		if resp.StatusCode == http.StatusServiceUnavailable && attempt < maxAttempts {
+			// A 503 is retryable exactly when its structured kind says the
+			// condition is transient: a draining shard hands its keyspace to a
+			// peer within a probe interval, a below-quorum gateway recovers as
+			// probes notice restarted shards, and a replaying store finishes.
+			// Permanent 503s (no structured kind, or an unknown one) fail fast.
+			if json.Unmarshal(rb, &re) == nil && retryable503(re.Error.Kind) {
+				time.Sleep(retryAfter(resp.Header.Get("Retry-After"), attempt))
+				re = remoteError{}
+				continue
+			}
+		}
 		if json.Unmarshal(rb, &re) == nil && re.Error.Kind != "" {
 			if re.Error.Rung != "" {
 				return nil, fmt.Errorf("%s (%s) at rung %s", re.Error.Message, re.Error.Kind, re.Error.Rung)
@@ -167,6 +182,17 @@ func postUnit(target, tenant string, body []byte) (*remoteSchedule, error) {
 		}
 		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, rb)
 	}
+}
+
+// retryable503 reports whether a structured 503 kind names a transient
+// condition worth waiting out — membership churn (draining, degraded,
+// unavailable) or a store replay (starting) — rather than a permanent refusal.
+func retryable503(kind string) bool {
+	switch kind {
+	case "draining", "degraded", "unavailable", "starting":
+		return true
+	}
+	return false
 }
 
 // retryRand guards the shared jitter source: http retries can run from

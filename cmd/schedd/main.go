@@ -91,6 +91,9 @@ type options struct {
 	shardID    string    // -shard-id
 	tenantKeys multiFlag // -tenant-key, repeatable
 	keyFile    string    // -tenant-keys JSON file
+
+	peerKey     string        // -peer-key
+	peerTimeout time.Duration // -peer-timeout
 }
 
 // multiFlag collects a repeatable string flag.
@@ -189,6 +192,8 @@ func main() {
 	flag.StringVar(&o.tenantConfig, "tenant-config", "", "JSON file with {classes, tenants, defaultClass}")
 	flag.StringVar(&o.defaultClass, "default-class", "", "class serving unknown tenants and requests without X-Schedd-Tenant")
 	flag.StringVar(&o.shardID, "shard-id", "", "name this instance in a schedgw cluster; rides responses as the shard field and X-Schedd-Shard")
+	flag.StringVar(&o.peerKey, "peer-key", "", "shared cluster secret enabling the /cache peer-handoff API and peer lookup before compute")
+	flag.DurationVar(&o.peerTimeout, "peer-timeout", 0, "budget for one peer cache fetch before computing locally (0 = 750ms)")
 	flag.Var(&o.tenantKeys, "tenant-key", "require this tenant to present its API key, e.g. acme=s3cret (repeatable; any key enables auth)")
 	flag.StringVar(&o.keyFile, "tenant-keys", "", "JSON file of {\"tenant\": \"secret\"} API keys")
 	flag.StringVar(&o.storeDir, "store-dir", "", "persist the schedule cache in this directory and warm-restart from it")
@@ -279,6 +284,8 @@ func serve(o options, ln net.Listener, stop <-chan os.Signal, logger *log.Logger
 		Tenancy:        tenancy,
 		ShardID:        o.shardID,
 		TenantKeys:     keys,
+		PeerKey:        o.peerKey,
+		PeerTimeout:    o.peerTimeout,
 		Workers:        o.workers,
 		MaxQueue:       o.queue,
 		RatePerSec:     o.rate,
@@ -332,6 +339,9 @@ func serve(o options, ln net.Listener, stop <-chan os.Signal, logger *log.Logger
 	}
 	if o.shardID != "" {
 		logger.Printf("shard identity: %s", o.shardID)
+	}
+	if o.peerKey != "" {
+		logger.Printf("peer cache handoff enabled (/cache API and peer lookup before compute)")
 	}
 
 	// Profiling stays off the service port: pprof handlers leak internals and

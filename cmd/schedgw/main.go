@@ -25,9 +25,15 @@
 //
 //	POST /schedule?...   proxied to the owning shard; same API as schedd
 //	GET  /healthz        liveness (200 while the process runs)
-//	GET  /readyz         readiness (503 while draining or no shard is alive)
-//	GET  /stats          JSON counters: routing, hedging, per-shard health
+//	GET  /readyz         readiness (503 while draining, below quorum, or no shard alive)
+//	GET  /stats          JSON counters: routing, hedging, membership, per-shard health
 //	GET  /metrics        Prometheus text format (schedgw_* families)
+//
+// With -admin-key set, live membership (authenticated by X-Schedgw-Admin-Key):
+//
+//	GET    /admin/shards        signed membership document (epoch, shards, quorum)
+//	POST   /admin/shards        join a shard: {"addr": "host:port", "epoch": N}
+//	DELETE /admin/shards/{id}   graceful leave; pushes hot cache entries to new owners
 package main
 
 import (
@@ -69,6 +75,10 @@ type options struct {
 
 	tenantKeys multiFlag
 	keyFile    string
+
+	adminKey   string
+	peerKey    string
+	rebalanceK int
 }
 
 // multiFlag collects a repeatable string flag.
@@ -95,6 +105,9 @@ func main() {
 	flag.DurationVar(&o.breakerCooldown, "breaker-cooldown", 0, "initial breaker cooldown before a half-open probe (0 = default)")
 	flag.Var(&o.tenantKeys, "tenant-key", "verify this tenant's API key at the edge, e.g. acme=s3cret (repeatable)")
 	flag.StringVar(&o.keyFile, "tenant-keys", "", "JSON file of {\"tenant\": \"secret\"} API keys")
+	flag.StringVar(&o.adminKey, "admin-key", "", "secret enabling the live-membership admin API (/admin/shards); empty disables it")
+	flag.StringVar(&o.peerKey, "peer-key", "", "shared cluster secret for shard cache handoff; must match the shards' -peer-key")
+	flag.IntVar(&o.rebalanceK, "rebalance-k", 0, "hottest cache records pushed to new owners on graceful leave (0 = default 32)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -158,8 +171,11 @@ func serve(o options, ln net.Listener, stop <-chan os.Signal, logger *log.Logger
 			Failures: o.breakerFailures,
 			Cooldown: o.breakerCooldown,
 		},
-		Keys: keys,
-		Logf: logger.Printf,
+		Keys:       keys,
+		AdminKey:   o.adminKey,
+		PeerKey:    o.peerKey,
+		RebalanceK: o.rebalanceK,
+		Logf:       logger.Printf,
 	})
 	if err != nil {
 		return err

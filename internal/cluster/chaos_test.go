@@ -105,10 +105,11 @@ func structuredError(code int, body []byte) error {
 
 // liveShard is one schedd instance the chaos test can kill and restart.
 type liveShard struct {
-	name string // host:port, fixed for the test's lifetime
-	dir  string // persistent store, survives the crash
-	srv  *server.Server
-	hs   *http.Server
+	name    string // host:port, fixed for the test's lifetime
+	dir     string // persistent store, survives the crash
+	peerKey string // cluster peer secret; empty disables the peer surface
+	srv     *server.Server
+	hs      *http.Server
 }
 
 // boot starts (or restarts) the shard's daemon on its address. The listener
@@ -125,6 +126,7 @@ func (s *liveShard) boot(t *testing.T, chaos *faultinject.Chaos) {
 		ShardID:      s.name,
 		StoreDir:     s.dir,
 		StoreNoFsync: true,
+		PeerKey:      s.peerKey,
 		Chaos:        chaos,
 	})
 	if err := s.srv.OpenStore(); err != nil {
@@ -338,5 +340,331 @@ func TestClusterChaos(t *testing.T) {
 	}
 	if alive := g.aliveCount(); alive != len(shards) {
 		t.Errorf("%d of %d shards alive after the restart settled", alive, len(shards))
+	}
+}
+
+// TestMembershipChurnChaos is the self-healing membership acceptance test: a
+// real 3-shard fleet with the peer surface enabled is flooded with a fixed
+// warm working set while an operator joins a fourth shard, gracefully
+// retires a seed shard (hot-entry push), SIGKILLs a survivor mid-flood, and
+// warm-restarts it on the same port. The contract under all of that churn:
+// every 200 carries a client-revalidated legal schedule, every non-200 is a
+// structured error, doubleDeliveries stays 0, the epoch ends exactly two
+// bumps up with a verifiable signature, and the moved keyspace is served
+// through the peer handoff (hot pushes, peer hits, or imports — not silence).
+func TestMembershipChurnChaos(t *testing.T) {
+	const (
+		clients = 4
+		maxIter = 400 // per-client hard bound; the operator script ends the flood
+	)
+	units := clusterUnits(t)
+	warmSeeds := []uint64{11, 12, 13}
+
+	// Reserve the seed fleet's addresses first so ring layout is known before
+	// any daemon boots.
+	seeds := make([]*liveShard, 3)
+	names := make([]string, 3)
+	for i := range seeds {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		seeds[i] = &liveShard{name: addr, dir: filepath.Join(t.TempDir(), "store"), peerKey: "cluster-k"}
+		names[i] = addr
+	}
+	unitKeys := make([]uint64, len(units))
+	for i, u := range units {
+		g, err := irtext.ParseString(u.ddg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unitKeys[i] = KeyFor(g.CanonicalHash())
+	}
+	seedRing := NewRing(64)
+	for _, n := range names {
+		seedRing.Add(n)
+	}
+
+	// Pick a joiner that steals at least one unit key from the seed fleet, so
+	// the join itself changes ownership of live traffic. With only a handful
+	// of distinct routing keys this needs a small search over candidate ports.
+	var joiner *liveShard
+	for try := 0; try < 16 && joiner == nil; try++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		cand := seedRing.Clone()
+		cand.Add(addr)
+		for _, k := range unitKeys {
+			if cand.Owners(k, 1)[0] == addr {
+				joiner = &liveShard{name: addr, dir: filepath.Join(t.TempDir(), "store"), peerKey: "cluster-k"}
+				break
+			}
+		}
+	}
+	if joiner == nil {
+		t.Fatal("no candidate joiner steals a unit key; probe search too small")
+	}
+	postJoin := seedRing.Clone()
+	postJoin.Add(joiner.name)
+
+	// The graceful leaver: a seed shard owning at least one unit key on the
+	// post-join ring, so the leave moves live keyspace and the hot push has
+	// something to move. Fall back to any seed if the joiner owns everything.
+	leaver := seeds[0]
+	for _, k := range unitKeys {
+		owner := postJoin.Owners(k, 1)[0]
+		if owner == joiner.name {
+			continue
+		}
+		for _, s := range seeds {
+			if s.name == owner {
+				leaver = s
+			}
+		}
+		break
+	}
+	// The SIGKILL victim: any seed that is neither the leaver nor the joiner.
+	var victim *liveShard
+	for _, s := range seeds {
+		if s != leaver {
+			victim = s
+			break
+		}
+	}
+
+	for _, s := range seeds {
+		s.boot(t, nil)
+	}
+	joiner.boot(t, nil)
+	t.Cleanup(func() {
+		for _, s := range append(append([]*liveShard(nil), seeds...), joiner) {
+			s.hs.Close()
+		}
+	})
+
+	g, err := NewGateway(Config{
+		Shards:       names,
+		AdminKey:     "adm",
+		PeerKey:      "cluster-k",
+		RebalanceK:   32,
+		ProbeEvery:   50 * time.Millisecond,
+		ProbeTimeout: 250 * time.Millisecond,
+		MaxRetries:   2,
+		RetryBase:    10 * time.Millisecond,
+		Breakers:     robust.BreakerPolicy{Failures: 2, Cooldown: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	defer g.Close()
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+	client := &http.Client{Timeout: 15 * time.Second}
+
+	var (
+		vioMu      sync.Mutex
+		violations []error
+		posted     atomic.Uint64
+		stop       atomic.Bool
+	)
+	report := func(err error) {
+		vioMu.Lock()
+		violations = append(violations, err)
+		vioMu.Unlock()
+	}
+	post := func(u clusterUnit, seed uint64) {
+		url := fmt.Sprintf("%s/schedule?machine=%s&seed=%d", gw.URL, u.machine, seed)
+		resp, err := client.Post(url, "text/plain", strings.NewReader(u.ddg))
+		if err != nil {
+			report(fmt.Errorf("transport error through gateway: %v", err))
+			return
+		}
+		body := make([]byte, 0, 4096)
+		buf := make([]byte, 4096)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			body = append(body, buf[:n]...)
+			if rerr != nil {
+				break
+			}
+		}
+		resp.Body.Close()
+		posted.Add(1)
+		if resp.StatusCode == http.StatusOK {
+			if err := clusterLegal(body, u.ddg, u.machine); err != nil {
+				report(err)
+			}
+			return
+		}
+		if err := structuredError(resp.StatusCode, body); err != nil {
+			report(err)
+		}
+	}
+
+	// Warm phase: the whole working set is computed once through the gateway,
+	// so each (unit, seed) record lives on exactly its ring owner. The flood
+	// then replays the same set — all churn-era traffic is answerable from
+	// caches, which is what makes moved keys visible as peer activity.
+	for _, u := range units {
+		for _, s := range warmSeeds {
+			post(u, s)
+		}
+	}
+
+	admin := func(method, path string, body []byte) (int, []byte) {
+		req, err := http.NewRequest(method, gw.URL+path, strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(AdminKeyHeader, "adm")
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", method, path, err)
+		}
+		defer resp.Body.Close()
+		b := make([]byte, 0, 1024)
+		buf := make([]byte, 1024)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			b = append(b, buf[:n]...)
+			if rerr != nil {
+				break
+			}
+		}
+		return resp.StatusCode, b
+	}
+	waitPosted := func(n uint64) {
+		deadline := time.Now().Add(20 * time.Second)
+		base := posted.Load()
+		for posted.Load() < base+n {
+			if time.Now().After(deadline) {
+				t.Error("flood stalled; operator proceeding anyway")
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < maxIter && !stop.Load(); i++ {
+				post(units[(c+i)%len(units)], warmSeeds[i%len(warmSeeds)])
+			}
+		}(c)
+	}
+
+	// The operator script, concurrent with the flood.
+	opDone := make(chan struct{})
+	go func() {
+		defer close(opDone)
+		// Live join during the flood.
+		waitPosted(20)
+		epoch := g.Membership().Epoch
+		body := fmt.Sprintf(`{"addr":%q,"epoch":%d}`, joiner.name, epoch)
+		if code, b := admin(http.MethodPost, "/admin/shards", []byte(body)); code != http.StatusOK {
+			t.Errorf("live join: %d: %s", code, b)
+		}
+		// Graceful leave with hot-entry push while traffic flows.
+		waitPosted(20)
+		epoch = g.Membership().Epoch
+		path := fmt.Sprintf("/admin/shards/%s?epoch=%d", leaver.name, epoch)
+		if code, b := admin(http.MethodDelete, path, nil); code != http.StatusOK {
+			t.Errorf("graceful leave: %d: %s", code, b)
+		}
+		// SIGKILL a survivor mid-flood; warm-restart it on the same port.
+		waitPosted(20)
+		victim.kill()
+		time.Sleep(400 * time.Millisecond)
+		victim.boot(t, nil)
+		// Let the prober re-admit it, then end the flood.
+		time.Sleep(500 * time.Millisecond)
+		stop.Store(true)
+	}()
+	wg.Wait()
+	<-opDone
+	for _, v := range violations {
+		t.Error(v)
+	}
+
+	st := g.StatsSnapshot()
+	if st.DoubleDeliveries != 0 {
+		t.Errorf("doubleDeliveries=%d — a client saw two results for one request", st.DoubleDeliveries)
+	}
+	if st.Joins != 1 || st.Leaves != 1 {
+		t.Errorf("joins=%d leaves=%d, want 1 and 1", st.Joins, st.Leaves)
+	}
+	if st.Membership.Epoch != 2 {
+		t.Errorf("final epoch %d, want 2", st.Membership.Epoch)
+	}
+	if !VerifyMembership("adm", st.Membership) {
+		t.Error("final membership signature does not verify")
+	}
+	for _, s := range st.Membership.Shards {
+		if s == leaver.name {
+			t.Errorf("leaver %s still in the membership", leaver.name)
+		}
+	}
+
+	// The moved keyspace must have moved *data*, not just routing: hot pushes
+	// at the leave, peer hints on forwarded requests, and peer hits or
+	// imports on the shards. Any of the three proves the handoff path ran;
+	// all zero would mean ownership changed and every record was recomputed.
+	peerActivity := st.HotPushed + st.PeerHints
+	for _, s := range append(append([]*liveShard(nil), seeds...), joiner) {
+		ps := s.srv.StatsSnapshot().Peer
+		peerActivity += ps.Hits + ps.Imports
+		if ps.Rejected != 0 || ps.ImportRejected != 0 {
+			t.Errorf("shard %s: legality gate rejected peer records (rejected=%d importRejected=%d)",
+				s.name, ps.Rejected, ps.ImportRejected)
+		}
+	}
+	if peerActivity == 0 {
+		t.Error("membership changed but no peer handoff activity at all (no pushes, hints, hits, or imports)")
+	}
+	t.Logf("churn flood: %d requests, hotPushed=%d pushErrs=%d peerHints=%d joins=%d leaves=%d epoch=%d",
+		posted.Load(), st.HotPushed, st.HotPushErrors, st.PeerHints, st.Joins, st.Leaves, st.Membership.Epoch)
+
+	// After the churn settles, the whole working set must serve legal 200s
+	// again — including keys that moved twice.
+	deadline := time.Now().Add(15 * time.Second)
+	for _, u := range units {
+		for {
+			if time.Now().After(deadline) {
+				t.Fatalf("working set never fully recovered after churn; stats: %+v", g.StatsSnapshot())
+			}
+			url := fmt.Sprintf("%s/schedule?machine=%s&seed=%d", gw.URL, u.machine, warmSeeds[0])
+			resp, err := client.Post(url, "text/plain", strings.NewReader(u.ddg))
+			if err != nil {
+				time.Sleep(50 * time.Millisecond)
+				continue
+			}
+			body := make([]byte, 0, 4096)
+			buf := make([]byte, 4096)
+			for {
+				n, rerr := resp.Body.Read(buf)
+				body = append(body, buf[:n]...)
+				if rerr != nil {
+					break
+				}
+			}
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				if err := clusterLegal(body, u.ddg, u.machine); err != nil {
+					t.Error(err)
+				}
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
 	}
 }

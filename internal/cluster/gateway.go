@@ -9,9 +9,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
-	"net/url"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,6 +61,21 @@ type Config struct {
 	// request claiming a tenant identity must present the matching
 	// X-Schedd-Key. Both headers are forwarded so shards can re-verify.
 	Keys server.KeySet
+	// AdminKey, when non-empty, enables the live-membership admin API
+	// (POST/DELETE /admin/shards): callers must present it in
+	// X-Schedgw-Admin-Key. It also keys the membership-epoch signature
+	// published in /stats. Empty disables the API — membership is static.
+	AdminKey string
+	// PeerKey is the shared cluster secret for shard-to-shard cache handoff.
+	// When set, the gateway signs previous-owner hints (X-Schedd-Peer) onto
+	// forwarded requests after membership changes, and authenticates its
+	// rebalance calls to shard /cache endpoints. Must match the shards'
+	// -peer-key. Empty disables hints and rebalance pushes.
+	PeerKey string
+	// RebalanceK is how many of a gracefully departing shard's hottest cache
+	// entries are pushed to their new owners during DELETE /admin/shards.
+	// Default 32.
+	RebalanceK int
 	// Transport overrides the forwarding round-tripper (tests). Nil means
 	// http.DefaultTransport.
 	Transport http.RoundTripper
@@ -76,16 +89,29 @@ type Config struct {
 // NewGateway and Start it before serving.
 type Gateway struct {
 	cfg      Config
-	ring     *Ring
 	breakers *robust.BreakerSet
-	order    []*shard // config order, for degraded round-robin
-	byName   map[string]*shard
 	client   *http.Client
 	prober   *prober
 	mux      *http.ServeMux
 	metrics  *gwMetrics
 	lat      *latWindow
 	start    time.Time
+
+	// Live membership, all guarded by memMu. The ring, the shard list, and
+	// the epoch move together under one write lock so a routing decision
+	// never sees a half-applied membership change. prevRing is the ring as it
+	// was before the most recent change — the source of previous-owner peer
+	// hints. quorum is recomputed as a majority on every change unless the
+	// operator pinned it (quorumFixed).
+	memMu       sync.RWMutex
+	ring        *Ring
+	prevRing    *Ring
+	order       []*shard // join order, for degraded round-robin
+	byName      map[string]*shard
+	bases       map[string]string // every name ever known -> base URL (departed shards included, for peer hints)
+	epoch       uint64
+	quorum      int
+	quorumFixed bool
 
 	draining atomic.Bool
 	inflight gauge
@@ -104,6 +130,12 @@ type Gateway struct {
 	doubleDeliveries atomic.Uint64 // INVARIANT: stays 0 — two results for one request
 	lateResults      atomic.Uint64 // loser attempts discarded after delivery
 
+	peerHints     atomic.Uint64 // forwarded requests stamped with a previous-owner hint
+	joins         atomic.Uint64 // shards added through the admin API
+	leaves        atomic.Uint64 // shards removed through the admin API
+	hotPushed     atomic.Uint64 // records pushed to new owners during graceful leaves
+	hotPushErrors atomic.Uint64 // rebalance pushes that failed or were refused
+
 	rngMu sync.Mutex
 	rng   *rand.Rand
 }
@@ -117,11 +149,17 @@ func NewGateway(cfg Config) (*Gateway, error) {
 	if cfg.Replicas <= 0 {
 		cfg.Replicas = 64
 	}
+	// A pinned quorum survives membership changes verbatim; otherwise the
+	// quorum tracks the majority of the current member count.
+	quorumFixed := cfg.Quorum > 0
 	if cfg.Quorum <= 0 {
 		cfg.Quorum = len(cfg.Shards)/2 + 1
 	}
 	if cfg.Quorum > len(cfg.Shards) {
 		return nil, fmt.Errorf("cluster: quorum %d exceeds shard count %d", cfg.Quorum, len(cfg.Shards))
+	}
+	if cfg.RebalanceK <= 0 {
+		cfg.RebalanceK = 32
 	}
 	if cfg.HedgeMin <= 0 {
 		cfg.HedgeMin = 25 * time.Millisecond
@@ -153,30 +191,29 @@ func NewGateway(cfg Config) (*Gateway, error) {
 		cfg.Logf = func(string, ...any) {}
 	}
 	g := &Gateway{
-		cfg:      cfg,
-		ring:     NewRing(cfg.Replicas),
-		breakers: robust.NewBreakerSet(cfg.Breakers),
-		byName:   make(map[string]*shard, len(cfg.Shards)),
-		mux:      http.NewServeMux(),
-		lat:      newLatWindow(512),
-		start:    time.Now(),
-		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+		cfg:         cfg,
+		ring:        NewRing(cfg.Replicas),
+		breakers:    robust.NewBreakerSet(cfg.Breakers),
+		byName:      make(map[string]*shard, len(cfg.Shards)),
+		bases:       make(map[string]string, len(cfg.Shards)),
+		quorum:      cfg.Quorum,
+		quorumFixed: quorumFixed,
+		mux:         http.NewServeMux(),
+		lat:         newLatWindow(512),
+		start:       time.Now(),
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	for _, raw := range cfg.Shards {
-		base := raw
-		if !strings.Contains(base, "://") {
-			base = "http://" + base
+		name, base, err := parseShardAddr(raw)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %v", err)
 		}
-		u, err := url.Parse(base)
-		if err != nil || u.Host == "" {
-			return nil, fmt.Errorf("cluster: bad shard address %q", raw)
-		}
-		name := u.Host
 		if _, dup := g.byName[name]; dup {
 			return nil, fmt.Errorf("cluster: shard %q listed twice", name)
 		}
-		s := &shard{name: name, base: strings.TrimSuffix(base, "/")}
+		s := &shard{name: name, base: base}
 		g.byName[name] = s
+		g.bases[name] = base
 		g.order = append(g.order, s)
 		g.ring.Add(name)
 	}
@@ -186,6 +223,8 @@ func NewGateway(cfg Config) (*Gateway, error) {
 	g.metrics = newGwMetrics(g)
 	g.breakers.SetObserver(g.metrics.observeBreaker)
 	g.mux.HandleFunc("/schedule", g.handleSchedule)
+	g.mux.HandleFunc("/admin/shards", g.handleAdminShards)
+	g.mux.HandleFunc("/admin/shards/", g.handleAdminShards)
 	g.mux.HandleFunc("/healthz", g.handleHealthz)
 	g.mux.HandleFunc("/readyz", g.handleReadyz)
 	g.mux.HandleFunc("/stats", g.handleStats)
@@ -325,7 +364,7 @@ func (a *attempt) retryable() bool {
 // forward sends one attempt to a shard and reports the outcome on results.
 // The channel is buffered for every attempt the request can launch, so a
 // losing attempt never blocks after the winner is delivered.
-func (g *Gateway) forward(ctx context.Context, s *shard, query string, header http.Header, body []byte, hedged bool, results chan<- *attempt) {
+func (g *Gateway) forward(ctx context.Context, s *shard, query string, header http.Header, body []byte, hedged bool, hint *peerHint, results chan<- *attempt) {
 	s.forwarded.Add(1)
 	a := &attempt{shard: s, hedged: hedged}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.base+"/schedule?"+query, bytes.NewReader(body))
@@ -334,6 +373,12 @@ func (g *Gateway) forward(ctx context.Context, s *shard, query string, header ht
 			if v := header.Get(h); v != "" {
 				req.Header.Set(h, v)
 			}
+		}
+		// A previous-owner hint rides every attempt except one aimed at the
+		// previous owner itself — it already has the record or never will.
+		if hint != nil && s.name != hint.owner {
+			req.Header.Set(server.PeerHeader, hint.base)
+			req.Header.Set(server.PeerSigHeader, hint.sig)
 		}
 		var resp *http.Response
 		if resp, err = g.client.Do(req); err == nil {
@@ -360,15 +405,19 @@ func (g *Gateway) forward(ctx context.Context, s *shard, query string, header ht
 }
 
 // plan picks the candidate order for a key: ring-owner order normally, or
-// any-alive-shard rotation when the fleet is below quorum.
+// any-alive-shard rotation when the fleet is below quorum. The whole
+// decision runs under the membership read lock so a concurrent join/leave
+// can never show it a half-applied fleet.
 func (g *Gateway) plan(key uint64) (cands []*shard, degraded bool) {
+	g.memMu.RLock()
+	defer g.memMu.RUnlock()
 	alive := 0
 	for _, s := range g.order {
 		if s.alive.Load() {
 			alive++
 		}
 	}
-	if alive >= g.cfg.Quorum {
+	if alive >= g.quorum {
 		names := g.ring.Owners(key, len(g.order))
 		cands = make([]*shard, 0, len(names))
 		for _, n := range names {
@@ -423,7 +472,7 @@ func (g *Gateway) claim(gate *atomic.Int32) {
 // on retryable outcomes, and bounded full-jitter retry passes on connection
 // errors. Exactly one of (attempt, error) is non-nil, and exactly one
 // return happens per call — each return path claims gate to prove it.
-func (g *Gateway) route(ctx context.Context, gate *atomic.Int32, key uint64, query string, header http.Header, body []byte) (*attempt, *gwError) {
+func (g *Gateway) route(ctx context.Context, gate *atomic.Int32, key uint64, query string, header http.Header, body []byte, hint *peerHint) (*attempt, *gwError) {
 	cands, degraded := g.plan(key)
 	if degraded {
 		g.quorumDegraded.Add(1)
@@ -451,7 +500,7 @@ func (g *Gateway) route(ctx context.Context, gate *atomic.Int32, key uint64, que
 			}
 			inFlight++
 			launched++
-			go g.forward(ctx, s, query, header, body, hedged, results)
+			go g.forward(ctx, s, query, header, body, hedged, hint, results)
 			return true
 		}
 		return false
@@ -596,13 +645,20 @@ func (g *Gateway) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 	key := KeyFor(gr.CanonicalHash())
 	g.requests.Add(1)
+	// After a membership change, a request whose keyspace segment moved is
+	// stamped with a signed previous-owner hint so the new owner can fetch
+	// the record instead of recomputing (peer cache lookup before compute).
+	hint := g.hintFor(key)
+	if hint != nil {
+		g.peerHints.Add(1)
+	}
 
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel() // settles the race: the losing attempt's context ends here
 
 	t0 := time.Now()
 	gate := new(atomic.Int32)
-	won, gerr := g.route(ctx, gate, key, r.URL.RawQuery, r.Header, body)
+	won, gerr := g.route(ctx, gate, key, r.URL.RawQuery, r.Header, body, hint)
 	if gerr != nil {
 		g.metrics.requestSeconds.With("error").Observe(time.Since(t0).Seconds())
 		g.writeError(w, gerr)
@@ -641,14 +697,23 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// handleReadyz is the external load balancer's routing signal. It reports
+// not-ready not only when the gateway itself cannot serve (draining, nothing
+// alive) but also when the fleet is below quorum: the gateway still answers
+// /schedule in degraded any-alive-shard mode, but an LB with a healthier
+// gateway available should prefer it over one routing blind.
 func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	alive, quorum := g.aliveCount(), g.quorumNow()
 	switch {
 	case g.draining.Load():
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-	case g.aliveCount() == 0:
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, "no shard alive", http.StatusServiceUnavailable)
+		g.writeError(w, &gwError{code: http.StatusServiceUnavailable, kind: "draining",
+			message: "gateway is draining", retry: 1})
+	case alive == 0:
+		g.writeError(w, &gwError{code: http.StatusServiceUnavailable, kind: "unavailable",
+			message: "no shard alive", retry: 1})
+	case alive < quorum:
+		g.writeError(w, &gwError{code: http.StatusServiceUnavailable, kind: "degraded",
+			message: fmt.Sprintf("%d of %d-quorum shards alive; routing degraded to any-alive-shard mode", alive, quorum), retry: 1})
 	default:
 		w.Header().Set("Content-Type", "text/plain")
 		fmt.Fprintln(w, "ready")
@@ -657,7 +722,7 @@ func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 func (g *Gateway) aliveCount() int {
 	n := 0
-	for _, s := range g.order {
+	for _, s := range g.members() {
 		if s.alive.Load() {
 			n++
 		}
@@ -703,23 +768,33 @@ type StatsResponse struct {
 	// LateResults counts losing attempts that completed (cancelled or not)
 	// after their request was already answered — the other side of the
 	// same proof.
-	DoubleDeliveries uint64               `json:"doubleDeliveries"`
-	LateResults      uint64               `json:"lateResults"`
-	HedgeBudgetMs    float64              `json:"hedgeBudgetMs"`
-	Shards           []ShardStats         `json:"shards"`
-	Breakers         []robust.BreakerStat `json:"breakers"`
-	Metrics          []obs.Sample         `json:"metrics,omitempty"`
+	DoubleDeliveries uint64 `json:"doubleDeliveries"`
+	LateResults      uint64 `json:"lateResults"`
+	// Membership is the signed fleet view; the churn counters below
+	// attribute how it got there and what moved with it.
+	Membership    Membership `json:"membership"`
+	Joins         uint64     `json:"joins"`
+	Leaves        uint64     `json:"leaves"`
+	PeerHints     uint64     `json:"peerHints"`
+	HotPushed     uint64     `json:"hotPushed"`
+	HotPushErrors uint64     `json:"hotPushErrors"`
+
+	HedgeBudgetMs float64              `json:"hedgeBudgetMs"`
+	Shards        []ShardStats         `json:"shards"`
+	Breakers      []robust.BreakerStat `json:"breakers"`
+	Metrics       []obs.Sample         `json:"metrics,omitempty"`
 }
 
 // StatsSnapshot returns the gateway counters as served by /stats.
 func (g *Gateway) StatsSnapshot() StatsResponse {
+	alive, quorum := g.aliveCount(), g.quorumNow()
 	st := StatsResponse{
 		UptimeSec:        time.Since(g.start).Seconds(),
-		Ready:            !g.draining.Load() && g.aliveCount() > 0,
+		Ready:            !g.draining.Load() && alive >= quorum && alive > 0,
 		Draining:         g.draining.Load(),
 		Inflight:         g.inflight.current(),
-		Quorum:           g.cfg.Quorum,
-		Alive:            g.aliveCount(),
+		Quorum:           quorum,
+		Alive:            alive,
 		Requests:         g.requests.Load(),
 		Delivered:        g.delivered.Load(),
 		Hedges:           g.hedges.Load(),
@@ -732,11 +807,17 @@ func (g *Gateway) StatsSnapshot() StatsResponse {
 		BadRequests:      g.badRequests.Load(),
 		DoubleDeliveries: g.doubleDeliveries.Load(),
 		LateResults:      g.lateResults.Load(),
+		Membership:       g.Membership(),
+		Joins:            g.joins.Load(),
+		Leaves:           g.leaves.Load(),
+		PeerHints:        g.peerHints.Load(),
+		HotPushed:        g.hotPushed.Load(),
+		HotPushErrors:    g.hotPushErrors.Load(),
 		HedgeBudgetMs:    float64(g.hedgeBudget().Microseconds()) / 1000,
 		Breakers:         g.breakers.Snapshot(),
 		Metrics:          g.metrics.reg.Samples(),
 	}
-	for _, s := range g.order {
+	for _, s := range g.members() {
 		s.mu.Lock()
 		lastErr := s.lastErr
 		s.mu.Unlock()

@@ -312,8 +312,27 @@ func TestQuorumDegradedRouting(t *testing.T) {
 	if st.QuorumDegraded == 0 {
 		t.Error("below-quorum routing not counted")
 	}
-	if st.Ready != true {
-		t.Error("gateway not ready with one alive shard")
+	// Below quorum the gateway still serves, but advertises the degradation:
+	// Ready is false and /readyz answers a structured 503 kind=degraded so an
+	// operator (or load balancer) can see the fleet needs attention.
+	if st.Ready {
+		t.Error("gateway claims ready while below quorum")
+	}
+	resp0, err := http.Get(gw.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ge struct {
+		Error struct {
+			Kind string `json:"kind"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp0.Body).Decode(&ge); err != nil {
+		t.Fatalf("decoding /readyz body: %v", err)
+	}
+	resp0.Body.Close()
+	if resp0.StatusCode != http.StatusServiceUnavailable || ge.Error.Kind != "degraded" {
+		t.Fatalf("below-quorum /readyz = %d kind=%q, want 503 kind=degraded", resp0.StatusCode, ge.Error.Kind)
 	}
 
 	// Nothing alive at all: structured 503, and /readyz agrees.

@@ -60,7 +60,9 @@ func (s *shard) setProbe(err error, at time.Time) {
 // its cooldown expiring, and a shard that answers /readyz but fails real
 // requests stays tripped.
 type prober struct {
-	shards   []*shard
+	mu     sync.Mutex
+	shards []*shard // live membership; add/remove mutate under mu
+
 	breakers *robust.BreakerSet
 	client   *http.Client
 	every    time.Duration
@@ -70,13 +72,43 @@ type prober struct {
 
 func newProber(shards []*shard, breakers *robust.BreakerSet, client *http.Client, every time.Duration) *prober {
 	return &prober{
-		shards:   shards,
+		shards:   append([]*shard(nil), shards...),
 		breakers: breakers,
 		client:   client,
 		every:    every,
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+}
+
+// add inserts a joining shard into the probe set and probes it synchronously
+// once, so its liveness verdict exists before the ring routes to it.
+func (p *prober) add(s *shard) {
+	p.mu.Lock()
+	p.shards = append(p.shards, s)
+	p.mu.Unlock()
+	p.probeOne(s)
+}
+
+// remove drops a departed shard from the probe set; its in-flight probe (if
+// any) finishes harmlessly against a shard no ring decision can pick.
+func (p *prober) remove(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	kept := p.shards[:0]
+	for _, s := range p.shards {
+		if s.name != name {
+			kept = append(kept, s)
+		}
+	}
+	p.shards = kept
+}
+
+// snapshot returns the current probe set.
+func (p *prober) snapshot() []*shard {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*shard(nil), p.shards...)
 }
 
 // start launches the probe loop; probeAll runs once synchronously first so
@@ -111,7 +143,7 @@ func (p *prober) close() {
 // the verdict on the others.
 func (p *prober) probeAll() {
 	var wg sync.WaitGroup
-	for _, s := range p.shards {
+	for _, s := range p.snapshot() {
 		wg.Add(1)
 		go func(s *shard) {
 			defer wg.Done()

@@ -38,8 +38,15 @@ func newGwMetrics(g *Gateway) *gwMetrics {
 	doubles := reg.Counter("schedgw_double_deliveries_total", "Invariant violations: two results for one request. Must stay 0.")
 	late := reg.Counter("schedgw_late_results_total", "Losing attempts discarded after their request was answered.")
 
+	epoch := reg.Gauge("schedgw_membership_epoch", "Current membership epoch; bumps on every admin join/leave.")
+	joins := reg.Counter("schedgw_joins_total", "Shards admitted through POST /admin/shards.")
+	leaves := reg.Counter("schedgw_leaves_total", "Shards retired through DELETE /admin/shards.")
+	peerHints := reg.Counter("schedgw_peer_hints_total", "Forwarded requests stamped with a previous-owner cache hint.")
+	hotPushed := reg.Counter("schedgw_hot_pushed_total", "Hot cache records pushed to new owners during graceful leaves.")
+	hotPushErrs := reg.Counter("schedgw_hot_push_errors_total", "Hot-record pushes that failed during graceful leaves.")
+
 	alive := reg.Gauge("schedgw_shards_alive", "Shards whose last /readyz probe succeeded.")
-	quorum := reg.Gauge("schedgw_quorum", "Configured ring-routing quorum.")
+	quorum := reg.Gauge("schedgw_quorum", "Current ring-routing quorum (recomputed on membership change unless pinned).")
 	inflight := reg.Gauge("schedgw_inflight_requests", "Requests currently being routed.")
 	draining := reg.Gauge("schedgw_draining", "1 while the gateway refuses new work.")
 	budget := reg.Gauge("schedgw_hedge_budget_seconds", "Current hedge budget (fixed or adaptive p95).")
@@ -64,8 +71,15 @@ func newGwMetrics(g *Gateway) *gwMetrics {
 		doubles.Set(float64(g.doubleDeliveries.Load()))
 		late.Set(float64(g.lateResults.Load()))
 
+		epoch.Set(float64(g.Membership().Epoch))
+		joins.Set(float64(g.joins.Load()))
+		leaves.Set(float64(g.leaves.Load()))
+		peerHints.Set(float64(g.peerHints.Load()))
+		hotPushed.Set(float64(g.hotPushed.Load()))
+		hotPushErrs.Set(float64(g.hotPushErrors.Load()))
+
 		alive.Set(float64(g.aliveCount()))
-		quorum.Set(float64(g.cfg.Quorum))
+		quorum.Set(float64(g.quorumNow()))
 		inflight.Set(float64(g.inflight.current()))
 		if g.draining.Load() {
 			draining.Set(1)
@@ -74,7 +88,7 @@ func newGwMetrics(g *Gateway) *gwMetrics {
 		}
 		budget.Set(g.hedgeBudget().Seconds())
 
-		for _, s := range g.order {
+		for _, s := range g.members() {
 			if s.alive.Load() {
 				shardAlive.With(s.name).Set(1)
 			} else {

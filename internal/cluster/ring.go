@@ -99,6 +99,20 @@ func (r *Ring) Remove(shard string) {
 	r.points = kept
 }
 
+// Clone returns an independent snapshot of the ring. The gateway keeps the
+// pre-change ring across each membership mutation so it can tell a new owner
+// which shard held a key before the change (the peer-lookup hint).
+func (r *Ring) Clone() *Ring {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c := &Ring{replicas: r.replicas, shards: make(map[string]bool, len(r.shards))}
+	for s := range r.shards {
+		c.shards[s] = true
+	}
+	c.points = append([]point(nil), r.points...)
+	return c
+}
+
 // Shards returns the member shard names, sorted.
 func (r *Ring) Shards() []string {
 	r.mu.RLock()

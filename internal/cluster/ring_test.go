@@ -104,6 +104,77 @@ func TestMinimalMovement(t *testing.T) {
 	}
 }
 
+// TestBoundedMovement is the quantitative half of the consistent-hashing
+// contract behind live membership changes: over a large key sample, removing
+// one of n shards remaps at most that shard's fair share of the keyspace
+// (1/n) plus a virtual-node variance allowance — and adding a shard moves
+// keys only onto the newcomer, never between survivors. This is what makes
+// a live join or graceful leave affordable: the fleet's warm caches stay
+// valid for every key that did not change owners.
+func TestBoundedMovement(t *testing.T) {
+	const (
+		n       = 8
+		keysN   = 10000
+		epsilon = 0.06 // vnode-placement variance allowance at 64 vnodes/shard
+	)
+	shards := make([]string, n)
+	for i := range shards {
+		shards[i] = fmt.Sprintf("shard-%d:1", i)
+	}
+	r := ringOf(shards...)
+	rng := rand.New(rand.NewSource(17))
+	keys := make([]uint64, keysN)
+	before := make(map[uint64]string, keysN)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		before[keys[i]] = r.Owners(keys[i], 1)[0]
+	}
+
+	// Remove: only the victim's own keys may move, and its holding is bounded.
+	for _, victim := range shards {
+		c := r.Clone()
+		c.Remove(victim)
+		moved := 0
+		for _, k := range keys {
+			after := c.Owners(k, 1)[0]
+			if before[k] != victim {
+				if after != before[k] {
+					t.Fatalf("remove %s: key %d moved %s -> %s though its owner survived", victim, k, before[k], after)
+				}
+				continue
+			}
+			moved++
+			if after == victim {
+				t.Fatalf("remove %s: key %d still routed to the removed shard", victim, k)
+			}
+		}
+		if frac, bound := float64(moved)/keysN, 1.0/n+epsilon; frac > bound {
+			t.Errorf("remove %s remapped %.1f%% of keys, bound %.1f%%", victim, 100*frac, 100*bound)
+		}
+	}
+
+	// Add: keys move only onto the newcomer, and it takes at most its fair
+	// share of the grown fleet (1/(n+1)) plus the variance allowance.
+	r.Add("joiner:1")
+	stolen := 0
+	for _, k := range keys {
+		after := r.Owners(k, 1)[0]
+		switch {
+		case after == before[k]:
+		case after == "joiner:1":
+			stolen++
+		default:
+			t.Fatalf("add joiner: key %d moved between survivors, %s -> %s", k, before[k], after)
+		}
+	}
+	if stolen == 0 {
+		t.Fatal("joiner took no keys; distribution is broken")
+	}
+	if frac, bound := float64(stolen)/keysN, 1.0/(n+1)+epsilon; frac > bound {
+		t.Errorf("joiner took %.1f%% of keys, bound %.1f%%", 100*frac, 100*bound)
+	}
+}
+
 // TestKeyForCanonical: the routing key inherits the fingerprint's
 // renumbering-invariance, so isomorphic graphs route to the same shard — the
 // property that partitions the content-addressed cache.

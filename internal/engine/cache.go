@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"sync"
 
+	"repro/internal/ir"
+	"repro/internal/machine"
 	"repro/internal/schedule"
 )
 
@@ -19,9 +21,17 @@ type entry struct {
 	// served names the ladder rung that produced the schedule.
 	served string
 	// fromStore marks an entry replayed from the crash-safe store at
-	// recovery rather than computed by this process; traced hits on such
-	// entries report the "persisted-hit" cache path.
+	// recovery (or imported from a cluster peer) rather than computed by
+	// this process; traced hits on such entries report the "persisted-hit"
+	// cache path.
 	fromStore bool
+	// graph and mach reference the graph and machine the entry was produced
+	// for, so the entry can be exported to a cluster peer (export.go) in the
+	// same wire form the persistent store uses. Graphs are sealed after
+	// construction and models are never mutated by the engine, so holding
+	// the references is safe and cheap.
+	graph *ir.Graph
+	mach  *machine.Model
 }
 
 // Stats is a point-in-time snapshot of the cache counters.
@@ -90,6 +100,46 @@ func (c *cache) get(key string) (entry, bool) {
 	}
 	c.ll.MoveToFront(el)
 	return el.Value.(*lruItem).ent, true
+}
+
+// peek returns the entry for key without promoting it — membership and
+// export probes must not distort the LRU order the hottest-K handoff and
+// eviction decisions are based on.
+func (c *cache) peek(key string) (entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return entry{}, false
+	}
+	return el.Value.(*lruItem).ent, true
+}
+
+// hotItem is one (key, entry) pair of a hottest-K enumeration.
+type hotItem struct {
+	key string
+	ent entry
+}
+
+// hottest returns up to k entries in most-recently-used-first order, without
+// promoting anything. It is the cache's view of "what a departing shard
+// should hand to its successors": the front of the LRU list is exactly the
+// working set recent traffic touched.
+func (c *cache) hottest(k int) []hotItem {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if k > c.ll.Len() {
+		k = c.ll.Len()
+	}
+	if k <= 0 {
+		return nil
+	}
+	out := make([]hotItem, 0, k)
+	for el := c.ll.Front(); el != nil && len(out) < k; el = el.Next() {
+		it := el.Value.(*lruItem)
+		out = append(out, hotItem{key: it.key, ent: it.ent})
+	}
+	return out
 }
 
 // put inserts or refreshes an entry, evicting the least-recently-used entry

@@ -1,0 +1,134 @@
+package engine
+
+// Peer export/import tests: the handoff surface must move a record between
+// engines byte-identically, refuse tampered or mismatched records at the
+// legality gate, and never promote entries on export reads.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/machine"
+)
+
+// TestExportImportRoundTrip moves a cache entry from one engine to another
+// and proves the receiver serves it as a warm hit with identical content.
+func TestExportImportRoundTrip(t *testing.T) {
+	k, _ := bench.ByName("fir")
+	m := machine.Chorus(4)
+	a, b := New(2, 16), New(2, 16)
+
+	cold := a.Schedule(context.Background(), job(k, m))
+	if cold.Err != nil {
+		t.Fatal(cold.Err)
+	}
+	key, ok := a.CacheKey(job(k, m))
+	if !ok {
+		t.Fatal("job not cacheable")
+	}
+	if !a.HasCached(key) || b.HasCached(key) {
+		t.Fatal("cache residency before handoff is wrong")
+	}
+
+	rec, ok := a.ExportRecord(key)
+	if !ok {
+		t.Fatal("computed entry not exportable")
+	}
+	if err := b.ImportRecord(rec); err != nil {
+		t.Fatalf("import refused a legitimate record: %v", err)
+	}
+	if !b.HasCached(key) {
+		t.Fatal("imported record not resident")
+	}
+	warm := b.Schedule(context.Background(), job(k, m))
+	if warm.Err != nil {
+		t.Fatal(warm.Err)
+	}
+	if !warm.CacheHit {
+		t.Fatal("receiver recomputed instead of serving the imported record")
+	}
+	if !sameSchedule(cold.Schedule, warm.Schedule) {
+		t.Error("imported schedule differs from the original")
+	}
+}
+
+// TestExportHottestOrder: the hottest-K export walks MRU-first and respects
+// k, so a graceful leave pushes the live working set, not cold history.
+func TestExportHottestOrder(t *testing.T) {
+	m := machine.Chorus(4)
+	e := New(2, 16)
+	var keys []string
+	for _, name := range []string{"fir", "vvmul", "yuv"} {
+		k, ok := bench.ByName(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		if res := e.Schedule(context.Background(), job(k, m)); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		key, _ := e.CacheKey(job(k, m))
+		keys = append(keys, key)
+	}
+	hot := e.ExportHottest(2)
+	if len(hot) != 2 {
+		t.Fatalf("ExportHottest(2) returned %d records", len(hot))
+	}
+	// MRU first: the most recent schedule ("yuv") leads.
+	if string(hot[0].Key) != keys[2] || string(hot[1].Key) != keys[1] {
+		t.Error("hottest export is not MRU-first")
+	}
+	if got := e.ExportHottest(100); len(got) != 3 {
+		t.Errorf("ExportHottest(100) returned %d records, want all 3", len(got))
+	}
+}
+
+// TestImportRejectsTampered: the import gate is the recovery gate — a record
+// whose schedule, graph, or machine does not re-validate is refused.
+func TestImportRejectsTampered(t *testing.T) {
+	k, _ := bench.ByName("fir")
+	m := machine.Chorus(4)
+	a := New(2, 16)
+	if res := a.Schedule(context.Background(), job(k, m)); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	key, _ := a.CacheKey(job(k, m))
+	rec, ok := a.ExportRecord(key)
+	if !ok {
+		t.Fatal("entry not exportable")
+	}
+
+	fresh := func() *Engine { return New(2, 16) }
+
+	t.Run("mangled placements", func(t *testing.T) {
+		r := *rec
+		r.Placements = append(r.Placements[:0:0], r.Placements...)
+		if len(r.Placements) == 0 {
+			t.Fatal("record has no placements")
+		}
+		r.Placements[0].Start += 10000
+		if err := fresh().ImportRecord(&r); err == nil {
+			t.Fatal("gate accepted a mangled schedule")
+		}
+	})
+	t.Run("wrong machine fingerprint", func(t *testing.T) {
+		r := *rec
+		r.Fingerprint[0] ^= 0xff
+		if err := fresh().ImportRecord(&r); err == nil {
+			t.Fatal("gate accepted a wrong machine fingerprint")
+		}
+	})
+	t.Run("unparseable graph", func(t *testing.T) {
+		r := *rec
+		r.Graph = []byte("not a graph")
+		if err := fresh().ImportRecord(&r); err == nil {
+			t.Fatal("gate accepted an unparseable graph")
+		}
+	})
+	t.Run("cache disabled", func(t *testing.T) {
+		e := New(2, -1)
+		if err := e.ImportRecord(rec); err == nil {
+			t.Fatal("import into a cacheless engine did not error")
+		}
+	})
+}

@@ -164,32 +164,43 @@ func (e *Engine) RecoverStore() (store.RecoveryStats, error) {
 	return rs, err
 }
 
-// loadRecord is the recovery gate: it re-verifies one persisted record from
-// first principles and only then admits it to the cache. The stored
-// placements are in canonical order, so the embedded graph's own canonical
-// ordering rehydrates them; rehydrate re-validates the result against the
-// pristine graph and machine, which is the same legality gate every cache
-// hit passes. Classification: unparseable content is corrupt, an unknown or
-// reshaped machine is skewed, and a well-formed record whose schedule fails
-// the gate is illegal.
-func (e *Engine) loadRecord(rec *store.Record) error {
+// verifyRecord is the legality gate every record from outside the process
+// passes — store recovery replay and peer cache handoff alike. It re-verifies
+// the record from first principles: the machine must be reconstructible by
+// name with an unchanged fingerprint, the embedded graph must re-parse, and
+// the stored canonical-order placements must rehydrate onto that pristine
+// graph and validate there — the same gate every cache hit passes.
+// Classification: unparseable content is corrupt, an unknown or reshaped
+// machine is skewed, and a well-formed record whose schedule fails the gate
+// is illegal.
+func verifyRecord(rec *store.Record) (entry, error) {
 	if len(rec.Key) != sha256.Size {
-		return fmt.Errorf("%w: key of %d bytes", store.ErrCorrupt, len(rec.Key))
+		return entry{}, fmt.Errorf("%w: key of %d bytes", store.ErrCorrupt, len(rec.Key))
 	}
 	m, err := machine.Named(rec.Machine)
 	if err != nil {
-		return fmt.Errorf("%w: unknown machine %q", store.ErrSkewed, rec.Machine)
+		return entry{}, fmt.Errorf("%w: unknown machine %q", store.ErrSkewed, rec.Machine)
 	}
 	if m.Fingerprint() != rec.Fingerprint {
-		return fmt.Errorf("%w: machine %q has changed shape", store.ErrSkewed, rec.Machine)
+		return entry{}, fmt.Errorf("%w: machine %q has changed shape", store.ErrSkewed, rec.Machine)
 	}
 	g, err := irtext.ParseString(string(rec.Graph))
 	if err != nil {
-		return fmt.Errorf("%w: embedded graph: %v", store.ErrCorrupt, err)
+		return entry{}, fmt.Errorf("%w: embedded graph: %v", store.ErrCorrupt, err)
 	}
-	ent := entry{placements: rec.Placements, comms: rec.Comms, served: rec.Served, fromStore: true}
+	ent := entry{placements: rec.Placements, comms: rec.Comms, served: rec.Served,
+		fromStore: true, graph: g, mach: m}
 	if _, err := rehydrate(ent, Job{Graph: g, Machine: m}, g.Canonical()); err != nil {
-		return fmt.Errorf("legality gate rejected persisted schedule: %w", err)
+		return entry{}, fmt.Errorf("legality gate rejected record: %w", err)
+	}
+	return ent, nil
+}
+
+// loadRecord is the recovery gate: verifyRecord, then admission to the cache.
+func (e *Engine) loadRecord(rec *store.Record) error {
+	ent, err := verifyRecord(rec)
+	if err != nil {
+		return err
 	}
 	e.cache.put(string(rec.Key), ent)
 	return nil

@@ -151,6 +151,9 @@ func newMetrics(s *Server) *metrics {
 	cacheSize := reg.Gauge("schedd_cache_size", "Schedule-cache entries resident.")
 	cacheCap := reg.Gauge("schedd_cache_capacity", "Schedule-cache entry bound.")
 
+	// Peer cache-handoff counters (all zero when no peer key is configured).
+	peerEvents := reg.CounterVec("schedd_peer_events_total", "Peer cache-handoff events by kind.", "kind")
+
 	// Persistent-store counters (all zero when no store is attached).
 	storeCounter := reg.CounterVec("schedd_store_events_total", "Persistent-store write-behind events by kind.", "kind")
 	storeQueueDepth := reg.Gauge("schedd_store_queue_depth", "Write-behind flush queue depth.")
@@ -200,6 +203,18 @@ func newMetrics(s *Server) *metrics {
 		cacheCounter.With("detached").Set(float64(est.Detached))
 		cacheSize.Set(float64(est.Size))
 		cacheCap.Set(float64(est.Capacity))
+
+		pst := s.peer.snapshot(s.cfg.PeerKey != "")
+		peerEvents.With("lookup").Set(float64(pst.Lookups))
+		peerEvents.With("hit").Set(float64(pst.Hits))
+		peerEvents.With("miss").Set(float64(pst.Misses))
+		peerEvents.With("error").Set(float64(pst.Errors))
+		peerEvents.With("rejected").Set(float64(pst.Rejected))
+		peerEvents.With("bad-hint").Set(float64(pst.BadHints))
+		peerEvents.With("served").Set(float64(pst.Served))
+		peerEvents.With("import").Set(float64(pst.Imports))
+		peerEvents.With("import-rejected").Set(float64(pst.ImportRejected))
+		peerEvents.With("auth-failure").Set(float64(pst.AuthFailures))
 
 		storeCounter.With("flushed").Set(float64(est.Persist.Flushed))
 		storeCounter.With("flush-error").Set(float64(est.Persist.FlushErrors))

@@ -101,6 +101,18 @@ type Config struct {
 	// (rejected with 401 otherwise). Empty means identity claims are
 	// trusted, the pre-auth behavior.
 	TenantKeys KeySet
+	// PeerKey, when non-empty, enables the shard-to-shard cache handoff
+	// surface (see peer.go): the /cache endpoints accept calls presenting
+	// this shared cluster secret, and signed X-Schedd-Peer hints from the
+	// gateway trigger peer cache lookup before compute. Empty disables the
+	// whole peer surface — the pre-cluster-membership behavior.
+	PeerKey string
+	// PeerTimeout bounds one peer cache fetch; a slow or dead peer must
+	// never stall the compute fallback for long. Default 750ms.
+	PeerTimeout time.Duration
+	// PeerTransport overrides the peer-fetch round-tripper (tests). Nil
+	// means http.DefaultTransport.
+	PeerTransport http.RoundTripper
 	// Seed is the default noise seed when the request does not set one.
 	Seed int64
 	// Logf receives operational log lines (drain progress, flushed stats).
@@ -122,6 +134,11 @@ type Server struct {
 	draining atomic.Bool
 	inflight inflightGauge
 	panics   atomic.Uint64
+
+	// peer counts the cache-handoff surface (peer.go); peerClient performs
+	// outbound record fetches from previous ring owners.
+	peer       peerCounters
+	peerClient *http.Client
 
 	// testHookPostAdmit, when non-nil, runs right after admission grants a
 	// queue slot — the seam the release-exactly-once panic regression test
@@ -182,9 +199,11 @@ func New(cfg Config) *Server {
 		s.ready.Store(true)
 		close(s.recoveryDone)
 	}
+	s.peerClient = &http.Client{Transport: cfg.PeerTransport}
 	s.metrics = newMetrics(s)
 	s.breakers.SetObserver(s.metrics.observeBreaker)
 	s.mux.HandleFunc("/schedule", s.handleSchedule)
+	s.mux.HandleFunc("/cache/", s.handleCache)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/stats", s.handleStats)
@@ -352,6 +371,10 @@ type scheduleResponse struct {
 	CacheHit   bool            `json:"cacheHit,omitempty"`
 	Shared     bool            `json:"shared,omitempty"`
 	Degraded   bool            `json:"degraded,omitempty"`
+	// PeerHit says the serving cache entry was fetched from the previous
+	// ring owner (through the legality gate) rather than computed or found
+	// locally; it always rides with CacheHit.
+	PeerHit bool `json:"peerHit,omitempty"`
 	Attempts   []attemptJSON   `json:"attempts,omitempty"`
 	ElapsedMs  float64         `json:"elapsedMs"`
 	// Trace is the request's full observability record, present when the
@@ -369,6 +392,7 @@ type StatsResponse struct {
 	Panics    uint64               `json:"panics"`
 	Engine    engine.Stats         `json:"engine"`
 	Admission AdmissionStats       `json:"admission"`
+	Peer      PeerStats            `json:"peer"`
 	Breakers  []robust.BreakerStat `json:"breakers"`
 	// Metrics folds the Prometheus registry's samples into the JSON stats
 	// body (the same values GET /metrics renders as text).
@@ -386,6 +410,7 @@ func (s *Server) StatsSnapshot() StatsResponse {
 		Panics:    s.panics.Load(),
 		Engine:    s.engine.Stats(),
 		Admission: s.adm.stats(),
+		Peer:      s.peer.snapshot(s.cfg.PeerKey != ""),
 		Breakers:  s.breakers.Snapshot(),
 		Metrics:   s.metrics.reg.Samples(),
 	}
@@ -743,7 +768,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	// The tenant rides the context through the engine/robust path so any
 	// layer below (logs, future per-tenant scheduling policy) can see it.
 	ctx = obs.WithTenant(ctx, req.tenant)
-	res := s.engine.Schedule(ctx, engine.Job{
+	job := engine.Job{
 		ID:      g.Name,
 		Graph:   g,
 		Machine: req.mach.model,
@@ -757,7 +782,18 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		},
 		LadderID: ladderID,
 		Trace:    tr,
-	})
+	}
+	// Peer cache lookup before compute: a gateway-signed hint names the
+	// previous ring owner of this request's keyspace segment; on a local
+	// miss the record is fetched from it and imported through the legality
+	// gate, so the engine call below serves it as a warm hit.
+	peerHit := false
+	if peerBase, sigOK := s.peerHint(r); !sigOK {
+		s.peer.badHints.Add(1)
+	} else if peerBase != "" {
+		peerHit = s.peerFetch(ctx, peerBase, job)
+	}
+	res := s.engine.Schedule(ctx, job)
 	total := time.Since(t0)
 	s.adm.observe(grant, wait, total, res.Err != nil)
 	s.metrics.observeRequest(req.tenant, req.class, total.Seconds(), res.Err != nil)
@@ -769,6 +805,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := buildResponse(req.mach.model.Name, g.Name, res, total)
 	resp.Shard = s.cfg.ShardID
+	resp.PeerHit = peerHit
 	resp.Tenant, resp.Class = req.tenant, req.class
 	resp.Trace = tr.Snapshot()
 	writeJSON(w, http.StatusOK, resp)
