@@ -7,7 +7,9 @@
 //	convsched -machine raw16 [-j 8] a.ddg b.ddg dir-of-ddgs/
 //
 // Schedulers: convergent (the paper's), rawcc, uas, pcc, list (critical-path
-// list scheduling on cluster 0 homes only — a sanity baseline).
+// list scheduling on cluster 0 homes only — a sanity baseline). With -tuned
+// the convergent scheduler uses the oracle-tuned pass sequence
+// (passes.TunedForMachine) instead of the published one.
 // Machines: rawN (N tiles) or vliwN (N clusters).
 // Show: stats (default), schedule, assignment, dot, trace, report.
 //
@@ -68,6 +70,7 @@ type options struct {
 	machine   string
 	scheduler string
 	seed      int64
+	tuned     bool
 	show      string
 	verify    bool
 	timeout   time.Duration
@@ -87,6 +90,7 @@ func main() {
 	flag.StringVar(&o.machine, "machine", "raw16", "target machine (rawN or vliwN)")
 	flag.StringVar(&o.scheduler, "scheduler", "convergent", "convergent|rawcc|uas|pcc|list")
 	flag.Int64Var(&o.seed, "seed", 2002, "noise seed for the convergent scheduler")
+	flag.BoolVar(&o.tuned, "tuned", false, "use the oracle-tuned pass sequence instead of the published one (convergent scheduler only)")
 	flag.StringVar(&o.show, "show", "stats", "stats|schedule|assignment|dot|trace|report")
 	flag.BoolVar(&o.verify, "verify", true, "simulate the schedule and compare against reference execution")
 	flag.DurationVar(&o.timeout, "timeout", 0, "time budget per scheduling attempt (0 = unbounded)")
@@ -149,6 +153,9 @@ func run(o options, args []string) error {
 	if err != nil {
 		return err
 	}
+	if o.tuned && o.scheduler != "convergent" {
+		return fmt.Errorf("-tuned selects a convergent pass sequence; use -scheduler convergent, not %q", o.scheduler)
+	}
 	paths, err := expandInputs(args)
 	if err != nil {
 		return err
@@ -199,10 +206,17 @@ func run(o options, args []string) error {
 		if o.scheduler != "convergent" {
 			return fmt.Errorf("-chaos poisons the convergent ladder; use -scheduler convergent, not %q", o.scheduler)
 		}
+		if o.tuned {
+			return fmt.Errorf("-tuned cannot be combined with -chaos (the chaos ladder pins the published sequence)")
+		}
 		chaos := faultinject.Chaos{Class: o.chaos, Seed: o.chaosSeed}
 		if ladder, err = chaos.Ladder(m, o.seed); err != nil {
 			return fmt.Errorf("%w (see -chaos-list)", err)
 		}
+	case o.tuned && o.fallback:
+		ladder = robust.TunedLadder(m, o.seed)
+	case o.tuned:
+		ladder = []robust.Rung{robust.ConvergentRung("convergent-tuned", m, passes.TunedForMachine(m.Name), o.seed)}
 	case o.fallback:
 		if ladder, err = robust.LadderFor(m, o.scheduler, o.seed); err != nil {
 			return err
@@ -265,6 +279,13 @@ func runBatch(o options, m *machine.Model, paths []string) error {
 	var ladder []robust.Rung
 	var ladderID string
 	switch {
+	case o.tuned && o.fallback:
+		ladder = robust.TunedLadder(m, o.seed)
+		ladderID = robust.TunedLadderID(m, o.seed)
+	case o.tuned:
+		seq := passes.TunedForMachine(m.Name)
+		ladder = []robust.Rung{robust.ConvergentRung("convergent-tuned", m, seq, o.seed)}
+		ladderID = fmt.Sprintf("rung:convergent-tuned[%s]:seed=%d", core.SequenceID(seq), o.seed)
 	case o.fallback && o.scheduler == "convergent":
 		// Leave Ladder nil: robust walks DefaultLadder(m, seed).
 	case o.fallback:
@@ -384,9 +405,13 @@ func showTrace(o options, g *ir.Graph, m *machine.Model) error {
 	if o.chaos != "" {
 		return fmt.Errorf("-show trace cannot be combined with -chaos")
 	}
+	seq := passes.ForMachine(m.Name)
+	if o.tuned {
+		seq = passes.TunedForMachine(m.Name)
+	}
 	var res *core.Result
 	s, err := robust.Guard("convergent", func() (*schedule.Schedule, error) {
-		s, r, err := core.Schedule(g, m, passes.ForMachine(m.Name), o.seed)
+		s, r, err := core.Schedule(g, m, seq, o.seed)
 		res = r
 		return s, err
 	})

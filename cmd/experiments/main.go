@@ -9,9 +9,13 @@
 //
 // Experiments: table1, table2, fig4, fig6, fig7, fig8, fig9, fig10, theta,
 // resilience (the chaos sweep: which ladder rung serves under each
-// injected fault class), and obs (traced scheduling of the whole suite,
+// injected fault class), obs (traced scheduling of the whole suite,
 // reduced to entropy/settling/latency rows — the BENCH_obs.json artifact:
-// experiments -exp obs -obs-out BENCH_obs.json).
+// experiments -exp obs -obs-out BENCH_obs.json), and oracle (per-kernel
+// optimality gaps of the ladder/tuned/baseline schedulers against the
+// exact branch-and-bound oracle's certified lower bounds — the
+// BENCH_oracle.json artifact: experiments -exp oracle -oracle-out
+// BENCH_oracle.json).
 package main
 
 import (
@@ -30,22 +34,24 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment to run: all|table1|table2|fig4|fig6|fig7|fig8|fig9|fig10|theta|resilience|obs")
+	which := flag.String("exp", "all", "experiment to run: all|table1|table2|fig4|fig6|fig7|fig8|fig9|fig10|theta|resilience|obs|oracle")
 	sizes := flag.String("sizes", "100,250,500,1000,2000", "instruction counts for fig10")
 	kernels := flag.String("kernels", "vvmul,mxm", "kernels for the resilience sweep")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-attempt budget for the resilience sweep")
 	jobs := flag.Int("j", 0, "worker-pool width for the batch-scheduled convergent columns (0 = GOMAXPROCS)")
 	obsOut := flag.String("obs-out", "", "write the obs experiment's JSON here instead of stdout")
+	oracleOut := flag.String("oracle-out", "", "write the oracle experiment's JSON here instead of stdout")
+	oracleBudget := flag.Int64("oracle-budget", 0, "oracle node budget per kernel (0 = default)")
 	flag.Parse()
 	exp.Workers = *jobs
 
-	if err := run(*which, *sizes, *kernels, *obsOut, *timeout); err != nil {
+	if err := run(*which, *sizes, *kernels, *obsOut, *oracleOut, *oracleBudget, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(which, sizesArg, kernelsArg, obsOut string, timeout time.Duration) error {
+func run(which, sizesArg, kernelsArg, obsOut, oracleOut string, oracleBudget int64, timeout time.Duration) error {
 	want := func(name string) bool { return which == "all" || which == name }
 	any := false
 
@@ -140,6 +146,29 @@ func run(which, sizesArg, kernelsArg, obsOut string, timeout time.Duration) erro
 				return err
 			}
 			fmt.Printf("obs: wrote %d rows to %s\n", len(sum.Rows), obsOut)
+		} else {
+			os.Stdout.Write(data)
+		}
+	}
+	if want("oracle") {
+		any = true
+		sum, err := exp.Oracle(oracleBudget, 0)
+		if err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if oracleOut != "" {
+			if err := os.WriteFile(oracleOut, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("oracle: wrote %d rows to %s (%d proven optimal, ladder gap %d cycles, tuned suite %d vs default %d)\n",
+				len(sum.Rows), oracleOut, sum.Totals.ProvenOptimal,
+				sum.Totals.Ladder-sum.Totals.LowerBound,
+				sum.Totals.SuiteTuned, sum.Totals.SuiteDefault)
 		} else {
 			os.Stdout.Write(data)
 		}

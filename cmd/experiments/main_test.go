@@ -37,7 +37,7 @@ func capture(t *testing.T, f func() error) (string, error) {
 }
 
 func TestTable1(t *testing.T) {
-	out, err := capture(t, func() error { return run("table1", "100", "vvmul", "", time.Second) })
+	out, err := capture(t, func() error { return run("table1", "100", "vvmul", "", "", 0, time.Second) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestTable1(t *testing.T) {
 }
 
 func TestFig9(t *testing.T) {
-	out, err := capture(t, func() error { return run("fig9", "100", "vvmul", "", time.Second) })
+	out, err := capture(t, func() error { return run("fig9", "100", "vvmul", "", "", 0, time.Second) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestFig9(t *testing.T) {
 }
 
 func TestFig4(t *testing.T) {
-	out, err := capture(t, func() error { return run("fig4", "100", "vvmul", "", time.Second) })
+	out, err := capture(t, func() error { return run("fig4", "100", "vvmul", "", "", 0, time.Second) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestFig4(t *testing.T) {
 }
 
 func TestFig10SmallSizes(t *testing.T) {
-	out, err := capture(t, func() error { return run("fig10", "60,80", "vvmul", "", time.Second) })
+	out, err := capture(t, func() error { return run("fig10", "60,80", "vvmul", "", "", 0, time.Second) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,13 +79,13 @@ func TestFig10SmallSizes(t *testing.T) {
 }
 
 func TestErrors(t *testing.T) {
-	if _, err := capture(t, func() error { return run("figZZ", "100", "vvmul", "", time.Second) }); err == nil {
+	if _, err := capture(t, func() error { return run("figZZ", "100", "vvmul", "", "", 0, time.Second) }); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if _, err := capture(t, func() error { return run("fig10", "abc", "vvmul", "", time.Second) }); err == nil {
+	if _, err := capture(t, func() error { return run("fig10", "abc", "vvmul", "", "", 0, time.Second) }); err == nil {
 		t.Error("bad sizes accepted")
 	}
-	if _, err := capture(t, func() error { return run("fig10", "1", "vvmul", "", time.Second) }); err == nil {
+	if _, err := capture(t, func() error { return run("fig10", "1", "vvmul", "", "", 0, time.Second) }); err == nil {
 		t.Error("size 1 accepted")
 	}
 }

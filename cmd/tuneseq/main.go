@@ -8,9 +8,14 @@
 //
 //	tuneseq -machine vliw4 -kernels vvmul,yuv,fir -iters 100 -seed 7
 //	tuneseq -machine raw16 -kernels jacobi,life
+//	tuneseq -machine vliw4 -kernels all -oracle
 //
 // The search seeds from the machine's published sequence and prints every
-// improvement it accepts; pass -start to seed differently.
+// improvement it accepts; pass -start to seed differently. With -oracle the
+// optimality oracle first certifies a lower bound for every kernel, the
+// search stops early if a sequence reaches the suite bound, and results are
+// reported as optimality gaps (provably wasted cycles) instead of raw
+// costs.
 package main
 
 import (
@@ -22,38 +27,55 @@ import (
 	"repro/internal/bench"
 	"repro/internal/engine"
 	"repro/internal/machine"
+	"repro/internal/oracle"
 	"repro/internal/tune"
 )
 
 func main() {
 	machineName := flag.String("machine", "vliw4", "target machine (rawN or vliwN)")
-	kernels := flag.String("kernels", "vvmul,yuv", "comma-separated benchmark kernels to optimise for")
+	kernels := flag.String("kernels", "vvmul,yuv", "comma-separated benchmark kernels to optimise for, or \"all\" for the machine's full suite")
 	iters := flag.Int("iters", 60, "number of proposed edits")
 	seed := flag.Int64("seed", 2002, "search and noise seed")
 	start := flag.String("start", "", "comma-separated seed sequence (default: the machine's published sequence)")
 	jobs := flag.Int("j", 0, "worker-pool width for candidate evaluation (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache-size", 1024, "schedule-cache entries memoizing kernel-x-sequence evaluations (0 disables)")
+	useOracle := flag.Bool("oracle", false, "score against oracle-certified lower bounds: report optimality gaps and stop early at the suite bound")
+	nodeBudget := flag.Int64("oracle-budget", 0, "oracle node budget per kernel (0 = default)")
 	flag.Parse()
 
-	if err := run(*machineName, *kernels, *iters, *seed, *start, *jobs, *cacheSize); err != nil {
+	if err := run(*machineName, *kernels, *iters, *seed, *start, *jobs, *cacheSize, *useOracle, *nodeBudget); err != nil {
 		fmt.Fprintln(os.Stderr, "tuneseq:", err)
 		os.Exit(1)
 	}
 }
 
-func run(machineName, kernels string, iters int, seed int64, start string, jobs, cacheSize int) error {
-	m, err := machine.Named(machineName)
-	if err != nil {
-		return err
+func suiteFor(m *machine.Model, kernels string) ([]bench.Kernel, error) {
+	if strings.TrimSpace(kernels) == "all" {
+		if strings.HasPrefix(m.Name, "raw") {
+			return bench.RawSuite(), nil
+		}
+		return bench.VliwSuite(), nil
 	}
 	var ks []bench.Kernel
 	for _, name := range strings.Split(kernels, ",") {
 		name = strings.TrimSpace(name)
 		k, ok := bench.ByName(name)
 		if !ok {
-			return fmt.Errorf("unknown kernel %q (available: %s)", name, strings.Join(bench.Names(), ", "))
+			return nil, fmt.Errorf("unknown kernel %q (available: %s)", name, strings.Join(bench.Names(), ", "))
 		}
 		ks = append(ks, k)
+	}
+	return ks, nil
+}
+
+func run(machineName, kernels string, iters int, seed int64, start string, jobs, cacheSize int, useOracle bool, nodeBudget int64) error {
+	m, err := machine.Named(machineName)
+	if err != nil {
+		return err
+	}
+	ks, err := suiteFor(m, kernels)
+	if err != nil {
+		return err
 	}
 	var startSeq []string
 	if start != "" {
@@ -62,7 +84,7 @@ func run(machineName, kernels string, iters int, seed int64, start string, jobs,
 		}
 	}
 	e := engine.New(jobs, cacheSize)
-	res, err := tune.Search(tune.Options{
+	opt := tune.Options{
 		Machine: m,
 		Kernels: ks,
 		Start:   startSeq,
@@ -70,10 +92,27 @@ func run(machineName, kernels string, iters int, seed int64, start string, jobs,
 		Seed:    seed,
 		Log:     func(s string) { fmt.Println(s) },
 		Engine:  e,
-	})
-	if err != nil {
-		return err
 	}
+
+	var res *tune.Result
+	if useOracle {
+		gr, err := tune.SearchGaps(opt, oracle.Options{NodeBudget: nodeBudget})
+		if err != nil {
+			return err
+		}
+		res = &gr.Result
+		fmt.Printf("\noracle lower bounds (suite total %d cycles):\n", gr.SuiteLowerBound)
+		for _, b := range gr.Bounds {
+			fmt.Printf("  %-14s lb=%5d  %s\n", b.Kernel, b.LowerBound, b.Status)
+		}
+		fmt.Printf("seed gap: %d cycles over the bound; best gap: %d\n", gr.StartGap, gr.BestGap)
+	} else {
+		res, err = tune.Search(opt)
+		if err != nil {
+			return err
+		}
+	}
+
 	fmt.Printf("\nseed sequence  (%5d cycles): %s\n", res.StartCost, strings.Join(res.Start, " "))
 	fmt.Printf("best sequence  (%5d cycles): %s\n", res.BestCost, strings.Join(res.Best, " "))
 	if res.BestCost < res.StartCost {

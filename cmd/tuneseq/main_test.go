@@ -25,7 +25,7 @@ func capture(t *testing.T, f func() error) (string, error) {
 
 func TestRunSmallSearch(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("vliw4", "vvmul", 5, 3, "", 0, 64)
+		return run("vliw4", "vvmul", 5, 3, "", 0, 64, false, 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -37,7 +37,7 @@ func TestRunSmallSearch(t *testing.T) {
 
 func TestRunCustomStart(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("vliw4", "vvmul", 2, 1, "INITTIME,NOISE,PLACE,EMPHCP", 0, 64)
+		return run("vliw4", "vvmul", 2, 1, "INITTIME,NOISE,PLACE,EMPHCP", 0, 64, false, 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -47,14 +47,28 @@ func TestRunCustomStart(t *testing.T) {
 	}
 }
 
+func TestRunOracleMode(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("vliw4", "vvmul", 2, 3, "", 0, 64, true, 5000)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"oracle lower bounds", "seed gap:", "best gap:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("oracle mode output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if _, err := capture(t, func() error { return run("gpu1", "vvmul", 2, 1, "", 0, 64) }); err == nil {
+	if _, err := capture(t, func() error { return run("gpu1", "vvmul", 2, 1, "", 0, 64, false, 0) }); err == nil {
 		t.Error("bad machine accepted")
 	}
-	if _, err := capture(t, func() error { return run("vliw4", "nope", 2, 1, "", 0, 64) }); err == nil {
+	if _, err := capture(t, func() error { return run("vliw4", "nope", 2, 1, "", 0, 64, false, 0) }); err == nil {
 		t.Error("bad kernel accepted")
 	}
-	if _, err := capture(t, func() error { return run("vliw4", "vvmul", 2, 1, "FROB", 0, 64) }); err == nil {
+	if _, err := capture(t, func() error { return run("vliw4", "vvmul", 2, 1, "FROB", 0, 64, false, 0) }); err == nil {
 		t.Error("bad start pass accepted")
 	}
 }

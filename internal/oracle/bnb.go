@@ -1,0 +1,391 @@
+package oracle
+
+import (
+	"context"
+	"math"
+	"sort"
+	"time"
+)
+
+// The search runs over the comm-relaxed problem: functional-unit issue slots
+// are exact (one instruction per unit per issue cycle, matching the
+// validator), but communication is charged as a pure latency — a value
+// produced on cluster a is usable on cluster b CommLatency(a,b) cycles after
+// it is ready, with no port, link, or transfer-unit contention and free
+// constant broadcast. Every legal schedule satisfies the relaxed constraints
+// with the same makespan, so the relaxed optimum is a certified lower bound
+// on the legal optimum; when a gated legal schedule matches it, that
+// schedule is proven optimal.
+//
+// Branching follows the serial schedule-generation scheme: each node picks
+// an eligible instruction (all predecessors placed) together with a legal
+// (cluster, unit) mode and issues it at the earliest cycle the unit is free
+// at or after its dependence-ready time. Because unit occupancy is a single
+// cycle and all precedence constraints are minimum lags, the scheme is
+// complete: for any relaxed-feasible schedule, replaying its instructions in
+// start order through the scheme yields starts no later, so some leaf of the
+// tree attains the relaxed optimum.
+
+type place struct {
+	cluster, fu, start int
+}
+
+type candidate struct {
+	instr, cluster, fu, start, lb int
+}
+
+type searcher struct {
+	p *problem
+
+	// ub is the best relaxed makespan known (initially the seed legal
+	// schedule's length; every legal schedule is relaxed-feasible).
+	// Subtrees whose lower bound reaches ub are pruned.
+	ub          int
+	best        []place // best relaxed solution found, nil if none beat the seed
+	nodes       int64
+	budget      int64
+	deadline    time.Time
+	ctx         context.Context
+	checkEvery  int64
+	aborted     bool
+	abortReason string
+	// minAbandoned folds in the lower bound of every branch left
+	// unexplored after an abort, so min(ub, minAbandoned) stays a valid
+	// lower bound on the relaxed optimum even for a truncated search.
+	minAbandoned int
+
+	// Cluster-symmetry breaking, active only on machines with uniform
+	// inter-cluster latency: clusters are grouped into equivalence
+	// classes (identical legality and latency for every instruction),
+	// and an instruction may open an empty cluster only if it is the
+	// lowest-indexed empty cluster of its class. Relabeling the clusters
+	// of any solution to that canonical form preserves its makespan, so
+	// completeness is unaffected.
+	symmetry bool
+	classRep []int // lowest-indexed equivalent cluster
+
+	// Mutable depth-first state, undone on backtrack.
+	placed   []place // per instruction; start == -1 means unplaced
+	ready    []int   // completion cycle of placed instructions
+	pending  []int   // unplaced-predecessor counts
+	eligible []int
+	busy     [][]uint64 // (cluster*numFU + fu) -> one bit per cycle
+	useCount []int      // placed instructions per cluster
+	horizon  int
+	nPlaced  int
+}
+
+// initSymmetry detects whether cluster labels can be canonicalized: the
+// machine's inter-cluster latency must be uniform (so any label swap
+// preserves communication costs), and two clusters are equivalent when
+// every instruction sees identical legality and latency on both.
+func (s *searcher) initSymmetry() {
+	m := s.p.m
+	uniform := true
+	var lat0 = -1
+	for a := 0; a < m.NumClusters && uniform; a++ {
+		for b := 0; b < m.NumClusters; b++ {
+			if a == b {
+				continue
+			}
+			l := m.CommLatency(a, b)
+			if lat0 < 0 {
+				lat0 = l
+			} else if l != lat0 {
+				uniform = false
+				break
+			}
+		}
+	}
+	if !uniform {
+		return
+	}
+	s.symmetry = true
+	s.classRep = make([]int, m.NumClusters)
+	for c := range s.classRep {
+		s.classRep[c] = c
+		for r := 0; r < c; r++ {
+			if s.classRep[r] != r {
+				continue
+			}
+			same := true
+			for i := 0; i < s.p.n; i++ {
+				if s.p.lat[i][c] != s.p.lat[i][r] {
+					same = false
+					break
+				}
+			}
+			if same {
+				s.classRep[c] = r
+				break
+			}
+		}
+	}
+}
+
+// openAllowed reports whether placing on currently-empty cluster c respects
+// the canonical labeling: no lower-indexed equivalent cluster is also empty.
+func (s *searcher) openAllowed(c int) bool {
+	for r := s.classRep[c]; r < c; r++ {
+		if s.classRep[r] == s.classRep[c] && s.useCount[r] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func newSearcher(ctx context.Context, p *problem, seedLen int, budget int64, deadline time.Time) *searcher {
+	s := &searcher{
+		p:            p,
+		ub:           seedLen,
+		budget:       budget,
+		deadline:     deadline,
+		ctx:          ctx,
+		checkEvery:   1024,
+		minAbandoned: math.MaxInt,
+		placed:       make([]place, p.n),
+		ready:        make([]int, p.n),
+		pending:      make([]int, p.n),
+		useCount:     make([]int, p.m.NumClusters),
+		horizon:      seedLen,
+	}
+	s.initSymmetry()
+	words := (seedLen + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	s.busy = make([][]uint64, p.m.NumClusters*len(p.m.FUs))
+	for i := range s.busy {
+		s.busy[i] = make([]uint64, words)
+	}
+	for i := 0; i < p.n; i++ {
+		s.placed[i].start = -1
+		s.pending[i] = len(p.g.Preds(i))
+		if s.pending[i] == 0 {
+			s.eligible = append(s.eligible, i)
+		}
+	}
+	return s
+}
+
+func (s *searcher) slotBusy(c, fu, t int) bool {
+	w := s.busy[c*len(s.p.m.FUs)+fu]
+	return w[t>>6]&(1<<uint(t&63)) != 0
+}
+
+func (s *searcher) setSlot(c, fu, t int, v bool) {
+	w := s.busy[c*len(s.p.m.FUs)+fu]
+	if v {
+		w[t>>6] |= 1 << uint(t&63)
+	} else {
+		w[t>>6] &^= 1 << uint(t&63)
+	}
+}
+
+// est returns the earliest dependence-ready cycle for instruction i on
+// cluster c given the clusters its (already placed) predecessors chose.
+func (s *searcher) est(i, c int) int {
+	t := 0
+	g := s.p.g
+	for _, a := range g.Instrs[i].Args {
+		r := s.ready[a]
+		if !g.Instrs[a].Op.IsConst() && s.placed[a].cluster != c {
+			r += s.p.m.CommLatency(s.placed[a].cluster, c)
+		}
+		if r > t {
+			t = r
+		}
+	}
+	for _, mp := range s.p.memPreds[i] {
+		if s.ready[mp] > t {
+			t = s.ready[mp]
+		}
+	}
+	return t
+}
+
+// findSlot scans for the first cycle >= est with (c, fu) free whose tail
+// bound stays under ub; -1 means every viable start is pruned.
+func (s *searcher) findSlot(i, c, fu, est int) int {
+	limit := s.ub - s.p.tail[i] // starts at or past this cannot improve
+	for t := est; t < limit; t++ {
+		if !s.slotBusy(c, fu, t) {
+			return t
+		}
+	}
+	return -1
+}
+
+// branches enumerates every undominated extension of the current partial
+// solution, cheapest bound first. lastInstr/lastCluster/lastFU identify the
+// placement that created this node, for the sibling-order dominance rule.
+func (s *searcher) branches(lastInstr, lastCluster, lastFU int) []candidate {
+	var out []candidate
+	for _, e := range s.eligible {
+		// Dominance: when the previous placement j and e are
+		// independent and use different (cluster, unit) pairs, the two
+		// placement orders reach identical states, so only the
+		// canonical order (smaller ID first) is explored.
+		dominated := lastInstr >= 0 && e < lastInstr && !s.p.isPred(e, lastInstr)
+		for _, c := range s.p.legal[e] {
+			if s.symmetry && s.useCount[c] == 0 && !s.openAllowed(c) {
+				continue
+			}
+			est := s.est(e, c)
+			for _, fu := range s.p.fus[e] {
+				if dominated && (c != lastCluster || fu != lastFU) {
+					continue
+				}
+				t := s.findSlot(e, c, fu, est)
+				if t < 0 {
+					continue
+				}
+				out = append(out, candidate{instr: e, cluster: c, fu: fu, start: t, lb: t + s.p.tail[e]})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		x, y := out[a], out[b]
+		if x.lb != y.lb {
+			return x.lb < y.lb
+		}
+		if x.start != y.start {
+			return x.start < y.start
+		}
+		if x.instr != y.instr {
+			return x.instr < y.instr
+		}
+		if x.cluster != y.cluster {
+			return x.cluster < y.cluster
+		}
+		return x.fu < y.fu
+	})
+	return out
+}
+
+func (s *searcher) dropEligible(i int) {
+	for k, v := range s.eligible {
+		if v == i {
+			s.eligible[k] = s.eligible[len(s.eligible)-1]
+			s.eligible = s.eligible[:len(s.eligible)-1]
+			return
+		}
+	}
+}
+
+func (s *searcher) place(cand candidate) {
+	s.placed[cand.instr] = place{cluster: cand.cluster, fu: cand.fu, start: cand.start}
+	s.ready[cand.instr] = cand.start + s.p.lat[cand.instr][cand.cluster]
+	s.setSlot(cand.cluster, cand.fu, cand.start, true)
+	s.useCount[cand.cluster]++
+	s.nPlaced++
+	s.dropEligible(cand.instr)
+	for _, succ := range s.p.g.Succs(cand.instr) {
+		s.pending[succ]--
+		if s.pending[succ] == 0 {
+			s.eligible = append(s.eligible, succ)
+		}
+	}
+}
+
+func (s *searcher) unplace(cand candidate) {
+	for _, succ := range s.p.g.Succs(cand.instr) {
+		s.pending[succ]++
+		if s.pending[succ] == 1 {
+			// succ became eligible when cand was placed; retract it.
+			s.dropEligible(succ)
+		}
+	}
+	s.eligible = append(s.eligible, cand.instr)
+	s.nPlaced--
+	s.useCount[cand.cluster]--
+	s.setSlot(cand.cluster, cand.fu, cand.start, false)
+	s.placed[cand.instr].start = -1
+	s.ready[cand.instr] = 0
+}
+
+func (s *searcher) abandon(lb int) {
+	if lb < s.minAbandoned {
+		s.minAbandoned = lb
+	}
+}
+
+func (s *searcher) checkLimits() {
+	if s.aborted {
+		return
+	}
+	if s.nodes >= s.budget {
+		s.aborted = true
+		s.abortReason = StatusNodeBudget
+		return
+	}
+	if s.nodes%s.checkEvery == 0 {
+		if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			s.aborted = true
+			s.abortReason = StatusDeadline
+		} else if s.ctx != nil && s.ctx.Err() != nil {
+			s.aborted = true
+			s.abortReason = StatusDeadline
+		}
+	}
+}
+
+// dfs explores every extension of the current partial solution. nodeLB is
+// the tail-based lower bound of the partial (max over placed start+tail).
+func (s *searcher) dfs(nodeLB, lastInstr, lastCluster, lastFU int) {
+	if s.nPlaced == s.p.n {
+		ms := 0
+		for i := range s.ready {
+			if s.ready[i] > ms {
+				ms = s.ready[i]
+			}
+		}
+		if ms < s.ub {
+			s.ub = ms
+			if s.best == nil {
+				s.best = make([]place, s.p.n)
+			}
+			copy(s.best, s.placed)
+		}
+		return
+	}
+	for _, cand := range s.branches(lastInstr, lastCluster, lastFU) {
+		lb := cand.lb
+		if nodeLB > lb {
+			lb = nodeLB
+		}
+		if s.aborted {
+			s.abandon(lb)
+			continue
+		}
+		if lb >= s.ub { // ub may have shrunk since enumeration
+			continue
+		}
+		s.nodes++
+		s.checkLimits()
+		if s.aborted {
+			s.abandon(lb)
+			continue
+		}
+		s.place(cand)
+		s.dfs(lb, cand.instr, cand.cluster, cand.fu)
+		s.unplace(cand)
+	}
+}
+
+// run performs the search and returns the best relaxed solution found (nil
+// if the seed was never beaten), the final relaxed lower bound, and whether
+// the search completed.
+func (s *searcher) run() (best []place, lowerBound int, complete bool) {
+	s.dfs(0, -1, -1, -1)
+	complete = !s.aborted
+	if complete {
+		// The tree is exhausted, so ub is the exact relaxed optimum.
+		return s.best, s.ub, true
+	}
+	lb := s.ub
+	if s.minAbandoned < lb {
+		lb = s.minAbandoned
+	}
+	return s.best, lb, false
+}

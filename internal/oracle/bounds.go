@@ -1,0 +1,352 @@
+package oracle
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// problem is the precomputed search substrate for one (graph, machine) pair:
+// per-instruction legal clusters, compatible functional units, latencies,
+// minimum dependence lags and tail bounds. It is read-only during the search.
+type problem struct {
+	g *ir.Graph
+	m *machine.Model
+	n int
+
+	// legal[i] lists the clusters instruction i may execute on (preplaced
+	// homes, memory-bank locality). fixed[i] is the single legal cluster
+	// when |legal[i]| == 1, else -1.
+	legal [][]int
+	fixed []int
+	// fus[i] lists the functional-unit indices able to issue i's opcode
+	// (identical on every cluster by the machine model's construction).
+	fus [][]int
+	// lat[i][c] is the full latency of i on cluster c (remote-memory
+	// penalty included), or -1 when the placement is illegal.
+	lat [][]int
+	// minLat[i] is the smallest lat[i][c] over legal clusters.
+	minLat []int
+	// tail[i] lower-bounds makespan - start(i) in any feasible completion:
+	// i's minimum latency plus the longest successor chain under minimum
+	// dependence lags. makespan >= start(i) + tail(i) always holds.
+	tail []int
+	// memPreds[i] lists memory-order predecessors of i (from explicit
+	// memory edges); the successor may not issue before they complete.
+	memPreds [][]int
+}
+
+// build precomputes the problem, or reports why the graph is unschedulable
+// on the machine at all (an infeasible home/bank combination, an opcode no
+// functional unit runs).
+func build(g *ir.Graph, m *machine.Model) (*problem, error) {
+	g.Seal()
+	n := g.Len()
+	p := &problem{
+		g: g, m: m, n: n,
+		legal:    make([][]int, n),
+		fixed:    make([]int, n),
+		fus:      make([][]int, n),
+		lat:      make([][]int, n),
+		minLat:   make([]int, n),
+		tail:     make([]int, n),
+		memPreds: make([][]int, n),
+	}
+	for _, e := range g.MemEdges() {
+		p.memPreds[e[1]] = append(p.memPreds[e[1]], e[0])
+	}
+	for i, in := range g.Instrs {
+		for fu := range m.FUs {
+			if m.CanRunOn(in.Op, fu) {
+				p.fus[i] = append(p.fus[i], fu)
+			}
+		}
+		if len(p.fus[i]) == 0 {
+			return nil, fmt.Errorf("oracle: no functional unit runs %v (instr %d)", in.Op, i)
+		}
+		p.lat[i] = make([]int, m.NumClusters)
+		p.fixed[i] = -1
+		p.minLat[i] = -1
+		for c := 0; c < m.NumClusters; c++ {
+			lat, ok := m.InstrLatency(in, c)
+			if !ok || (in.Preplaced() && c != in.Home) {
+				p.lat[i][c] = -1
+				continue
+			}
+			p.lat[i][c] = lat
+			p.legal[i] = append(p.legal[i], c)
+			if p.minLat[i] < 0 || lat < p.minLat[i] {
+				p.minLat[i] = lat
+			}
+		}
+		if len(p.legal[i]) == 0 {
+			return nil, fmt.Errorf("oracle: instr %d (%v bank %d home %d) has no legal cluster on %s",
+				i, in.Op, in.Bank, in.Home, m.Name)
+		}
+		if len(p.legal[i]) == 1 {
+			p.fixed[i] = p.legal[i][0]
+		}
+	}
+	// Tail bounds, in reverse topological order (IDs are topological).
+	for i := n - 1; i >= 0; i-- {
+		t := p.minLat[i]
+		for _, s := range g.Succs(i) {
+			// A successor may be a data consumer, a memory-order
+			// successor, or both; take the strongest constraint.
+			viaData := false
+			for _, a := range g.Instrs[s].Args {
+				if a == i {
+					viaData = true
+					break
+				}
+			}
+			if viaData {
+				if v := p.minLat[i] + p.minLag(i, s) + p.tail[s]; v > t {
+					t = v
+				}
+			}
+			for _, mp := range p.memPreds[s] {
+				if mp == i {
+					if v := p.minLat[i] + p.tail[s]; v > t {
+						t = v
+					}
+					break
+				}
+			}
+		}
+		p.tail[i] = t
+	}
+	return p, nil
+}
+
+// minLag is the smallest possible start-delay a consumer pays beyond the
+// producer's ready time: zero for constants (immediate broadcast) and for
+// pairs that could share a cluster, the machine's communication latency when
+// both endpoints are pinned to distinct clusters.
+func (p *problem) minLag(producer, consumer int) int {
+	if p.g.Instrs[producer].Op.IsConst() {
+		return 0
+	}
+	fp, fc := p.fixed[producer], p.fixed[consumer]
+	if fp >= 0 && fc >= 0 && fp != fc {
+		return p.m.CommLatency(fp, fc)
+	}
+	return 0
+}
+
+// isPred reports whether q is a (data or memory-order) predecessor of i.
+func (p *problem) isPred(i, q int) bool {
+	for _, v := range p.g.Preds(i) {
+		if v == q {
+			return true
+		}
+	}
+	return false
+}
+
+// Bounds is the static lower-bound breakdown. Each member alone is a proven
+// lower bound on the makespan of every legal schedule; Max is the certified
+// combination.
+type Bounds struct {
+	// CriticalPath is the longest dependence chain under per-cluster
+	// minimum latencies and minimum communication lags between pinned
+	// instructions.
+	CriticalPath int `json:"criticalPath"`
+	// Issue counts functional-unit issue slots: ops competing for the same
+	// unit kinds cannot issue wider than the machine provides.
+	Issue int `json:"issue"`
+	// Cluster is the per-cluster serialization bound over instructions
+	// pinned to one cluster (preplaced homes, owned memory banks).
+	Cluster int `json:"cluster"`
+}
+
+// Max returns the strongest of the component bounds.
+func (b Bounds) Max() int {
+	max := b.CriticalPath
+	if b.Issue > max {
+		max = b.Issue
+	}
+	if b.Cluster > max {
+		max = b.Cluster
+	}
+	return max
+}
+
+// StaticBounds computes the certified static lower bounds for scheduling g
+// on m, without any search. It errors when the graph cannot be scheduled on
+// the machine at all.
+func StaticBounds(g *ir.Graph, m *machine.Model) (Bounds, error) {
+	p, err := build(g, m)
+	if err != nil {
+		return Bounds{}, err
+	}
+	return p.staticBounds(), nil
+}
+
+func (p *problem) staticBounds() Bounds {
+	return Bounds{
+		CriticalPath: p.criticalPathLB(),
+		Issue:        p.issueLB(),
+		Cluster:      p.clusterLB(),
+	}
+}
+
+// criticalPathLB runs the forward DP: es[i] is a lower bound on i's start in
+// any legal schedule, ready[i] = es[i] + minLat[i] on i's completion.
+func (p *problem) criticalPathLB() int {
+	es := make([]int, p.n)
+	ready := make([]int, p.n)
+	lb := 0
+	for i, in := range p.g.Instrs {
+		s := 0
+		for _, a := range in.Args {
+			if v := ready[a] + p.minLag(a, i); v > s {
+				s = v
+			}
+		}
+		for _, mp := range p.memPreds[i] {
+			if ready[mp] > s {
+				s = ready[mp]
+			}
+		}
+		es[i] = s
+		lat := p.minLat[i]
+		if f := p.fixed[i]; f >= 0 {
+			lat = p.lat[i][f]
+		}
+		ready[i] = s + lat
+		if ready[i] > lb {
+			lb = ready[i]
+		}
+	}
+	return lb
+}
+
+// issueLB bounds by functional-unit bandwidth: for every compatible-unit
+// mask present in the graph (and the union of all of them), the ops confined
+// to that mask issue at most |mask| * clusters per cycle.
+func (p *problem) issueLB() int {
+	type group struct {
+		count  int
+		minLat int
+	}
+	masks := map[uint64]*group{}
+	note := func(mask uint64, lat int, in map[uint64]*group) {
+		g := in[mask]
+		if g == nil {
+			g = &group{minLat: lat}
+			in[mask] = g
+		}
+		g.count++
+		if lat < g.minLat {
+			g.minLat = lat
+		}
+	}
+	var union uint64
+	for i := range p.g.Instrs {
+		var mask uint64
+		for _, fu := range p.fus[i] {
+			mask |= 1 << uint(fu)
+		}
+		union |= mask
+		note(mask, p.minLat[i], masks)
+	}
+	targets := make([]uint64, 0, len(masks)+1)
+	for m := range masks {
+		targets = append(targets, m)
+	}
+	if _, ok := masks[union]; !ok {
+		targets = append(targets, union)
+	}
+	lb := 0
+	for _, t := range targets {
+		cnt, minLat := 0, 0
+		for m, g := range masks {
+			if m&^t == 0 { // every unit m's ops can use lies inside t
+				cnt += g.count
+				if minLat == 0 || g.minLat < minLat {
+					minLat = g.minLat
+				}
+			}
+		}
+		if cnt == 0 {
+			continue
+		}
+		slots := bits.OnesCount64(t) * p.m.NumClusters
+		if v := (cnt+slots-1)/slots - 1 + minLat; v > lb {
+			lb = v
+		}
+	}
+	return lb
+}
+
+// clusterLB bounds by mandatory per-cluster work: instructions pinned to one
+// cluster (preplaced, or memory ops on machines with owned banks) serialize
+// through that cluster's compatible units.
+func (p *problem) clusterLB() int {
+	type group struct {
+		count  int
+		minLat int
+	}
+	perCluster := make([]map[uint64]*group, p.m.NumClusters)
+	for i := range p.g.Instrs {
+		f := p.fixed[i]
+		if f < 0 {
+			continue
+		}
+		if perCluster[f] == nil {
+			perCluster[f] = map[uint64]*group{}
+		}
+		var mask uint64
+		for _, fu := range p.fus[i] {
+			mask |= 1 << uint(fu)
+		}
+		g := perCluster[f][mask]
+		if g == nil {
+			g = &group{minLat: p.minLat[i]}
+			perCluster[f][mask] = g
+		}
+		g.count++
+		if p.minLat[i] < g.minLat {
+			g.minLat = p.minLat[i]
+		}
+	}
+	lb := 0
+	for _, masks := range perCluster {
+		if masks == nil {
+			continue
+		}
+		var union uint64
+		for m := range masks {
+			union |= m
+		}
+		targets := make([]uint64, 0, len(masks)+1)
+		for m := range masks {
+			targets = append(targets, m)
+		}
+		if _, ok := masks[union]; !ok {
+			targets = append(targets, union)
+		}
+		for _, t := range targets {
+			cnt, minLat := 0, 0
+			for m, g := range masks {
+				if m&^t == 0 {
+					cnt += g.count
+					if minLat == 0 || g.minLat < minLat {
+						minLat = g.minLat
+					}
+				}
+			}
+			if cnt == 0 {
+				continue
+			}
+			slots := bits.OnesCount64(t)
+			if v := (cnt+slots-1)/slots - 1 + minLat; v > lb {
+				lb = v
+			}
+		}
+	}
+	return lb
+}

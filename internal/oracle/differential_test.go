@@ -1,0 +1,80 @@
+package oracle_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/machine"
+	"repro/internal/oracle"
+	"repro/internal/robust"
+	"repro/internal/sim"
+)
+
+// TestDifferentialLadderVsOracle cross-checks the heuristic ladder against
+// the oracle on every seed kernel: the oracle's certified lower bound must
+// never exceed the ladder's makespan (a violation means the bound — or the
+// ladder's legality gate — is unsound), the oracle's best schedule must
+// never be longer than the ladder incumbent it was seeded with (a violation
+// is an oracle regression), and the oracle's emitted schedule must pass the
+// legality gate and reproduce the kernel's semantics byte-for-byte in the
+// simulator. Each assertion names the side it indicts.
+func TestDifferentialLadderVsOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep is long")
+	}
+	suites := []struct {
+		machine string
+		kernels []bench.Kernel
+	}{
+		{"raw4", bench.RawSuite()},
+		{"vliw4", bench.VliwSuite()},
+	}
+	for _, su := range suites {
+		m, err := machine.Named(su.machine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range su.kernels {
+			k := k
+			t.Run(su.machine+"/"+k.Name, func(t *testing.T) {
+				t.Parallel()
+				g := k.Build(m.NumClusters)
+				mem := k.InitMemory(m.NumClusters)
+				ladder, _, err := robust.Schedule(context.Background(), g, m, robust.Options{
+					Seed: 2002, Verify: true, InitMemory: mem,
+				})
+				if err != nil {
+					t.Fatalf("ladder failed to schedule: %v", err)
+				}
+				res, err := oracle.Solve(context.Background(), g, m, oracle.Options{
+					Incumbent:  ladder,
+					Verify:     true,
+					InitMemory: mem,
+				})
+				if err != nil {
+					t.Fatalf("oracle: %v", err)
+				}
+				ladderLen := ladder.Length()
+				if res.LowerBound > ladderLen {
+					t.Errorf("oracle bug: certified lower bound %d exceeds the gated ladder makespan %d",
+						res.LowerBound, ladderLen)
+				}
+				if res.BestLength > ladderLen {
+					t.Errorf("oracle bug: best schedule %d is longer than its ladder incumbent %d",
+						res.BestLength, ladderLen)
+				}
+				if err := res.Best.Validate(); err != nil {
+					t.Errorf("oracle bug: emitted schedule fails the legality gate: %v", err)
+				}
+				simRes, err := sim.Verify(res.Best, mem)
+				if err != nil {
+					t.Fatalf("oracle bug: emitted schedule diverges from reference execution: %v", err)
+				}
+				if err := k.Check(simRes.Memory, m.NumClusters); err != nil {
+					t.Errorf("oracle bug: simulated memory fails the kernel check: %v", err)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package oracle_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/oracle"
+)
+
+// FuzzOracle drives the branch-and-bound frontier over random small graphs
+// and known-tricky shapes, asserting the oracle's hard contract: it never
+// panics, always terminates within its node budget, its certified lower
+// bound never exceeds the feasible schedule it itself found, and the
+// schedule it emits is complete and legal.
+func FuzzOracle(f *testing.F) {
+	// Seed corpus: shapes that historically stress exact schedulers.
+	f.Add(uint8(0), uint8(24), uint8(6), int64(2002), false)  // random layered
+	f.Add(uint8(0), uint8(40), uint8(8), int64(1), true)      // wider layered
+	f.Add(uint8(1), uint8(0), uint8(0), int64(0), false)      // diamond
+	f.Add(uint8(1), uint8(0), uint8(0), int64(0), true)       // diamond, vliw
+	f.Add(uint8(2), uint8(12), uint8(0), int64(0), false)     // wide fanout
+	f.Add(uint8(2), uint8(7), uint8(0), int64(0), true)       // odd fanout, vliw
+	f.Add(uint8(3), uint8(16), uint8(0), int64(0), false)     // serial chain
+	f.Add(uint8(3), uint8(2), uint8(0), int64(0), true)       // short chain, vliw
+	f.Add(uint8(0), uint8(2), uint8(1), int64(9), false)      // minimum size
+	f.Add(uint8(0), uint8(255), uint8(255), int64(-5), false) // clamped extremes
+
+	f.Fuzz(func(t *testing.T, shape, n, width uint8, seed int64, vliw bool) {
+		var g *ir.Graph
+		size := 2 + int(n)%47 // 2..48 instructions
+		switch shape % 4 {
+		case 0:
+			g = bench.RandomLayered(size, 1+int(width)%8, 4, seed)
+		case 1:
+			g = diamond()
+		case 2:
+			g = fanout(2 + int(n)%14)
+		default:
+			g = chain(1 + int(n)%24)
+		}
+		name := "raw4"
+		if vliw {
+			name = "vliw4"
+		}
+		m, err := machine.Named(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const budget = 30_000
+		res, err := oracle.Solve(context.Background(), g, m, oracle.Options{NodeBudget: budget})
+		if err != nil {
+			t.Fatalf("solve errored on a well-formed graph: %v", err)
+		}
+		if res.Nodes > budget {
+			t.Fatalf("expanded %d nodes over budget %d", res.Nodes, budget)
+		}
+		if res.LowerBound < 1 {
+			t.Fatalf("lower bound %d is not usable", res.LowerBound)
+		}
+		if res.LowerBound > res.BestLength {
+			t.Fatalf("certified lower bound %d exceeds own feasible schedule %d (status=%s)",
+				res.LowerBound, res.BestLength, res.Status)
+		}
+		if res.Certified != (res.LowerBound == res.BestLength) {
+			t.Fatalf("certification flag inconsistent: lb=%d best=%d certified=%v",
+				res.LowerBound, res.BestLength, res.Certified)
+		}
+		if res.Best == nil || len(res.Best.Placements) != g.Len() {
+			t.Fatalf("incomplete schedule emitted")
+		}
+		if err := res.Best.Validate(); err != nil {
+			t.Fatalf("emitted schedule fails the legality gate: %v", err)
+		}
+	})
+}

@@ -1,0 +1,300 @@
+package oracle_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/oracle"
+	"repro/internal/schedule"
+)
+
+// chain builds a serial dependence chain: one constant followed by n
+// dependent adds. Its optimal makespan is the critical path on any machine.
+func chain(n int) *ir.Graph {
+	g := ir.New("chain")
+	prev := g.AddConst(1).ID
+	for i := 0; i < n; i++ {
+		prev = g.Add(ir.Add, prev, prev).ID
+	}
+	return g
+}
+
+// diamond builds the classic reconvergent shape: one root feeding two
+// independent arms that a final op joins.
+func diamond() *ir.Graph {
+	g := ir.New("diamond")
+	c := g.AddConst(7).ID
+	a := g.Add(ir.Add, c, c).ID
+	b := g.Add(ir.Sub, c, c).ID
+	g.Add(ir.Mul, a, b)
+	return g
+}
+
+// fanout builds one constant feeding w independent ops, then a pairwise
+// reduction tree back to a single value.
+func fanout(w int) *ir.Graph {
+	g := ir.New("fanout")
+	c := g.AddConst(3).ID
+	var level []int
+	for i := 0; i < w; i++ {
+		level = append(level, g.Add(ir.Add, c, c).ID)
+	}
+	for len(level) > 1 {
+		var next []int
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, g.Add(ir.Add, level[i], level[i+1]).ID)
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	return g
+}
+
+func mustMachine(t *testing.T, name string) *machine.Model {
+	t.Helper()
+	m, err := machine.Named(name)
+	if err != nil {
+		t.Fatalf("machine %q: %v", name, err)
+	}
+	return m
+}
+
+func TestChainProvenOptimal(t *testing.T) {
+	for _, mn := range []string{"raw4", "vliw4"} {
+		m := mustMachine(t, mn)
+		res, err := oracle.Solve(context.Background(), chain(12), m, oracle.Options{Verify: true})
+		if err != nil {
+			t.Fatalf("%s: %v", mn, err)
+		}
+		if !res.Certified || res.Status != oracle.StatusOptimal {
+			t.Fatalf("%s: chain not proven optimal: %+v", mn, res)
+		}
+		if res.Gap() != 0 || res.BestLength != res.LowerBound {
+			t.Fatalf("%s: certified result with nonzero gap: %+v", mn, res)
+		}
+		if res.LowerBound != res.Bounds.CriticalPath {
+			t.Fatalf("%s: chain lower bound %d, critical path %d", mn, res.LowerBound, res.Bounds.CriticalPath)
+		}
+		if err := res.Best.Validate(); err != nil {
+			t.Fatalf("%s: emitted schedule illegal: %v", mn, err)
+		}
+	}
+}
+
+func TestDiamondAndFanoutProvenOptimal(t *testing.T) {
+	cases := []struct {
+		machine, name string
+		g             *ir.Graph
+	}{
+		{"raw4", "diamond", diamond()},
+		{"vliw4", "diamond", diamond()},
+		{"raw4", "fanout4", fanout(4)},
+		{"vliw4", "fanout4", fanout(4)},
+		{"raw4", "fanout6", fanout(6)},
+	}
+	for _, tc := range cases {
+		m := mustMachine(t, tc.machine)
+		res, err := oracle.Solve(context.Background(), tc.g, m, oracle.Options{Verify: true})
+		if err != nil {
+			t.Fatalf("%s/%s: %v", tc.machine, tc.name, err)
+		}
+		if !res.Certified {
+			t.Fatalf("%s/%s: small graph not proven optimal: status=%s lb=%d best=%d nodes=%d",
+				tc.machine, tc.name, res.Status, res.LowerBound, res.BestLength, res.Nodes)
+		}
+		if err := res.Best.Validate(); err != nil {
+			t.Fatalf("%s/%s: emitted schedule illegal: %v", tc.machine, tc.name, err)
+		}
+	}
+}
+
+// TestRelaxationGapReported pins the honest outcome on a shape whose legal
+// optimum exceeds the relaxed optimum (port and transfer-unit contention is
+// relaxed away): the search completes, reports the exact relaxed bound, and
+// does not claim optimality.
+func TestRelaxationGapReported(t *testing.T) {
+	m := mustMachine(t, "vliw4")
+	res, err := oracle.Solve(context.Background(), fanout(6), m, oracle.Options{})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if !res.Complete {
+		t.Fatalf("search did not complete: %+v", res)
+	}
+	if res.Certified || res.Status != oracle.StatusGap {
+		t.Fatalf("expected a relaxation gap, got status=%s certified=%v", res.Status, res.Certified)
+	}
+	if res.LowerBound >= res.BestLength {
+		t.Fatalf("gap status with lb %d >= best %d", res.LowerBound, res.BestLength)
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Fatalf("emitted schedule illegal: %v", err)
+	}
+}
+
+func TestRandomLayeredCertifiedAndDeterministic(t *testing.T) {
+	m := mustMachine(t, "raw4")
+	run := func() *oracle.Result {
+		g := bench.RandomLayered(24, 6, m.NumClusters, 2002)
+		res, err := oracle.Solve(context.Background(), g, m, oracle.Options{NodeBudget: 300_000})
+		if err != nil {
+			t.Fatalf("solve: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.LowerBound < 1 || a.LowerBound > a.BestLength {
+		t.Fatalf("lower bound %d outside [1, %d]", a.LowerBound, a.BestLength)
+	}
+	if err := a.Best.Validate(); err != nil {
+		t.Fatalf("emitted schedule illegal: %v", err)
+	}
+	if a.LowerBound != b.LowerBound || a.BestLength != b.BestLength || a.Nodes != b.Nodes ||
+		a.Best.Fingerprint() != b.Best.Fingerprint() {
+		t.Fatalf("oracle not deterministic: (%d,%d,%d) vs (%d,%d,%d)",
+			a.LowerBound, a.BestLength, a.Nodes, b.LowerBound, b.BestLength, b.Nodes)
+	}
+}
+
+// TestBudgetExhaustion pins the contract when the node budget runs out
+// mid-search: Certified must be false, the lower bound must stay usable
+// (positive, no stronger than the best schedule, no weaker than the static
+// bounds), and the emitted schedule must be complete and legal — never a
+// silent zero or an illegal partial.
+func TestBudgetExhaustion(t *testing.T) {
+	cases := []struct {
+		name    string
+		machine string
+		build   func(clusters int) *ir.Graph
+		budget  int64
+	}{
+		{"layered40-raw4-b50", "raw4", func(c int) *ir.Graph { return bench.RandomLayered(40, 8, c, 1) }, 50},
+		{"layered32-vliw4-b10", "vliw4", func(c int) *ir.Graph { return bench.RandomLayered(32, 8, c, 7) }, 10},
+		{"layered48-raw4-b1", "raw4", func(c int) *ir.Graph { return bench.RandomLayered(48, 6, c, 11) }, 1},
+		{"layered36-vliw4-b200", "vliw4", func(c int) *ir.Graph { return bench.RandomLayered(36, 9, c, 13) }, 200},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := mustMachine(t, tc.machine)
+			g := tc.build(m.NumClusters)
+			res, err := oracle.Solve(context.Background(), g, m, oracle.Options{NodeBudget: tc.budget})
+			if err != nil {
+				t.Fatalf("solve: %v", err)
+			}
+			if res.Status != oracle.StatusNodeBudget {
+				t.Fatalf("status %q, want %q (certified=%v nodes=%d lb=%d best=%d)",
+					res.Status, oracle.StatusNodeBudget, res.Certified, res.Nodes, res.LowerBound, res.BestLength)
+			}
+			if res.Certified || res.Complete {
+				t.Fatalf("truncated search claims certainty: %+v", res)
+			}
+			if res.Nodes > tc.budget {
+				t.Fatalf("expanded %d nodes over budget %d", res.Nodes, tc.budget)
+			}
+			if res.LowerBound < 1 {
+				t.Fatalf("unusable lower bound %d after budget exhaustion", res.LowerBound)
+			}
+			if res.LowerBound > res.BestLength {
+				t.Fatalf("lower bound %d exceeds feasible length %d", res.LowerBound, res.BestLength)
+			}
+			if res.LowerBound < res.Bounds.Max() {
+				t.Fatalf("lower bound %d below static bounds %d", res.LowerBound, res.Bounds.Max())
+			}
+			if res.Best == nil || len(res.Best.Placements) != g.Len() {
+				t.Fatalf("truncated search did not keep a complete schedule")
+			}
+			if err := res.Best.Validate(); err != nil {
+				t.Fatalf("truncated search emitted illegal schedule: %v", err)
+			}
+		})
+	}
+}
+
+func TestTooLargeRoutesToBoundsOnly(t *testing.T) {
+	m := mustMachine(t, "raw4")
+	g := bench.RandomLayered(64, 8, m.NumClusters, 3)
+	res, err := oracle.Solve(context.Background(), g, m, oracle.Options{MaxSearchOps: 16})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if res.Searched {
+		t.Fatalf("graph over MaxSearchOps was searched anyway")
+	}
+	if res.Status != oracle.StatusTooLarge && res.Status != oracle.StatusOptimal {
+		t.Fatalf("status %q for bounds-only run", res.Status)
+	}
+	if res.Nodes != 0 {
+		t.Fatalf("bounds-only run expanded %d nodes", res.Nodes)
+	}
+	if res.LowerBound < 1 || res.LowerBound > res.BestLength {
+		t.Fatalf("bounds-only lower bound %d outside [1, %d]", res.LowerBound, res.BestLength)
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Fatalf("bounds-only schedule illegal: %v", err)
+	}
+}
+
+func TestStaticBoundsComponents(t *testing.T) {
+	m := mustMachine(t, "raw4")
+	// A serial chain: the critical path is exact and dominates.
+	b, err := oracle.StaticBounds(chain(10), m)
+	if err != nil {
+		t.Fatalf("bounds: %v", err)
+	}
+	if b.CriticalPath != 11 {
+		t.Fatalf("chain(10) critical path bound %d, want 11", b.CriticalPath)
+	}
+	// Wide independent work: issue bandwidth dominates. One constant
+	// plus 16 adds over 4 single-issue tiles needs ceil(17/4) issue
+	// cycles; the last op completes one latency later.
+	g := ir.New("wide")
+	c := g.AddConst(1).ID
+	for i := 0; i < 16; i++ {
+		g.Add(ir.Add, c, c)
+	}
+	b, err = oracle.StaticBounds(g, m)
+	if err != nil {
+		t.Fatalf("bounds: %v", err)
+	}
+	if b.Issue != 5 {
+		t.Fatalf("wide issue bound %d, want 5", b.Issue)
+	}
+	// Mandatory per-cluster work: everything preplaced on tile 0
+	// serializes there regardless of machine width.
+	g = ir.New("pinned")
+	c = g.AddConst(1).ID
+	for i := 0; i < 8; i++ {
+		in := g.Add(ir.Add, c, c)
+		in.Home = 0
+	}
+	b, err = oracle.StaticBounds(g, m)
+	if err != nil {
+		t.Fatalf("bounds: %v", err)
+	}
+	if b.Cluster < 8 {
+		t.Fatalf("pinned cluster bound %d, want >= 8", b.Cluster)
+	}
+}
+
+func TestIllegalIncumbentRejected(t *testing.T) {
+	m := mustMachine(t, "raw4")
+	g := diamond()
+	bogus := schedule.New(g, m) // all-zero placements: overlapping, no latencies
+	_, err := oracle.Solve(context.Background(), g, m, oracle.Options{Incumbent: bogus})
+	if err == nil || !strings.Contains(err.Error(), "incumbent") {
+		t.Fatalf("illegal incumbent accepted: %v", err)
+	}
+}
+
+func TestEmptyGraphRejected(t *testing.T) {
+	m := mustMachine(t, "raw4")
+	if _, err := oracle.Solve(context.Background(), ir.New("empty"), m, oracle.Options{}); err == nil {
+		t.Fatalf("empty graph accepted")
+	}
+}

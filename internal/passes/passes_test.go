@@ -376,6 +376,40 @@ func TestForMachineDispatch(t *testing.T) {
 	}
 }
 
+func TestTunedSequencesResolve(t *testing.T) {
+	for _, tc := range []struct {
+		machine string
+		labels  []string
+	}{
+		{"raw4", TunedRawLabels},
+		{"vliw4", TunedVliwLabels},
+	} {
+		if len(tc.labels) == 0 {
+			t.Fatalf("tuned labels for %s empty", tc.machine)
+		}
+		for _, l := range tc.labels {
+			if _, ok := Named(l); !ok {
+				t.Errorf("tuned sequence for %s names unknown pass %q", tc.machine, l)
+			}
+		}
+		seq := TunedForMachine(tc.machine)
+		if len(seq) != len(tc.labels) {
+			t.Fatalf("TunedForMachine(%s) has %d passes, labels list %d", tc.machine, len(seq), len(tc.labels))
+		}
+		for i, p := range seq {
+			if p.Name() != tc.labels[i] {
+				t.Errorf("TunedForMachine(%s)[%d] = %s, want %s", tc.machine, i, p.Name(), tc.labels[i])
+			}
+		}
+	}
+	if got, want := TunedLabelsForMachine("raw16"), &TunedRawLabels[0]; &got[0] != want {
+		t.Error("TunedLabelsForMachine(raw16) did not return TunedRawLabels")
+	}
+	if got, want := TunedLabelsForMachine("vliw8"), &TunedVliwLabels[0]; &got[0] != want {
+		t.Error("TunedLabelsForMachine(vliw8) did not return TunedVliwLabels")
+	}
+}
+
 func TestNamedRoundTrip(t *testing.T) {
 	for _, label := range AllLabels() {
 		p, ok := Named(label)

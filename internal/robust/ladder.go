@@ -102,6 +102,32 @@ func DefaultLadderID(m *machine.Model, seed int64) string {
 		BaselineRung(m).Name)
 }
 
+// TunedLadder is DefaultLadder with the oracle-tuned pass sequence
+// (passes.TunedForMachine) in both convergent rungs. The fallback rungs are
+// unchanged: tuning moves cycles on the healthy path, not the degradation
+// story.
+func TunedLadder(m *machine.Model, seed int64) []Rung {
+	seq := passes.TunedForMachine(m.Name)
+	return []Rung{
+		ConvergentRung("convergent-tuned", m, seq, seed),
+		ConvergentRung("convergent-tuned-truncated", m, TruncatedSequence(seq), seed+1),
+		BaselineRung(m),
+		ListRung(m),
+	}
+}
+
+// TunedLadderID is the cache identity of TunedLadder(m, seed), mirroring
+// DefaultLadderID: it embeds the tuned sequence's identity, so retuning the
+// shipped sequence changes the ID and can never serve stale cached
+// schedules.
+func TunedLadderID(m *machine.Model, seed int64) string {
+	seq := passes.TunedForMachine(m.Name)
+	return fmt.Sprintf("convergent-tuned[%s|seed=%d]>convergent-tuned-truncated[%s|seed=%d]>%s>list",
+		core.SequenceID(seq), seed,
+		core.SequenceID(TruncatedSequence(seq)), seed+1,
+		BaselineRung(m).Name)
+}
+
 // RungFor returns the single rung for a scheduler name as accepted by
 // cmd/convsched: convergent, rawcc, uas, pcc or list.
 func RungFor(m *machine.Model, scheduler string, seed int64) (Rung, error) {

@@ -1,0 +1,79 @@
+package tune
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/oracle"
+)
+
+func TestSearchGapsReportsCertifiedBounds(t *testing.T) {
+	m := machine.Chorus(4)
+	ks := suite(t, "vvmul", "yuv")
+	gr, err := SearchGaps(Options{
+		Machine: m,
+		Kernels: ks,
+		Iters:   6,
+		Seed:    3,
+	}, oracle.Options{NodeBudget: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gr.Bounds) != len(ks) {
+		t.Fatalf("bounds for %d kernels, want %d", len(gr.Bounds), len(ks))
+	}
+	total := 0
+	for _, b := range gr.Bounds {
+		if b.LowerBound < 1 {
+			t.Errorf("%s: lower bound %d", b.Kernel, b.LowerBound)
+		}
+		if b.Status == "" {
+			t.Errorf("%s: empty status", b.Kernel)
+		}
+		total += b.LowerBound
+	}
+	if gr.SuiteLowerBound != total {
+		t.Errorf("suite bound %d, per-kernel sum %d", gr.SuiteLowerBound, total)
+	}
+	// Gaps are costs over a certified bound: non-negative by construction,
+	// and consistent with the embedded search result.
+	if gr.StartGap != gr.StartCost-gr.SuiteLowerBound {
+		t.Errorf("start gap %d, cost %d - bound %d", gr.StartGap, gr.StartCost, gr.SuiteLowerBound)
+	}
+	if gr.BestGap != gr.BestCost-gr.SuiteLowerBound {
+		t.Errorf("best gap %d, cost %d - bound %d", gr.BestGap, gr.BestCost, gr.SuiteLowerBound)
+	}
+	if gr.StartGap < 0 || gr.BestGap < 0 {
+		t.Errorf("negative gap: start %d, best %d — a scheduler beat a certified bound", gr.StartGap, gr.BestGap)
+	}
+	if gr.BestGap > gr.StartGap {
+		t.Errorf("search worsened the gap: %d -> %d", gr.StartGap, gr.BestGap)
+	}
+}
+
+// A target at or above the seed cost stops the search after the initial
+// evaluation: the seed already meets it.
+func TestSearchStopsAtTarget(t *testing.T) {
+	m := machine.Chorus(4)
+	ks := suite(t, "vvmul")
+	base, err := Search(Options{Machine: m, Kernels: ks, Iters: 0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Search(Options{
+		Machine: m,
+		Kernels: ks,
+		Iters:   50,
+		Seed:    3,
+		Target:  base.StartCost,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 1 {
+		t.Errorf("target met by the seed, but search ran %d evaluations", res.Evaluations)
+	}
+	if res.BestCost != base.StartCost {
+		t.Errorf("best cost %d, want seed cost %d", res.BestCost, base.StartCost)
+	}
+}

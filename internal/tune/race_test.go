@@ -1,0 +1,121 @@
+package tune_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/engine"
+	"repro/internal/machine"
+	"repro/internal/passes"
+	"repro/internal/tune"
+)
+
+// TestConcurrentCostSessionsShareCache runs many tuning cost evaluations
+// concurrently through one shared engine, under -race, and pins the exact
+// hit/miss accounting: after one serial warm-up evaluation (one miss per
+// kernel), every concurrent re-evaluation of the same sequence must be
+// answered entirely from the cache — same costs, one hit per kernel per
+// session, zero new misses, zero evictions.
+func TestConcurrentCostSessionsShareCache(t *testing.T) {
+	m := machine.Chorus(4)
+	kernels := bench.VliwSuite()[:3]
+	var labels []string
+	for _, p := range passes.ForMachine(m.Name) {
+		labels = append(labels, p.Name())
+	}
+
+	e := engine.New(4, 64)
+
+	warm, err := tune.CostWith(e, m, kernels, labels, 2002)
+	if err != nil {
+		t.Fatalf("warm-up cost: %v", err)
+	}
+	st := e.Stats()
+	if st.Misses != uint64(len(kernels)) || st.Hits != 0 {
+		t.Fatalf("warm-up: hits=%d misses=%d, want 0/%d", st.Hits, st.Misses, len(kernels))
+	}
+
+	const sessions = 8
+	costs := make([]int, sessions)
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			costs[i], errs[i] = tune.CostWith(e, m, kernels, labels, 2002)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < sessions; i++ {
+		if errs[i] != nil {
+			t.Fatalf("session %d: %v", i, errs[i])
+		}
+		if costs[i] != warm {
+			t.Errorf("session %d: cost %d != warm cost %d (cache returned a different schedule)", i, costs[i], warm)
+		}
+	}
+
+	st = e.Stats()
+	wantHits := uint64(sessions * len(kernels))
+	if st.Hits != wantHits {
+		t.Errorf("hits = %d, want %d (every concurrent evaluation served from cache)", st.Hits, wantHits)
+	}
+	if st.Misses != uint64(len(kernels)) {
+		t.Errorf("misses = %d, want %d (only the warm-up computed)", st.Misses, len(kernels))
+	}
+	if st.Shared != 0 {
+		t.Errorf("shared = %d, want 0 (nothing in flight after warm-up)", st.Shared)
+	}
+	if st.Evictions != 0 {
+		t.Errorf("evictions = %d, want 0 (cache sized for the suite)", st.Evictions)
+	}
+}
+
+// TestConcurrentSearchSessionsDisjointSeeds runs whole hill-climb sessions
+// concurrently on the same engine with different seeds — the shape a tuning
+// service would see — asserting under -race that sessions do not corrupt
+// each other: each is reproducible against a serial run with the same seed.
+func TestConcurrentSearchSessionsDisjointSeeds(t *testing.T) {
+	m := machine.Chorus(4)
+	kernels := bench.VliwSuite()[:2]
+
+	serial := make(map[int64]*tune.Result)
+	for _, seed := range []int64{1, 2, 3} {
+		r, err := tune.Search(tune.Options{Machine: m, Kernels: kernels, Iters: 4, Seed: seed})
+		if err != nil {
+			t.Fatalf("serial search seed %d: %v", seed, err)
+		}
+		serial[seed] = r
+	}
+
+	e := engine.New(4, 256)
+	var wg sync.WaitGroup
+	results := make(map[int64]*tune.Result)
+	errs := make(map[int64]error)
+	var mu sync.Mutex
+	for _, seed := range []int64{1, 2, 3} {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r, err := tune.Search(tune.Options{Machine: m, Kernels: kernels, Iters: 4, Seed: seed, Engine: e})
+			mu.Lock()
+			results[seed], errs[seed] = r, err
+			mu.Unlock()
+		}(seed)
+	}
+	wg.Wait()
+	for seed, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent search seed %d: %v", seed, err)
+		}
+	}
+	for seed, want := range serial {
+		got := results[seed]
+		if got.BestCost != want.BestCost || got.StartCost != want.StartCost {
+			t.Errorf("seed %d: concurrent engine search (%d -> %d) diverged from serial (%d -> %d)",
+				seed, got.StartCost, got.BestCost, want.StartCost, want.BestCost)
+		}
+	}
+}

@@ -50,6 +50,11 @@ type Options struct {
 	// climbing re-proposes equivalent sequences constantly). Costs are
 	// identical to the serial path.
 	Engine *engine.Engine
+	// Target, when positive, stops the search as soon as the best cost
+	// reaches it. The oracle-guided mode sets this to the suite's
+	// certified lower bound: a sequence meeting it is proven optimal and
+	// further search is pointless.
+	Target int
 }
 
 // Step records one accepted improvement.
@@ -187,6 +192,9 @@ func Search(opt Options) (*Result, error) {
 		BestCost:  curCost,
 	}
 	res.Evaluations++
+	if opt.Target > 0 && res.BestCost <= opt.Target {
+		return res, nil
+	}
 
 	propose := func() []string {
 		next := append([]string(nil), cur...)
@@ -235,6 +243,9 @@ func Search(opt Options) (*Result, error) {
 		if curCost < res.BestCost {
 			res.Best = append([]string(nil), cur...)
 			res.BestCost = curCost
+		}
+		if opt.Target > 0 && res.BestCost <= opt.Target {
+			break
 		}
 	}
 	return res, nil
